@@ -1,0 +1,101 @@
+// Package repro's root benchmarks regenerate every figure of the TFMCC
+// paper plus the ablation studies. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the full scenario behind the figure once per
+// iteration and reports the headline numbers via b.Log / custom metrics.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Run(id, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	if res != nil {
+		b.Log(res.Summary())
+	}
+}
+
+func BenchmarkFigure1(b *testing.B)  { benchFigure(b, "1") }
+func BenchmarkFigure2(b *testing.B)  { benchFigure(b, "2") }
+func BenchmarkFigure3(b *testing.B)  { benchFigure(b, "3") }
+func BenchmarkFigure4(b *testing.B)  { benchFigure(b, "4") }
+func BenchmarkFigure5(b *testing.B)  { benchFigure(b, "5") }
+func BenchmarkFigure6(b *testing.B)  { benchFigure(b, "6") }
+func BenchmarkFigure7(b *testing.B)  { benchFigure(b, "7") }
+func BenchmarkFigure9(b *testing.B)  { benchFigure(b, "9") }
+func BenchmarkFigure10(b *testing.B) { benchFigure(b, "10") }
+func BenchmarkFigure11(b *testing.B) { benchFigure(b, "11") }
+func BenchmarkFigure12(b *testing.B) { benchFigure(b, "12") }
+func BenchmarkFigure13(b *testing.B) { benchFigure(b, "13") }
+func BenchmarkFigure14(b *testing.B) { benchFigure(b, "14") }
+func BenchmarkFigure15(b *testing.B) { benchFigure(b, "15") }
+func BenchmarkFigure16(b *testing.B) { benchFigure(b, "16") }
+func BenchmarkFigure17(b *testing.B) { benchFigure(b, "17") }
+func BenchmarkFigure18(b *testing.B) { benchFigure(b, "18") }
+func BenchmarkFigure19(b *testing.B) { benchFigure(b, "19") }
+func BenchmarkFigure20(b *testing.B) { benchFigure(b, "20") }
+func BenchmarkFigure21(b *testing.B) { benchFigure(b, "21") }
+
+func benchAblation(b *testing.B, run func(int64) *experiments.Result) {
+	b.Helper()
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = run(1)
+	}
+	if res != nil {
+		b.Log(res.Summary())
+	}
+}
+
+func BenchmarkAblationLossHistoryDepth(b *testing.B) {
+	benchAblation(b, experiments.AblationLossHistoryDepth)
+}
+func BenchmarkAblationPrevCLR(b *testing.B) {
+	benchAblation(b, experiments.AblationPrevCLR)
+}
+func BenchmarkAblationQueueDiscipline(b *testing.B) {
+	benchAblation(b, experiments.AblationQueueDiscipline)
+}
+func BenchmarkAblationFeedbackBias(b *testing.B) {
+	benchAblation(b, experiments.AblationFeedbackBias)
+}
+func BenchmarkAblationLossInit(b *testing.B) {
+	benchAblation(b, experiments.AblationLossInit)
+}
+func BenchmarkCompareTFMCCvsPGMCC(b *testing.B) {
+	benchAblation(b, experiments.CompareTFMCCvsPGMCC)
+}
+func BenchmarkCompareTFMCCvsTFRC(b *testing.B) {
+	benchAblation(b, experiments.CompareTFMCCvsTFRC)
+}
+
+func BenchmarkExtensionFeedbackTree(b *testing.B) {
+	benchAblation(b, experiments.ExtensionFeedbackTree)
+}
+
+// BenchmarkTFMCCSession measures end-to-end simulation cost: one sender,
+// 100 receivers, a 1 Mbit/s bottleneck, 10 simulated seconds per
+// iteration.
+func BenchmarkTFMCCSession(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.SessionThroughput(100, 10)
+		_ = res
+	}
+}
+
+func BenchmarkExtensionCorrelatedLoss(b *testing.B) {
+	benchAblation(b, experiments.ExtensionCorrelatedLoss)
+}

@@ -1,0 +1,58 @@
+// Command tfmccsim regenerates the figures of the TFMCC paper
+// (Widmer & Handley, SIGCOMM 2001) from the Go reproduction.
+//
+// Usage:
+//
+//	tfmccsim -figure 9            # run one figure, print summary
+//	tfmccsim -figure 9 -tsv       # dump the series as TSV
+//	tfmccsim -all                 # run every figure, print summaries
+//	tfmccsim -list                # list available figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		figure = flag.String("figure", "", "figure id to reproduce (e.g. 9)")
+		all    = flag.Bool("all", false, "run every figure")
+		list   = flag.Bool("list", false, "list available figures")
+		tsv    = flag.Bool("tsv", false, "print full series as TSV instead of a summary")
+		seed   = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, id := range experiments.Figures() {
+			fmt.Printf("%-4s %s\n", id, experiments.Title(id))
+		}
+	case *all:
+		for _, id := range experiments.Figures() {
+			run(id, *seed, *tsv)
+		}
+	case *figure != "":
+		run(*figure, *seed, *tsv)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func run(id string, seed int64, tsv bool) {
+	res, err := experiments.Run(id, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if tsv {
+		fmt.Print(res.TSV())
+		return
+	}
+	fmt.Print(res.Summary())
+}

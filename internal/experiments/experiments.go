@@ -1,0 +1,137 @@
+// Package experiments contains one scenario builder per figure of the
+// TFMCC paper's evaluation. Each builder returns a Result whose series
+// reproduce the corresponding plot; cmd/tfmccsim prints them as TSV and
+// the root bench_test.go wraps each in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/tcpsim"
+	"repro/internal/tfmcc"
+)
+
+// Result is the reproduced data behind one figure.
+type Result struct {
+	Figure string
+	Title  string
+	Series []*stats.Series
+	Notes  []string
+}
+
+// Summary returns a short textual digest: per-series mean (and max).
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s: %s\n", r.Figure, r.Title)
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "  %-28s mean=%10.3f max=%10.3f n=%d\n",
+			s.Name, s.Mean(), s.Max(), len(s.Points))
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// TSV renders all series as a long-format table: series, x, y.
+func (r *Result) TSV() string {
+	var b strings.Builder
+	b.WriteString("series\tx\ty\n")
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%s\t%.4f\t%.4f\n", s.Name, p.T.Seconds(), p.V)
+		}
+	}
+	return b.String()
+}
+
+// Runner produces a figure's Result. seed selects the deterministic
+// random stream.
+type Runner func(seed int64) *Result
+
+// Entry is a registered figure reproduction.
+type Entry struct {
+	Title string
+	Run   Runner
+}
+
+// Registry maps figure identifiers to their runners.
+var Registry = map[string]Entry{}
+
+func register(id, title string, r Runner) { Registry[id] = Entry{Title: title, Run: r} }
+
+// Title returns the registered title for a figure id.
+func Title(id string) string { return Registry[id].Title }
+
+// Figures returns the registered figure identifiers in order.
+func Figures() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		var a, b int
+		fmt.Sscanf(out[i], "%d", &a)
+		fmt.Sscanf(out[j], "%d", &b)
+		if a != b {
+			return a < b
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Run executes the runner for a figure id.
+func Run(id string, seed int64) (*Result, error) {
+	r, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown figure %q (have %v)", id, Figures())
+	}
+	return r.Run(seed), nil
+}
+
+// --- shared topology helpers -------------------------------------------
+
+// env bundles the per-scenario simulation plumbing.
+type env struct {
+	sch *sim.Scheduler
+	net *simnet.Network
+	rng *sim.Rand
+}
+
+func newEnv(seed int64) *env {
+	sch := sim.NewScheduler()
+	return &env{sch: sch, net: simnet.New(sch, sim.NewRand(seed)), rng: sim.NewRand(seed + 7)}
+}
+
+// addTCP wires a TCP flow from a fresh source node through `in` to a
+// fresh sink node hanging off `out`, metering goodput.
+func (e *env) addTCP(name string, in, out simnet.NodeID, port simnet.Port) (*tcpsim.Sender, *stats.Meter) {
+	a := e.net.AddNode(name + "-src")
+	b := e.net.AddNode(name + "-dst")
+	e.net.AddDuplex(a, in, 0, sim.Millisecond, 0)
+	e.net.AddDuplex(out, b, 0, sim.Millisecond, 0)
+	snd, snk := tcpsim.NewFlow(name, e.net, a, b, port, tcpsim.DefaultConfig())
+	m := stats.NewMeter(name, e.sch, sim.Second)
+	snk.Meter = m
+	m.Start()
+	return snd, m
+}
+
+// meterReceiver attaches a throughput meter to a TFMCC receiver.
+func (e *env) meterReceiver(name string, r *tfmcc.Receiver) *stats.Meter {
+	m := stats.NewMeter(name, e.sch, sim.Second)
+	r.Meter = m
+	m.Start()
+	return m
+}
+
+const (
+	mbit = 125000.0 // bytes/s per Mbit/s
+	kbit = 125.0    // bytes/s per Kbit/s
+)

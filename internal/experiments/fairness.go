@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/tfmcc"
+)
+
+func init() {
+	register("9", "1 TFMCC and 15 TCP over one 8 Mbit/s bottleneck", Figure9)
+	register("10", "1 TFMCC vs 16 TCP on individual 1 Mbit/s bottlenecks", Figure10)
+	register("21", "Responsiveness to increased congestion", Figure21)
+}
+
+// Figure9 runs one TFMCC flow against 15 TCP flows over a single 8 Mbit/s
+// bottleneck and reports the TFMCC rate plus two sample TCP rates over
+// time. Paper shape: matching means, smoother TFMCC.
+func Figure9(seed int64) *Result {
+	e := newEnv(seed)
+	r1 := e.net.AddNode("r1")
+	r2 := e.net.AddNode("r2")
+	e.net.AddDuplex(r1, r2, 8*mbit, 20*sim.Millisecond, 80)
+
+	snd := e.net.AddNode("tfmcc-src")
+	e.net.AddDuplex(snd, r1, 0, sim.Millisecond, 0)
+	sess := tfmcc.NewSession(e.net, snd, 1, 100, tfmcc.DefaultConfig(), e.rng)
+	rn := e.net.AddNode("tfmcc-rcv")
+	e.net.AddDuplex(r2, rn, 0, sim.Millisecond, 0)
+	rcv := sess.AddReceiver(rn)
+	mT := e.meterReceiver("TFMCC", rcv)
+
+	var tcpMeters []*stats.Meter
+	for i := 0; i < 15; i++ {
+		s, m := e.addTCP(fmt.Sprintf("TCP %d", i+1), r1, r2, simnet.Port(10+i))
+		s.Start()
+		tcpMeters = append(tcpMeters, m)
+	}
+	sess.Start()
+	e.sch.RunUntil(200 * sim.Second)
+
+	res := &Result{Figure: "9", Title: "1 TFMCC and 15 TCP over one 8 Mbit/s bottleneck"}
+	res.Series = append(res.Series, &tcpMeters[0].Series, &tcpMeters[1].Series, &mT.Series)
+	var tcpSum float64
+	for _, m := range tcpMeters {
+		tcpSum += m.Series.MeanBetween(60*sim.Second, 200*sim.Second)
+	}
+	tcpMean := tcpSum / 15
+	tf := mT.Series.MeanBetween(60*sim.Second, 200*sim.Second)
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("steady state (60-200s): TFMCC=%.0f Kbit/s, mean TCP=%.0f Kbit/s, ratio=%.2f", tf, tcpMean, tf/tcpMean),
+		fmt.Sprintf("smoothness: CoV TFMCC=%.2f vs CoV TCP1=%.2f (paper: TFMCC smoother)",
+			mT.Series.CoV(), tcpMeters[0].Series.CoV()))
+	return res
+}
+
+// Figure10 gives each of 16 receivers its own 1 Mbit/s tail circuit shared
+// with one TCP flow. The loss-path-multiplicity effect limits TFMCC to
+// roughly 70% of TCP's throughput.
+func Figure10(seed int64) *Result {
+	e := newEnv(seed)
+	hub := e.net.AddNode("hub")
+	snd := e.net.AddNode("tfmcc-src")
+	e.net.AddDuplex(snd, hub, 0, sim.Millisecond, 0)
+	sess := tfmcc.NewSession(e.net, snd, 1, 100, tfmcc.DefaultConfig(), e.rng)
+
+	var tcpMeters []*stats.Meter
+	var mT *stats.Meter
+	for i := 0; i < 16; i++ {
+		tail := e.net.AddNode(fmt.Sprintf("tail%d", i))
+		leaf := e.net.AddNode(fmt.Sprintf("leaf%d", i))
+		e.net.AddDuplex(hub, tail, 0, 4*sim.Millisecond, 0)
+		e.net.AddDuplex(tail, leaf, 1*mbit, 16*sim.Millisecond, 25)
+		rcv := sess.AddReceiver(leaf)
+		if i == 0 {
+			mT = e.meterReceiver("TFMCC", rcv)
+		}
+		s, m := e.addTCP(fmt.Sprintf("TCP %d", i+1), tail, leaf, simnet.Port(10+i))
+		s.Start()
+		tcpMeters = append(tcpMeters, m)
+	}
+	sess.Start()
+	e.sch.RunUntil(200 * sim.Second)
+
+	res := &Result{Figure: "10", Title: "1 TFMCC vs 16 TCP on sixteen individual 1 Mbit/s bottlenecks"}
+	res.Series = append(res.Series, &tcpMeters[0].Series, &tcpMeters[1].Series, &mT.Series)
+	var tcpSum float64
+	for _, m := range tcpMeters {
+		tcpSum += m.Series.MeanBetween(60*sim.Second, 200*sim.Second)
+	}
+	tcpMean := tcpSum / 16
+	tf := mT.Series.MeanBetween(60*sim.Second, 200*sim.Second)
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"steady state: TFMCC=%.0f Kbit/s, mean TCP=%.0f Kbit/s, TFMCC/TCP=%.2f (paper: ~0.70)",
+		tf, tcpMean, tf/tcpMean))
+	return res
+}
+
+// Figure21 starts one TFMCC flow on a 16 Mbit/s link and doubles the
+// number of competing TCP flows every 50 s (+1, +2, +4, +8). Both should
+// settle at roughly half the bandwidth of the previous interval.
+func Figure21(seed int64) *Result {
+	e := newEnv(seed)
+	r1 := e.net.AddNode("r1")
+	r2 := e.net.AddNode("r2")
+	e.net.AddDuplex(r1, r2, 16*mbit, 20*sim.Millisecond, 120)
+
+	snd := e.net.AddNode("tfmcc-src")
+	e.net.AddDuplex(snd, r1, 0, sim.Millisecond, 0)
+	sess := tfmcc.NewSession(e.net, snd, 1, 100, tfmcc.DefaultConfig(), e.rng)
+	rn := e.net.AddNode("tfmcc-rcv")
+	e.net.AddDuplex(r2, rn, 0, sim.Millisecond, 0)
+	mT := e.meterReceiver("TFMCC", sess.AddReceiver(rn))
+
+	groups := []struct {
+		at    sim.Time
+		count int
+	}{{50 * sim.Second, 1}, {100 * sim.Second, 2}, {150 * sim.Second, 4}, {200 * sim.Second, 8}}
+	agg := make([]*stats.Series, len(groups))
+	port := 10
+	for gi, g := range groups {
+		gi, g := gi, g
+		agg[gi] = &stats.Series{Name: fmt.Sprintf("TCP group %d (n=%d)", gi+1, g.count)}
+		var ms []*stats.Meter
+		for i := 0; i < g.count; i++ {
+			s, m := e.addTCP(fmt.Sprintf("tcp%d-%d", gi, i), r1, r2, simnet.Port(port))
+			port++
+			ms = append(ms, m)
+			at := g.at
+			e.sch.At(at, s.Start)
+		}
+		// Aggregate the group's meters once per second.
+		var tick func()
+		tick = func() {
+			e.sch.After(sim.Second, func() {
+				var sum float64
+				for _, m := range ms {
+					if n := len(m.Series.Points); n > 0 {
+						sum += m.Series.Points[n-1].V
+					}
+				}
+				agg[gi].Add(e.sch.Now(), sum)
+				tick()
+			})
+		}
+		tick()
+	}
+	sess.Start()
+	e.sch.RunUntil(250 * sim.Second)
+
+	res := &Result{Figure: "21", Title: "Responsiveness to increased congestion (flow count doubles every 50s)"}
+	res.Series = append(res.Series, &mT.Series)
+	res.Series = append(res.Series, agg...)
+	for i, win := range [][2]sim.Time{
+		{10 * sim.Second, 50 * sim.Second}, {60 * sim.Second, 100 * sim.Second},
+		{110 * sim.Second, 150 * sim.Second}, {160 * sim.Second, 200 * sim.Second},
+		{210 * sim.Second, 250 * sim.Second}} {
+		res.Notes = append(res.Notes, fmt.Sprintf("interval %d: TFMCC mean %.0f Kbit/s",
+			i+1, mT.Series.MeanBetween(win[0], win[1])))
+	}
+	return res
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/tfmcc"
+)
+
+func init() {
+	register("15", "Late-join of low-rate receiver", Figure15)
+	register("16", "Additional TCP flow on the slow link", Figure16)
+}
+
+// Figure15 reproduces the late-join experiment: an eight-member TFMCC
+// session shares an 8 Mbit/s link with 7 TCP flows (fair rate 1 Mbit/s).
+// From t=50s to t=100s an extra receiver joins behind a 200 Kbit/s
+// bottleneck; TFMCC must adopt it as CLR within a few seconds and recover
+// after it leaves.
+func Figure15(seed int64) *Result {
+	return lateJoin("15", "Late-join of low-rate receiver", false, seed)
+}
+
+// Figure16 is Figure15 with an additional TCP flow sharing the 200 Kbit/s
+// tail for the whole run: the TCP flow inevitably times out when the link
+// floods at join time, but both recover and share the tail fairly.
+func Figure16(seed int64) *Result {
+	return lateJoin("16", "Additional TCP flow on the slow link", true, seed)
+}
+
+func lateJoin(fig, title string, tcpOnSlowLink bool, seed int64) *Result {
+	e := newEnv(seed)
+	r1 := e.net.AddNode("r1")
+	r2 := e.net.AddNode("r2")
+	e.net.AddDuplex(r1, r2, 8*mbit, 20*sim.Millisecond, 80)
+	snd := e.net.AddNode("tfmcc-src")
+	e.net.AddDuplex(snd, r1, 0, sim.Millisecond, 0)
+	sess := tfmcc.NewSession(e.net, snd, 1, 100, tfmcc.DefaultConfig(), e.rng)
+
+	var mT *stats.Meter
+	for i := 0; i < 8; i++ {
+		leaf := e.net.AddNode(fmt.Sprintf("leaf%d", i))
+		e.net.AddDuplex(r2, leaf, 0, sim.Millisecond, 0)
+		rcv := sess.AddReceiver(leaf)
+		if i == 0 {
+			mT = e.meterReceiver("TFMCC flow", rcv)
+		}
+	}
+
+	tcpAgg := &stats.Series{Name: "aggregated TCP flows"}
+	var tcpMeters []*stats.Meter
+	for i := 0; i < 7; i++ {
+		s, m := e.addTCP(fmt.Sprintf("tcp%d", i), r1, r2, simnet.Port(10+i))
+		s.Start()
+		tcpMeters = append(tcpMeters, m)
+	}
+	var tick func()
+	tick = func() {
+		e.sch.After(sim.Second, func() {
+			var sum float64
+			for _, m := range tcpMeters {
+				if n := len(m.Series.Points); n > 0 {
+					sum += m.Series.Points[n-1].V
+				}
+			}
+			tcpAgg.Add(e.sch.Now(), sum)
+			tick()
+		})
+	}
+	tick()
+
+	// The slow tail: 200 Kbit/s behind r2.
+	slowTail := e.net.AddNode("slow-tail")
+	slowLeaf := e.net.AddNode("slow-leaf")
+	e.net.AddDuplex(r2, slowTail, 0, sim.Millisecond, 0)
+	e.net.AddDuplex(slowTail, slowLeaf, 200*kbit, 10*sim.Millisecond, 12)
+
+	var slowTCP *stats.Meter
+	if tcpOnSlowLink {
+		s, m := e.addTCP("TCP on 200KBit/s link", slowTail, slowLeaf, 50)
+		m.Series.Name = "TCP on 200KBit/s link"
+		s.Start()
+		slowTCP = m
+	}
+
+	var slowRcv *tfmcc.Receiver
+	e.sch.At(50*sim.Second, func() { slowRcv = sess.AddReceiver(slowLeaf) })
+	e.sch.At(100*sim.Second, func() {
+		if slowRcv != nil {
+			slowRcv.Leave()
+		}
+	})
+
+	sess.Start()
+	e.sch.RunUntil(140 * sim.Second)
+
+	res := &Result{Figure: fig, Title: title}
+	res.Series = append(res.Series, tcpAgg, &mT.Series)
+	if slowTCP != nil {
+		res.Series = append(res.Series, &slowTCP.Series)
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("TFMCC before join (20-50s): %.0f Kbit/s (fair: 1000)",
+			mT.Series.MeanBetween(20*sim.Second, 50*sim.Second)),
+		fmt.Sprintf("TFMCC during slow join (60-100s): %.0f Kbit/s (tail: 200%s)",
+			mT.Series.MeanBetween(60*sim.Second, 100*sim.Second),
+			map[bool]string{true: ", shared with TCP", false: ""}[tcpOnSlowLink]),
+		fmt.Sprintf("TFMCC after leave (120-140s): %.0f Kbit/s",
+			mT.Series.MeanBetween(120*sim.Second, 140*sim.Second)))
+	if slowTCP != nil {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"TCP on slow link: before join %.0f, during %.0f, after %.0f Kbit/s",
+			slowTCP.Series.MeanBetween(20*sim.Second, 50*sim.Second),
+			slowTCP.Series.MeanBetween(60*sim.Second, 100*sim.Second),
+			slowTCP.Series.MeanBetween(120*sim.Second, 140*sim.Second)))
+	}
+	return res
+}

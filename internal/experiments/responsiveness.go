@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/tfmcc"
+)
+
+func init() {
+	register("11", "Responsiveness to changes in the loss rate", Figure11)
+	register("20", "Responsiveness to network delay", Figure20)
+}
+
+// starSession builds the star topology used by the responsiveness
+// figures: sender -- hub -- receiver_i, with per-receiver loss and delay
+// on the tails (one-way delay = delay/2 each way is approximated by
+// putting the whole delay on the downstream link and 1ms upstream).
+type star struct {
+	e     *env
+	sess  *tfmcc.Session
+	leafs []simnet.NodeID
+	hub   simnet.NodeID
+}
+
+func buildStar(e *env, loss []float64, delay []sim.Time, bw float64, qlen int) *star {
+	hub := e.net.AddNode("hub")
+	snd := e.net.AddNode("tfmcc-src")
+	e.net.AddDuplex(snd, hub, 0, sim.Millisecond, 0)
+	sess := tfmcc.NewSession(e.net, snd, 1, 100, tfmcc.DefaultConfig(), e.rng)
+	st := &star{e: e, sess: sess, hub: hub}
+	for i := range loss {
+		leaf := e.net.AddNode(fmt.Sprintf("leaf%d", i))
+		down, _ := e.net.AddDuplex(hub, leaf, bw, delay[i], qlen)
+		down.LossProb = loss[i]
+		st.leafs = append(st.leafs, leaf)
+	}
+	return st
+}
+
+// Figure11 reproduces the join/leave experiment: four receivers with loss
+// rates 0.1%, 0.5%, 2.5% and 12.5% (RTT 60 ms) join the session 50 s
+// apart and later leave in reverse order. A TCP flow to each receiver
+// runs throughout as the fairness reference.
+func Figure11(seed int64) *Result {
+	return joinLeaveExperiment("11",
+		"Responsiveness to changes in the loss rate",
+		[]float64{0.001, 0.005, 0.025, 0.125},
+		[]sim.Time{28 * sim.Millisecond, 28 * sim.Millisecond, 28 * sim.Millisecond, 28 * sim.Millisecond},
+		seed)
+}
+
+// Figure20 is the same experiment with the loss rate held at 0.5% and the
+// one-way tail delays set to 30/60/120/240 ms-equivalent RTTs, receivers
+// joining in RTT order.
+func Figure20(seed int64) *Result {
+	return joinLeaveExperiment("20",
+		"Responsiveness to network delay",
+		[]float64{0.005, 0.005, 0.005, 0.005},
+		[]sim.Time{13 * sim.Millisecond, 28 * sim.Millisecond, 58 * sim.Millisecond, 118 * sim.Millisecond},
+		seed)
+}
+
+func joinLeaveExperiment(fig, title string, loss []float64, delay []sim.Time, seed int64) *Result {
+	e := newEnv(seed)
+	st := buildStar(e, loss, delay, 0, 0)
+
+	// Reference TCP flows, one through each lossy tail, all active for
+	// the whole run.
+	var tcpMeters []*stats.Meter
+	for i, leaf := range st.leafs {
+		s, m := e.addTCP(fmt.Sprintf("TCP %d", i+1), st.hub, leaf, simnet.Port(10+i))
+		s.Start()
+		tcpMeters = append(tcpMeters, m)
+	}
+
+	// Receiver 0 joins at t=0; the rest at 100s, 150s, 200s. Leaves in
+	// reverse order at 250s, 300s, 350s.
+	var meters []*stats.Meter
+	var rcvs []*tfmcc.Receiver
+	join := func(i int) {
+		r := st.sess.AddReceiver(st.leafs[i])
+		rcvs = append(rcvs, r)
+		meters = append(meters, e.meterReceiver("TFMCC", r))
+	}
+	join(0)
+	for i := 1; i < len(st.leafs); i++ {
+		i := i
+		e.sch.At(sim.Time(50+50*i)*sim.Second, func() { join(i) })
+	}
+	for i := len(st.leafs) - 1; i >= 1; i-- {
+		i := i
+		e.sch.At(sim.Time(250+50*(len(st.leafs)-1-i))*sim.Second, func() {
+			// Receivers were appended in join order = index order.
+			rcvs[i].Leave()
+		})
+	}
+	st.sess.Start()
+	e.sch.RunUntil(400 * sim.Second)
+
+	res := &Result{Figure: fig, Title: title}
+	for _, m := range tcpMeters {
+		res.Series = append(res.Series, &m.Series)
+	}
+	// The TFMCC rate as observed at the always-present receiver 0.
+	res.Series = append(res.Series, &meters[0].Series)
+	// Shape notes: mean TFMCC vs mean of the worst-receiver TCP in each
+	// phase where that receiver is the CLR.
+	phases := []struct {
+		name     string
+		from, to sim.Time
+		tcpIdx   int
+	}{
+		{"only r0", 40 * sim.Second, 100 * sim.Second, 0},
+		{"r0-r1", 120 * sim.Second, 150 * sim.Second, 1},
+		{"r0-r2", 170 * sim.Second, 200 * sim.Second, 2},
+		{"all", 220 * sim.Second, 250 * sim.Second, 3},
+		{"after leaves", 370 * sim.Second, 400 * sim.Second, 0},
+	}
+	for _, ph := range phases {
+		tf := meters[0].Series.MeanBetween(ph.from, ph.to)
+		tcp := tcpMeters[ph.tcpIdx].Series.MeanBetween(ph.from, ph.to)
+		ratio := 0.0
+		if tcp > 0 {
+			ratio = tf / tcp
+		}
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"phase %-12s TFMCC=%7.0f Kbit/s, limiting TCP=%7.0f Kbit/s, ratio=%.2f",
+			ph.name, tf, tcp, ratio))
+	}
+	return res
+}

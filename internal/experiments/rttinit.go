@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tfmcc"
+)
+
+func init() {
+	register("12", "Rate of initial RTT measurements (1000 receivers)", Figure12)
+	register("13", "Responsiveness to changes in the RTT", Figure13)
+}
+
+// Figure12 tracks how many of 1000 receivers behind a single bottleneck
+// (perfectly correlated loss — the worst case for RTT measurement,
+// because every receiver keeps wanting to report) have obtained a valid
+// RTT measurement over time. Link RTTs vary between 60 and 140 ms; the
+// initial RTT is 500 ms.
+func Figure12(seed int64) *Result {
+	const n = 1000
+	e := newEnv(seed)
+	r1 := e.net.AddNode("r1")
+	r2 := e.net.AddNode("r2")
+	// A modest bottleneck keeps correlated loss present throughout.
+	e.net.AddDuplex(r1, r2, 1*mbit, 20*sim.Millisecond, 30)
+	snd := e.net.AddNode("tfmcc-src")
+	e.net.AddDuplex(snd, r1, 0, sim.Millisecond, 0)
+	sess := tfmcc.NewSession(e.net, snd, 1, 100, tfmcc.DefaultConfig(), e.rng)
+	for i := 0; i < n; i++ {
+		leaf := e.net.AddNode(fmt.Sprintf("leaf%d", i))
+		// Tail one-way delay 9..49 ms => link RTTs ~60..140 ms.
+		d := sim.Time(9+e.rng.Intn(41)) * sim.Millisecond
+		e.net.AddDuplex(r2, leaf, 0, d, 0)
+		sess.AddReceiver(leaf)
+	}
+	counts := &stats.Series{Name: "receivers with valid RTT"}
+	var tick func()
+	tick = func() {
+		e.sch.After(2*sim.Second, func() {
+			counts.Add(e.sch.Now(), float64(sess.ValidRTTCount()))
+			tick()
+		})
+	}
+	tick()
+	sess.Start()
+	e.sch.RunUntil(200 * sim.Second)
+
+	res := &Result{Figure: "12", Title: "Rate of initial RTT measurements (1000 receivers)"}
+	res.Series = append(res.Series, counts)
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"valid-RTT receivers after 50s: %.0f, 100s: %.0f, 200s: %.0f (paper: ~700 at 200s)",
+		counts.MeanBetween(48*sim.Second, 52*sim.Second),
+		counts.MeanBetween(98*sim.Second, 102*sim.Second),
+		counts.MeanBetween(196*sim.Second, 200*sim.Second)))
+	return res
+}
+
+// Figure13 measures how long TFMCC needs to find a receiver whose RTT
+// suddenly increases, among n receivers with independent equal loss. The
+// x axis is the instant of the RTT change; the y value the delay until
+// that receiver becomes CLR.
+func Figure13(seed int64) *Result {
+	res := &Result{Figure: "13", Title: "Responsiveness to changes in the RTT"}
+	changeTimes := []sim.Time{0, 10 * sim.Second, 20 * sim.Second, 40 * sim.Second, 80 * sim.Second}
+	for _, n := range []int{40, 200} {
+		s := &stats.Series{Name: fmt.Sprintf("%d receivers", n)}
+		for _, tc := range changeTimes {
+			// Average over a few seeds: a single run's suppression
+			// lottery dominates otherwise.
+			var sum float64
+			const seeds = 3
+			for k := int64(0); k < seeds; k++ {
+				sum += rttChangeReaction(n, tc, seed+1000*k).Seconds()
+			}
+			s.Add(tc, sum/seeds)
+		}
+		res.Series = append(res.Series, s)
+	}
+	res.Notes = append(res.Notes,
+		"y = delay (s) until the high-RTT receiver is selected as CLR",
+		"1000-receiver variant omitted from the default run for time; see bench")
+	return res
+}
+
+// rttChangeReaction builds a star of n receivers with equal independent
+// loss, raises receiver 0's tail delay from 30 ms to 150 ms (one way) at
+// changeAt, and returns how long until it is selected CLR.
+func rttChangeReaction(n int, changeAt sim.Time, seed int64) sim.Time {
+	e := newEnv(seed + int64(n))
+	loss := constantLoss(n, 0.02)
+	delay := make([]sim.Time, n)
+	for i := range delay {
+		delay[i] = 28 * sim.Millisecond
+	}
+	st := buildStar(e, loss, delay, 0, 0)
+	for _, leaf := range st.leafs {
+		st.sess.AddReceiver(leaf)
+	}
+	st.sess.Start()
+	e.sch.RunUntil(changeAt)
+	e.net.LinkBetween(st.hub, st.leafs[0]).Delay = 148 * sim.Millisecond
+	// Watch for receiver 0 becoming CLR.
+	deadline := changeAt + 200*sim.Second
+	for e.sch.Now() < deadline {
+		e.sch.RunUntil(e.sch.Now() + 100*sim.Millisecond)
+		if st.sess.Sender.CLR() == 0 {
+			return e.sch.Now() - changeAt
+		}
+	}
+	return deadline - changeAt
+}

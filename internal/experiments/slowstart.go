@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/tfmcc"
+)
+
+func init() { register("14", "Maximum slowstart rate vs number of receivers", Figure14) }
+
+// Figure14 measures the maximum rate reached during slowstart as a
+// function of the receiver-set size, in three settings with a fair rate
+// of 1 Mbit/s: TFMCC alone on a 1 Mbit/s link, TFMCC with one competing
+// TCP on 2 Mbit/s, and high statistical multiplexing (7 TCPs on
+// 8 Mbit/s). Paper shape: alone ≈ 2× bottleneck, decreasing with
+// receiver count and competition.
+func Figure14(seed int64) *Result {
+	res := &Result{Figure: "14", Title: "Maximum slowstart rate vs number of receivers"}
+	counts := []int{2, 8, 32, 128}
+	settings := []struct {
+		name   string
+		linkBW float64
+		numTCP int
+		queue  int
+	}{
+		{"only TFMCC", 1 * mbit, 0, 25},
+		{"one competing TCP", 2 * mbit, 1, 35},
+		{"high stat. mux.", 8 * mbit, 7, 80},
+	}
+	for _, cfg := range settings {
+		s := &stats.Series{Name: cfg.name}
+		for _, n := range counts {
+			// Average the peak over a few seeds: a single unlucky early
+			// loss otherwise dominates the competing-TCP settings.
+			var sum float64
+			const seeds = 3
+			for k := int64(0); k < seeds; k++ {
+				sum += maxSlowstartRate(n, cfg.linkBW, cfg.numTCP, cfg.queue, seed+100*k)
+			}
+			s.Add(sim.FromSeconds(float64(n)), sum/seeds*8/1000) // Kbit/s
+		}
+		res.Series = append(res.Series, s)
+	}
+	fair := &stats.Series{Name: "Fair Rate"}
+	for _, n := range counts {
+		fair.Add(sim.FromSeconds(float64(n)), 1000)
+	}
+	res.Series = append(res.Series, fair)
+	res.Notes = append(res.Notes, "x = number of receivers (time column); y = max slowstart rate in Kbit/s")
+	return res
+}
+
+func maxSlowstartRate(nRecv int, bw float64, numTCP, qlen int, seed int64) float64 {
+	e := newEnv(seed + int64(nRecv))
+	r1 := e.net.AddNode("r1")
+	r2 := e.net.AddNode("r2")
+	e.net.AddDuplex(r1, r2, bw, 20*sim.Millisecond, qlen)
+	snd := e.net.AddNode("tfmcc-src")
+	e.net.AddDuplex(snd, r1, 0, sim.Millisecond, 0)
+	sess := tfmcc.NewSession(e.net, snd, 1, 100, tfmcc.DefaultConfig(), e.rng)
+	for i := 0; i < nRecv; i++ {
+		leaf := e.net.AddNode(fmt.Sprintf("leaf%d", i))
+		e.net.AddDuplex(r2, leaf, 0, sim.Millisecond, 0)
+		sess.AddReceiver(leaf)
+	}
+	for i := 0; i < numTCP; i++ {
+		s, _ := e.addTCP(fmt.Sprintf("tcp%d", i), r1, r2, simnet.Port(10+i))
+		s.Start()
+	}
+	// All flows start together, as in the paper.
+	sess.Start()
+	peak := 0.0
+	for sess.Sender.InSlowstart() && e.sch.Now() < 120*sim.Second {
+		e.sch.RunUntil(e.sch.Now() + 100*sim.Millisecond)
+		if r := sess.Sender.Rate(); r > peak {
+			peak = r
+		}
+	}
+	return peak
+}

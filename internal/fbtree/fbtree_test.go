@@ -1,0 +1,151 @@
+package fbtree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestTreeShape(t *testing.T) {
+	sch := sim.NewScheduler()
+	root, leaves := NewTree(sch, 27, 3, sim.Millisecond)
+	if len(leaves) != 27 {
+		t.Fatalf("leaves = %d", len(leaves))
+	}
+	// 27 leaves + 9 + 3 + 1 = 40 nodes.
+	if got := root.CountNodes(); got != 40 {
+		t.Fatalf("nodes = %d, want 40", got)
+	}
+	for _, l := range leaves {
+		if l.Depth() != 3 {
+			t.Fatalf("leaf depth = %d, want 3", l.Depth())
+		}
+	}
+}
+
+func TestTreeUnevenFanout(t *testing.T) {
+	sch := sim.NewScheduler()
+	root, leaves := NewTree(sch, 10, 4, sim.Millisecond)
+	if len(leaves) != 10 || root == nil {
+		t.Fatal("tree malformed")
+	}
+	if NewTreeFanoutClamped(sch) {
+		t.Fatal("unreachable")
+	}
+}
+
+// NewTreeFanoutClamped checks fanout < 2 is clamped without panicking.
+func NewTreeFanoutClamped(sch *sim.Scheduler) bool {
+	root, leaves := NewTree(sch, 5, 1, sim.Millisecond)
+	return root == nil || len(leaves) != 5
+}
+
+func TestMinimumPropagates(t *testing.T) {
+	sch := sim.NewScheduler()
+	values := []float64{5, 3, 8, 1, 9, 2, 7, 4}
+	out := SimulateRound(sch, values, 2, 10*sim.Millisecond)
+	if out.BestRate != 1 {
+		t.Fatalf("best delivered = %v, want the true minimum 1", out.BestRate)
+	}
+	if out.TrueMin != 1 {
+		t.Fatalf("true min = %v", out.TrueMin)
+	}
+}
+
+func TestAggregationBoundsRootReports(t *testing.T) {
+	sch := sim.NewScheduler()
+	rng := sim.NewRand(1)
+	values := make([]float64, 1000)
+	for i := range values {
+		values[i] = rng.Uniform(0.3, 0.7)
+	}
+	out := SimulateRound(sch, values, 8, 10*sim.Millisecond)
+	// All simultaneous submissions collapse into very few root arrivals.
+	if out.RootReports > 3 {
+		t.Fatalf("root received %d reports, want <= 3", out.RootReports)
+	}
+}
+
+func TestAggregationDelayBounded(t *testing.T) {
+	sch := sim.NewScheduler()
+	values := make([]float64, 64)
+	for i := range values {
+		values[i] = 1
+	}
+	hold := 20 * sim.Millisecond
+	out := SimulateRound(sch, values, 4, hold)
+	// Depth of a 64-leaf fanout-4 tree is 3: delay <= 3 * hold.
+	if out.BestAt > 3*hold {
+		t.Fatalf("aggregation delay %v exceeds depth*hold %v", out.BestAt, 3*hold)
+	}
+}
+
+func TestMessageLoadScalesLinearly(t *testing.T) {
+	// Total edge messages must be O(n): every node emits O(1) per round.
+	sch := sim.NewScheduler()
+	rng := sim.NewRand(2)
+	for _, n := range []int{100, 1000} {
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = rng.Float64()
+		}
+		out := SimulateRound(sim.NewScheduler(), values, 8, 10*sim.Millisecond)
+		// Leaves each send 1; interior nodes send ~1-2.
+		if out.TotalMsgs > int64(2*n) {
+			t.Fatalf("n=%d: %d messages, want <= %d", n, out.TotalMsgs, 2*n)
+		}
+	}
+	_ = sch
+}
+
+func TestSingleLeafDegenerate(t *testing.T) {
+	sch := sim.NewScheduler()
+	out := SimulateRound(sch, []float64{42}, 4, 10*sim.Millisecond)
+	if out.RootReports != 1 || out.BestRate != 42 {
+		t.Fatalf("degenerate tree: %+v", out)
+	}
+}
+
+// Property: the minimum always survives aggregation exactly.
+func TestMinSurvivesProperty(t *testing.T) {
+	f := func(raw []uint16, fanoutRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 300 {
+			raw = raw[:300]
+		}
+		fanout := int(fanoutRaw)%6 + 2
+		values := make([]float64, len(raw))
+		min := math.Inf(1)
+		for i, r := range raw {
+			values[i] = float64(r) + 1
+			if values[i] < min {
+				min = values[i]
+			}
+		}
+		out := SimulateRound(sim.NewScheduler(), values, fanout, 5*sim.Millisecond)
+		return out.BestRate == min
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaggeredSubmissions(t *testing.T) {
+	// Later, lower reports within the hold window replace earlier ones.
+	sch := sim.NewScheduler()
+	root, leaves := NewTree(sch, 4, 4, 50*sim.Millisecond)
+	var got []float64
+	root.Deliver = func(r Report) { got = append(got, r.Rate) }
+	sch.At(0, func() { leaves[0].Submit(Report{Receiver: 0, Rate: 10}) })
+	sch.At(20*sim.Millisecond, func() { leaves[1].Submit(Report{Receiver: 1, Rate: 5}) })
+	// After the window: a separate report.
+	sch.At(200*sim.Millisecond, func() { leaves[2].Submit(Report{Receiver: 2, Rate: 7}) })
+	sch.Run()
+	if len(got) != 2 || got[0] != 5 || got[1] != 7 {
+		t.Fatalf("delivered %v, want [5 7]", got)
+	}
+}

@@ -1,0 +1,34 @@
+package feedback
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func BenchmarkDelayModifiedOffset(b *testing.B) {
+	c := DefaultConfig(100 * sim.Millisecond)
+	rng := sim.NewRand(1)
+	for i := 0; i < b.N; i++ {
+		_ = c.Delay(0.7, rng.Float64())
+	}
+}
+
+func BenchmarkSimulateRound1000(b *testing.B) {
+	c := DefaultConfig(100 * sim.Millisecond)
+	rng := sim.NewRand(1)
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = rng.Uniform(0.3, 0.9)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SimulateRound(c, vals, 50*sim.Millisecond, rng)
+	}
+}
+
+func BenchmarkExpectedResponses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = ExpectedResponses(1000, 10000, sim.Second, 3*sim.Second)
+	}
+}

@@ -1,0 +1,110 @@
+package feedback
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Response describes one receiver's behaviour in a simulated feedback
+// round.
+type Response struct {
+	Receiver int
+	Value    float64  // feedback value x = X_calc/X_send
+	At       sim.Time // timer expiry
+	Sent     bool     // false when suppressed before expiry
+}
+
+// RoundResult summarises a simulated feedback round.
+type RoundResult struct {
+	Responses []Response // all receivers, sorted by timer expiry
+	NumSent   int
+	FirstAt   sim.Time // expiry of the first response actually sent
+	BestValue float64  // lowest value among sent responses
+	BestAt    sim.Time // when the best value was sent
+	TrueMin   float64  // lowest value in the receiver set
+}
+
+// Quality returns (bestSent - trueMin)/trueMin, the paper's Figure 6
+// metric: how far the best reported rate is above the true minimum.
+func (r RoundResult) Quality() float64 {
+	if r.TrueMin <= 0 || r.NumSent == 0 {
+		return 0
+	}
+	return (r.BestValue - r.TrueMin) / r.TrueMin
+}
+
+// SimulateRound plays out one feedback round among receivers holding the
+// given feedback values. delay is the end-to-end suppression latency: a
+// response sent at t can cancel other timers from t+delay on (unicast
+// report up, echo down with the next data packet). The sender echoes only
+// reports lower than everything echoed before; receivers apply the
+// ε-cancellation rule against the lowest echo heard so far.
+func SimulateRound(cfg Config, values []float64, delay sim.Time, rng *sim.Rand) RoundResult {
+	n := len(values)
+	res := RoundResult{TrueMin: math.Inf(1)}
+	res.Responses = make([]Response, 0, n)
+	for i, x := range values {
+		if x < res.TrueMin {
+			res.TrueMin = x
+		}
+		res.Responses = append(res.Responses, Response{
+			Receiver: i,
+			Value:    x,
+			At:       cfg.Delay(x, rng.Float64()),
+		})
+	}
+	sort.Slice(res.Responses, func(i, j int) bool {
+		return res.Responses[i].At < res.Responses[j].At
+	})
+
+	// sentLog holds (time, value) of sent responses; the echoed minimum
+	// visible at time t is the running min over entries with at <= t-delay.
+	type sent struct {
+		at  sim.Time
+		val float64
+	}
+	var log []sent
+	res.FirstAt = -1
+	res.BestValue = math.Inf(1)
+	for i := range res.Responses {
+		r := &res.Responses[i]
+		// Lowest echo audible at r.At.
+		echo := math.Inf(1)
+		for _, s := range log {
+			if s.at+delay <= r.At && s.val < echo {
+				echo = s.val
+			}
+		}
+		if !math.IsInf(echo, 1) && cfg.Cancel(r.Value, echo) {
+			continue // timer cancelled
+		}
+		r.Sent = true
+		res.NumSent++
+		if res.FirstAt < 0 {
+			res.FirstAt = r.At
+		}
+		if r.Value < res.BestValue {
+			res.BestValue = r.Value
+			res.BestAt = r.At
+		}
+		log = append(log, sent{at: r.At, val: r.Value})
+	}
+	return res
+}
+
+// MeanOverRounds runs SimulateRound trials times and averages the number
+// of sent responses, first-response time, and quality. It backs
+// Figures 3, 5 and 6, where each point is a mean over many rounds.
+func MeanOverRounds(cfg Config, makeValues func(*sim.Rand) []float64, delay sim.Time, trials int, rng *sim.Rand) (meanSent, meanFirstRTT, meanQuality float64) {
+	var sumSent, sumFirst, sumQual float64
+	for i := 0; i < trials; i++ {
+		res := SimulateRound(cfg, makeValues(rng), delay, rng)
+		sumSent += float64(res.NumSent)
+		sumFirst += res.FirstAt.Seconds()
+		sumQual += res.Quality()
+	}
+	f := float64(trials)
+	return sumSent / f, sumFirst / f, sumQual / f
+}

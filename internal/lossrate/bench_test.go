@@ -1,0 +1,27 @@
+package lossrate
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func BenchmarkOnPacket(b *testing.B) {
+	e := NewEstimator(DefaultWeights)
+	for i := 0; i < b.N; i++ {
+		e.OnPacket()
+	}
+}
+
+func BenchmarkOnLossAndRate(b *testing.B) {
+	e := NewEstimator(DefaultWeights)
+	now := sim.Time(0)
+	for i := 0; i < b.N; i++ {
+		e.OnPacket()
+		if i%100 == 0 {
+			now += sim.Second
+			e.OnLoss(now, 100*sim.Millisecond)
+		}
+		_ = e.LossEventRate()
+	}
+}

@@ -1,0 +1,268 @@
+// Package lossrate implements TFRC/TFMCC loss event rate measurement at a
+// receiver: packet losses are aggregated into loss events (at most one per
+// round-trip time), the gaps between events form loss intervals, and the
+// loss event rate is the inverse of a weighted average over the most
+// recent intervals (paper section 2.3). It also implements the loss
+// history initialisation from the rate at first loss (Appendix B) and the
+// interval re-aggregation performed when the first real RTT measurement
+// replaces the conservative initial RTT (Appendix A).
+package lossrate
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// DefaultWeights is the paper's example weight vector for n = 8 intervals:
+// recent intervals count fully, older ones fade to zero.
+var DefaultWeights = []float64{5, 5, 5, 5, 4, 3, 2, 1}
+
+// Weights returns a weight vector of length n following the paper's
+// pattern: the newest half has weight 1 (scaled), then a linear decay to
+// 1/(n/2) for the oldest. Weights(8) reproduces DefaultWeights up to a
+// constant factor.
+func Weights(n int) []float64 {
+	if n < 2 {
+		return []float64{1}
+	}
+	w := make([]float64, n)
+	half := n / 2
+	for i := range w {
+		if i < half {
+			w[i] = float64(half + 1)
+		} else {
+			w[i] = float64(n - i)
+		}
+	}
+	return w
+}
+
+// Estimator tracks loss intervals for one receiver.
+//
+// Packets are reported in arrival order via OnPacket and OnLoss. The
+// estimator needs the receiver's current RTT estimate to decide whether a
+// lost packet belongs to the current loss event or starts a new one.
+type Estimator struct {
+	weights []float64
+
+	// intervals[0] is the current (open) interval: the number of packets
+	// since the last loss event. intervals[1..] are closed intervals,
+	// most recent first.
+	intervals []int
+
+	haveLoss       bool
+	lastEventTime  sim.Time // time the current loss event started
+	packetsSinceEv int      // packets counted into intervals[0]
+
+	// Recent losses for Appendix A re-aggregation, newest last. newEvent
+	// records whether that loss started a new loss event when recorded.
+	recentLosses []lossRecord
+	maxRecent    int
+
+	// initIdx tracks the position of the synthetic first interval from
+	// Appendix B so it can be rescaled when the real RTT arrives; -1 when
+	// absent or aged out of the history.
+	initIdx int
+}
+
+type lossRecord struct {
+	t        sim.Time
+	newEvent bool
+}
+
+// NewEstimator returns an estimator over len(weights) loss intervals.
+func NewEstimator(weights []float64) *Estimator {
+	if len(weights) == 0 {
+		weights = DefaultWeights
+	}
+	w := make([]float64, len(weights))
+	copy(w, weights)
+	return &Estimator{
+		weights:   w,
+		intervals: []int{0},
+		maxRecent: 4 * len(w),
+		initIdx:   -1,
+	}
+}
+
+// HaveLoss reports whether a loss event has been registered yet.
+func (e *Estimator) HaveLoss() bool { return e.haveLoss }
+
+// OnPacket records the in-order arrival of one data packet.
+func (e *Estimator) OnPacket() {
+	e.intervals[0]++
+}
+
+// OnLoss records a lost packet whose (estimated) send time is t, with the
+// receiver's current RTT estimate. Losses within one RTT of the start of
+// the current loss event are aggregated into it; otherwise a new loss
+// event begins and the open interval is closed. It reports whether a new
+// loss event started.
+func (e *Estimator) OnLoss(t sim.Time, rtt sim.Time) bool {
+	if e.haveLoss && t < e.lastEventTime+rtt {
+		e.recordLoss(t, false)
+		return false // same loss event
+	}
+	e.recordLoss(t, true)
+	e.haveLoss = true
+	e.lastEventTime = t
+	// Close the open interval and start a new one. The lost packet that
+	// ends the interval counts as part of it (RFC 3448 style), so an
+	// interval is never smaller than one packet and p never exceeds 1.
+	e.intervals[0]++
+	e.intervals = append([]int{0}, e.intervals...)
+	if len(e.intervals) > len(e.weights)+1 {
+		e.intervals = e.intervals[:len(e.weights)+1]
+	}
+	if e.initIdx >= 0 {
+		e.initIdx++
+		if e.initIdx >= len(e.intervals) {
+			e.initIdx = -1 // aged out
+		}
+	}
+	return true
+}
+
+// InitFirstInterval overrides the first (just closed) loss interval, as
+// per Appendix B: rather than using the packet count before the first
+// loss, the caller derives an interval from the receive rate when the
+// first loss occurred. A non-positive value is ignored.
+func (e *Estimator) InitFirstInterval(packets int) {
+	if packets <= 0 || len(e.intervals) < 2 {
+		return
+	}
+	e.intervals[1] = packets
+	e.initIdx = 1
+}
+
+// AdjustInitInterval rescales the synthetic initial interval by f if it is
+// still in the loss history (Appendix B: l' = l·(R/R_init)² once the real
+// RTT is known). It reports whether an adjustment was made.
+func (e *Estimator) AdjustInitInterval(f float64) bool {
+	if e.initIdx < 1 || e.initIdx >= len(e.intervals) || f <= 0 {
+		return false
+	}
+	v := float64(e.intervals[e.initIdx]) * f
+	if v < 1 {
+		v = 1
+	}
+	e.intervals[e.initIdx] = int(v + 0.5)
+	e.initIdx = -1 // adjust once
+	return true
+}
+
+// FirstInterval returns the most recently closed loss interval (0 when no
+// loss has occurred).
+func (e *Estimator) FirstInterval() int {
+	if len(e.intervals) < 2 {
+		return 0
+	}
+	return e.intervals[1]
+}
+
+// ScaleHistory multiplies every closed interval by f (clamped below at 1
+// packet). Appendix B uses this when the initial loss interval was
+// computed with the conservative initial RTT and the first real RTT
+// measurement arrives: l' = l · (R_real/R_init)².
+func (e *Estimator) ScaleHistory(f float64) {
+	for i := 1; i < len(e.intervals); i++ {
+		v := float64(e.intervals[i]) * f
+		if v < 1 {
+			v = 1
+		}
+		e.intervals[i] = int(v + 0.5)
+	}
+}
+
+func (e *Estimator) recordLoss(t sim.Time, newEvent bool) {
+	e.recentLosses = append(e.recentLosses, lossRecord{t: t, newEvent: newEvent})
+	if len(e.recentLosses) > e.maxRecent {
+		e.recentLosses = e.recentLosses[len(e.recentLosses)-e.maxRecent:]
+	}
+}
+
+// Reaggregate rebuilds loss events from the recorded recent loss
+// timestamps using a new, smaller RTT (Appendix A: when the first valid
+// RTT measurement replaces a too-high initial RTT, separate loss events
+// that were wrongly merged must be split). Newest closed intervals are
+// split evenly per extra event; the paper itself describes this
+// reconstruction as an approximation over the stored recent losses. It
+// returns the number of additional loss events created.
+func (e *Estimator) Reaggregate(rtt sim.Time) int {
+	if len(e.recentLosses) < 2 {
+		return 0
+	}
+	prevEvents := 0
+	for _, l := range e.recentLosses {
+		if l.newEvent {
+			prevEvents++
+		}
+	}
+	events := 1
+	start := e.recentLosses[0].t
+	for _, l := range e.recentLosses[1:] {
+		if l.t >= start+rtt {
+			events++
+			start = l.t
+		}
+	}
+	extra := events - prevEvents
+	for i := 0; i < extra; i++ {
+		if len(e.intervals) < 2 || e.intervals[1] < 2 {
+			return i
+		}
+		half := e.intervals[1] / 2
+		e.intervals[1] -= half
+		rest := append([]int{half}, e.intervals[1:]...)
+		e.intervals = append([]int{e.intervals[0]}, rest...)
+		if len(e.intervals) > len(e.weights)+1 {
+			e.intervals = e.intervals[:len(e.weights)+1]
+		}
+	}
+	if extra < 0 {
+		return 0
+	}
+	return extra
+}
+
+// AvgInterval returns the weighted average loss interval. Following the
+// paper, the open interval (since the most recent loss event) is included
+// only when doing so increases the average (i.e. decreases the loss event
+// rate): l_avg = max(avg(l_1..l_n), avg(l_0..l_{n-1})).
+func (e *Estimator) AvgInterval() float64 {
+	if !e.haveLoss {
+		return 0
+	}
+	closed := e.weightedAvg(1)
+	withOpen := e.weightedAvg(0)
+	return math.Max(closed, withOpen)
+}
+
+func (e *Estimator) weightedAvg(from int) float64 {
+	var num, den float64
+	for i := 0; i < len(e.weights); i++ {
+		idx := from + i
+		if idx >= len(e.intervals) {
+			break
+		}
+		num += e.weights[i] * float64(e.intervals[idx])
+		den += e.weights[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// LossEventRate returns p = 1/l_avg, or 0 before the first loss event.
+func (e *Estimator) LossEventRate() float64 {
+	avg := e.AvgInterval()
+	if avg <= 0 {
+		return 0
+	}
+	return 1 / avg
+}
+
+// PacketsSinceLastEvent returns the size of the open interval.
+func (e *Estimator) PacketsSinceLastEvent() int { return e.intervals[0] }

@@ -1,0 +1,444 @@
+// Package pgmcc implements PGMCC (Rizzo, SIGCOMM 2000), the window-based
+// single-rate multicast congestion control scheme the paper compares
+// TFMCC against. The receiver with the worst network conditions (highest
+// RTT·sqrt(p) under the simplified TCP model) is selected as the "acker";
+// a TCP-like window runs between sender and acker, while other receivers
+// send occasional suppressed reports so the acker choice can change.
+package pgmcc
+
+import (
+	"math"
+
+	"repro/internal/lossrate"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/tcpmodel"
+)
+
+// Data is a PGMCC multicast data packet header.
+type Data struct {
+	Seq      int64
+	SendTime sim.Time
+	Acker    int // current acker id (-1 none)
+	RoundT   sim.Time
+	Round    int
+}
+
+// Ack is the acker's per-packet acknowledgement. It carries the acker's
+// measured state so the sender can compare candidate receivers against
+// the acker's current conditions.
+type Ack struct {
+	From     int
+	CumSeq   int64    // next expected sequence (advances past losses)
+	TS       sim.Time // echo of data SendTime for RTT
+	LossRate float64  // acker's loss event rate
+	RTT      sim.Time // acker's RTT estimate
+}
+
+// Report is a non-acker receiver's occasional state report.
+type Report struct {
+	From     int
+	LossRate float64
+	RTT      sim.Time // receiver's smoothed RTT estimate (from SendTime deltas)
+	TS       sim.Time
+	Round    int
+}
+
+// Config holds the PGMCC tunables.
+type Config struct {
+	PacketSize int
+	AckSize    int
+	Model      tcpmodel.Params
+	MaxWindow  float64
+	// SwitchMargin: a receiver must look this factor worse than the
+	// current acker before the sender switches (Rizzo's hysteresis).
+	SwitchMargin float64
+}
+
+// DefaultConfig returns sensible defaults.
+func DefaultConfig() Config {
+	return Config{
+		PacketSize:   1000,
+		AckSize:      40,
+		Model:        tcpmodel.Default(),
+		MaxWindow:    1000,
+		SwitchMargin: 1.1,
+	}
+}
+
+// throughputIndex is the simplified-model goodness 1/(R·sqrt(p)): lower
+// means worse conditions; the acker is the receiver minimising it.
+func throughputIndex(p float64, rtt sim.Time) float64 {
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	r := rtt.Seconds()
+	if r <= 0 {
+		r = 1e-3
+	}
+	return 1 / (r * math.Sqrt(p))
+}
+
+// Sender is the PGMCC multicast sender.
+type Sender struct {
+	cfg   Config
+	net   *simnet.Network
+	sch   *sim.Scheduler
+	addr  simnet.Addr
+	group simnet.GroupID
+
+	running bool
+	seq     int64
+	una     int64
+	cwnd    float64
+	ssthr   float64
+
+	acker      int
+	ackerIdx   float64 // throughput index of the acker
+	lastAckAt  sim.Time
+	lastCutAt  sim.Time
+	round      int
+	roundT     sim.Time
+	roundTimer *sim.Timer
+	rtoTimer   *sim.Timer
+	srtt       sim.Time
+
+	PacketsSent int64
+	AckerSwaps  int64
+}
+
+// NewSender creates a PGMCC sender on node, multicasting to group.
+func NewSender(net *simnet.Network, node simnet.NodeID, port simnet.Port,
+	group simnet.GroupID, cfg Config) *Sender {
+	if cfg.PacketSize == 0 {
+		cfg = DefaultConfig()
+	}
+	s := &Sender{
+		cfg: cfg, net: net, sch: net.Scheduler(),
+		addr:  simnet.Addr{Node: node, Port: port},
+		group: group,
+		cwnd:  1, ssthr: cfg.MaxWindow,
+		acker: -1, ackerIdx: math.Inf(1),
+		roundT: 2 * sim.Second,
+		srtt:   100 * sim.Millisecond,
+	}
+	net.Bind(s.addr, simnet.HandlerFunc(s.recv))
+	return s
+}
+
+// Start begins the session.
+func (s *Sender) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.advanceRound()
+	s.trySend()
+	s.armRTO()
+}
+
+// Stop halts the session.
+func (s *Sender) Stop() { s.running = false }
+
+// Acker returns the current acker id (-1 if none).
+func (s *Sender) Acker() int { return s.acker }
+
+// Cwnd returns the current window in packets.
+func (s *Sender) Cwnd() float64 { return s.cwnd }
+
+func (s *Sender) flight() float64 { return float64(s.seq - s.una) }
+
+func (s *Sender) trySend() {
+	if !s.running {
+		return
+	}
+	limit := s.cwnd
+	if s.acker < 0 {
+		limit = 1 // probe slowly until an acker exists
+	}
+	for s.flight() < math.Floor(math.Min(limit, s.cfg.MaxWindow)) {
+		s.transmit(s.seq)
+		s.seq++
+	}
+}
+
+func (s *Sender) transmit(seq int64) {
+	s.PacketsSent++
+	s.net.Send(&simnet.Packet{
+		Size:    s.cfg.PacketSize,
+		Src:     s.addr,
+		Dst:     simnet.Addr{Port: s.addr.Port},
+		Group:   s.group,
+		IsMcast: true,
+		Payload: Data{
+			Seq: seq, SendTime: s.sch.Now(),
+			Acker: s.acker, Round: s.round, RoundT: s.roundT,
+		},
+	})
+}
+
+func (s *Sender) armRTO() {
+	if s.rtoTimer != nil {
+		s.rtoTimer.Stop()
+	}
+	rto := sim.MaxOf(s.srtt.Scale(4), 500*sim.Millisecond)
+	s.rtoTimer = s.sch.After(rto, func() {
+		if !s.running {
+			return
+		}
+		if s.flight() > 0 {
+			s.ssthr = math.Max(s.cwnd/2, 2)
+			s.cwnd = 1
+			s.una = s.seq // give up on outstanding (unreliable transport)
+		}
+		s.trySend()
+		s.armRTO()
+	})
+}
+
+func (s *Sender) recv(pkt *simnet.Packet) {
+	if !s.running {
+		return
+	}
+	switch m := pkt.Payload.(type) {
+	case Ack:
+		s.onAck(m)
+	case Report:
+		s.onReport(m)
+	}
+}
+
+func (s *Sender) onAck(a Ack) {
+	if a.From != s.acker {
+		return // stale acks from a previous acker
+	}
+	now := s.sch.Now()
+	s.lastAckAt = now
+	if sample := now - a.TS; sample > 0 {
+		s.srtt = sim.Time(0.125*float64(sample) + 0.875*float64(s.srtt))
+	}
+	// Keep the acker's badness fresh from the ack stream.
+	if a.LossRate > 0 {
+		s.ackerIdx = throughputIndex(a.LossRate, a.RTT)
+	}
+	if a.CumSeq > s.una {
+		delta := a.CumSeq - s.una
+		s.una = a.CumSeq
+		// The transport is unreliable, so the cumulative point advances
+		// past holes: a jump of more than one packet means loss. React
+		// like TCP — halve, at most once per RTT.
+		if delta > 1 {
+			if now-s.lastCutAt > s.srtt {
+				s.ssthr = math.Max(s.cwnd/2, 2)
+				s.cwnd = s.ssthr
+				s.lastCutAt = now
+			}
+		} else if s.cwnd < s.ssthr {
+			s.cwnd++
+		} else {
+			s.cwnd += 1 / s.cwnd
+		}
+		s.armRTO()
+	}
+	s.trySend()
+}
+
+func (s *Sender) onReport(r Report) {
+	idx := throughputIndex(r.LossRate, r.RTT)
+	switch {
+	case s.acker < 0:
+		s.setAcker(r.From, idx)
+	case r.From == s.acker:
+		s.ackerIdx = idx
+	case idx*s.cfg.SwitchMargin < s.ackerIdx:
+		// This receiver is clearly worse off: switch the acker.
+		s.setAcker(r.From, idx)
+	}
+	s.trySend()
+}
+
+func (s *Sender) setAcker(id int, idx float64) {
+	if s.acker != id {
+		s.AckerSwaps++
+		// Conservative window reset on acker switch (Rizzo resets the
+		// window tracking state for the new acker's RTT).
+		s.cwnd = math.Max(s.cwnd/2, 1)
+		s.una = s.seq
+	}
+	s.acker = id
+	s.ackerIdx = idx
+	s.lastAckAt = s.sch.Now()
+}
+
+func (s *Sender) advanceRound() {
+	if !s.running {
+		return
+	}
+	// Acker timeout: silent for 10 rounds => drop.
+	if s.acker >= 0 && s.lastAckAt > 0 &&
+		s.sch.Now()-s.lastAckAt > s.roundT.Scale(10) {
+		s.acker = -1
+		s.ackerIdx = math.Inf(1)
+	}
+	s.round++
+	s.roundTimer = s.sch.After(s.roundT, s.advanceRound)
+}
+
+// Receiver is a PGMCC receiver; the acker acks every packet, others send
+// per-round reports through exponential suppression timers.
+type Receiver struct {
+	cfg   Config
+	id    int
+	net   *simnet.Network
+	sch   *sim.Scheduler
+	rng   *sim.Rand
+	addr  simnet.Addr
+	peer  simnet.Addr
+	group simnet.GroupID
+
+	est         *lossrate.Estimator
+	haveSeq     bool
+	nextSeq     int64
+	lastArrival sim.Time
+	srtt        sim.Time
+	haveRTT     bool
+	round       int
+	fbTimer     *sim.Timer
+
+	Meter       *stats.Meter
+	PacketsRecv int64
+	Losses      int64
+}
+
+// NewReceiver creates a PGMCC receiver and joins the group.
+func NewReceiver(id int, net *simnet.Network, node simnet.NodeID, port simnet.Port,
+	sender simnet.Addr, group simnet.GroupID, cfg Config, rng *sim.Rand) *Receiver {
+	if cfg.PacketSize == 0 {
+		cfg = DefaultConfig()
+	}
+	r := &Receiver{
+		cfg: cfg, id: id, net: net, sch: net.Scheduler(), rng: rng,
+		addr: simnet.Addr{Node: node, Port: port},
+		peer: sender, group: group,
+		est:   lossrate.NewEstimator(lossrate.DefaultWeights),
+		srtt:  500 * sim.Millisecond,
+		round: -1,
+	}
+	net.Bind(r.addr, simnet.HandlerFunc(r.recv))
+	net.Join(group, node)
+	return r
+}
+
+func (r *Receiver) recv(pkt *simnet.Packet) {
+	d, ok := pkt.Payload.(Data)
+	if !ok {
+		return
+	}
+	now := r.sch.Now()
+	r.PacketsRecv++
+	if r.Meter != nil {
+		r.Meter.Add(pkt.Size)
+	}
+	if r.haveSeq && d.Seq > r.nextSeq {
+		missing := d.Seq - r.nextSeq
+		span := now - r.lastArrival
+		for i := int64(0); i < missing; i++ {
+			t := r.lastArrival + span.Scale(float64(i+1)/float64(missing+1))
+			r.Losses++
+			r.est.OnLoss(t, r.srtt)
+		}
+	}
+	r.est.OnPacket()
+	if r.haveSeq {
+		// One-way delay variation as an RTT proxy for non-ackers
+		// (PGMCC receivers estimate RTT from SendTime deltas plus the
+		// acker's acks; we use a smoothed one-way*2 estimate).
+		owd := now - d.SendTime
+		sample := 2 * owd
+		if sample > 0 {
+			if !r.haveRTT {
+				r.haveRTT = true
+				r.srtt = sample
+			} else {
+				r.srtt = sim.Time(0.1*float64(sample) + 0.9*float64(r.srtt))
+			}
+		}
+	}
+	r.haveSeq = true
+	r.nextSeq = d.Seq + 1
+	r.lastArrival = now
+
+	if d.Acker == r.id {
+		r.net.Send(&simnet.Packet{
+			Size: r.cfg.AckSize, Src: r.addr, Dst: r.peer,
+			Payload: Ack{
+				From: r.id, CumSeq: r.nextSeq, TS: d.SendTime,
+				LossRate: r.est.LossEventRate(), RTT: r.srtt,
+			},
+		})
+	}
+	if d.Round != r.round {
+		r.round = d.Round
+		r.startRound(d)
+	}
+}
+
+func (r *Receiver) startRound(d Data) {
+	if r.fbTimer != nil {
+		r.fbTimer.Stop()
+	}
+	if !r.est.HaveLoss() || d.Acker == r.id {
+		return // nothing to compare, or we already ack every packet
+	}
+	// Exponential suppression timer (PGMCC uses simple randomized NAK
+	// timers; we reuse the same distribution as TFMCC, unbiased).
+	u := r.rng.Float64()
+	if u <= 0 {
+		u = 1e-12
+	}
+	delay := float64(d.RoundT) * (1 + math.Log(u)/math.Log(1000))
+	if delay < 0 {
+		delay = 0
+	}
+	r.fbTimer = r.sch.After(sim.Time(delay), func() {
+		r.net.Send(&simnet.Packet{
+			Size: r.cfg.AckSize, Src: r.addr, Dst: r.peer,
+			Payload: Report{
+				From: r.id, LossRate: r.est.LossEventRate(),
+				RTT: r.srtt, TS: r.sch.Now(), Round: d.Round,
+			},
+		})
+	})
+}
+
+// Session wires a PGMCC sender and receivers, mirroring tfmcc.Session.
+type Session struct {
+	Cfg       Config
+	Net       *simnet.Network
+	Group     simnet.GroupID
+	Port      simnet.Port
+	Sender    *Sender
+	Receivers []*Receiver
+	rng       *sim.Rand
+}
+
+// NewSession creates a session with the sender on senderNode.
+func NewSession(net *simnet.Network, senderNode simnet.NodeID, group simnet.GroupID,
+	port simnet.Port, cfg Config, rng *sim.Rand) *Session {
+	return &Session{
+		Cfg: cfg, Net: net, Group: group, Port: port,
+		Sender: NewSender(net, senderNode, port, group, cfg),
+		rng:    rng,
+	}
+}
+
+// AddReceiver joins a receiver on the given node.
+func (s *Session) AddReceiver(node simnet.NodeID) *Receiver {
+	r := NewReceiver(len(s.Receivers), s.Net, node, s.Port, s.Sender.addr, s.Group, s.Cfg, s.rng)
+	s.Receivers = append(s.Receivers, r)
+	return r
+}
+
+// Start begins the session.
+func (s *Session) Start() { s.Sender.Start() }

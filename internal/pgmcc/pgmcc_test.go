@@ -1,0 +1,143 @@
+package pgmcc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+func starSession(loss []float64, delay []sim.Time, seed int64) (*sim.Scheduler, *simnet.Network, *Session) {
+	sch := sim.NewScheduler()
+	net := simnet.New(sch, sim.NewRand(seed))
+	hub := net.AddNode("hub")
+	snd := net.AddNode("src")
+	net.AddDuplex(snd, hub, 0, sim.Millisecond, 0)
+	sess := NewSession(net, snd, 1, 100, DefaultConfig(), sim.NewRand(seed+1))
+	for i := range loss {
+		leaf := net.AddNode("leaf")
+		down, _ := net.AddDuplex(hub, leaf, 0, delay[i], 0)
+		down.LossProb = loss[i]
+		sess.AddReceiver(leaf)
+	}
+	return sch, net, sess
+}
+
+func TestThroughputIndexOrdering(t *testing.T) {
+	// Worse conditions (higher p, higher RTT) => lower index.
+	good := throughputIndex(0.01, 50*sim.Millisecond)
+	bad := throughputIndex(0.10, 50*sim.Millisecond)
+	if bad >= good {
+		t.Fatal("higher loss should give a lower index")
+	}
+	slow := throughputIndex(0.01, 200*sim.Millisecond)
+	if slow >= good {
+		t.Fatal("higher RTT should give a lower index")
+	}
+	if !math.IsInf(throughputIndex(0, 50*sim.Millisecond), 1) {
+		t.Fatal("no loss should be +Inf")
+	}
+}
+
+func TestAckerIsWorstReceiver(t *testing.T) {
+	loss := []float64{0.01, 0.10, 0.02}
+	delay := []sim.Time{30 * sim.Millisecond, 30 * sim.Millisecond, 30 * sim.Millisecond}
+	sch, _, sess := starSession(loss, delay, 1)
+	sess.Start()
+	sch.RunUntil(60 * sim.Second)
+	if got := sess.Sender.Acker(); got != 1 {
+		t.Fatalf("acker = %d, want the 10%%-loss receiver (1)", got)
+	}
+}
+
+func TestWindowEvolvesAndTransfers(t *testing.T) {
+	loss := []float64{0.02}
+	delay := []sim.Time{30 * sim.Millisecond}
+	sch, _, sess := starSession(loss, delay, 2)
+	m := stats.NewMeter("pgmcc", sch, sim.Second)
+	sess.Start()
+	sess.Receivers[0].Meter = m
+	m.Start()
+	sch.RunUntil(120 * sim.Second)
+	if sess.Sender.Cwnd() <= 1 {
+		t.Fatalf("window never grew: %.1f", sess.Sender.Cwnd())
+	}
+	mean := m.Series.MeanBetween(30*sim.Second, 120*sim.Second)
+	if mean < 50 {
+		t.Fatalf("throughput too low: %.0f Kbit/s", mean)
+	}
+}
+
+func TestPGMCCRoughlyTCPFriendly(t *testing.T) {
+	// At p=2%, RTT~62ms the simplified model predicts
+	// s*1.22/(R*sqrt(p)) ≈ 139 KB/s ≈ 1100 Kbit/s. PGMCC's window on the
+	// acker should land within a factor ~2.5.
+	loss := []float64{0.02}
+	delay := []sim.Time{30 * sim.Millisecond}
+	sch, _, sess := starSession(loss, delay, 3)
+	m := stats.NewMeter("pgmcc", sch, sim.Second)
+	sess.Start()
+	sess.Receivers[0].Meter = m
+	m.Start()
+	sch.RunUntil(180 * sim.Second)
+	mean := m.Series.MeanBetween(60*sim.Second, 180*sim.Second)
+	if mean < 1100/2.5 || mean > 1100*2.5 {
+		t.Fatalf("PGMCC rate %.0f Kbit/s vs model ~1100", mean)
+	}
+}
+
+func TestAckerSwitchOnWorseReceiverJoin(t *testing.T) {
+	loss := []float64{0.01, 0.0}
+	delay := []sim.Time{30 * sim.Millisecond, 30 * sim.Millisecond}
+	sch, net, sess := starSession(loss, delay, 4)
+	sess.Start()
+	sch.RunUntil(60 * sim.Second)
+	if sess.Sender.Acker() != 0 {
+		t.Fatalf("acker = %d, want 0", sess.Sender.Acker())
+	}
+	// Receiver 1's path degrades badly.
+	net.LinkBetween(0, 3).LossProb = 0.15
+	sch.RunUntil(180 * sim.Second)
+	if sess.Sender.Acker() != 1 {
+		t.Fatalf("acker should switch to the degraded receiver, got %d", sess.Sender.Acker())
+	}
+	if sess.Sender.AckerSwaps < 2 {
+		t.Fatalf("expected at least 2 acker selections, got %d", sess.Sender.AckerSwaps)
+	}
+}
+
+func TestAckerTimeout(t *testing.T) {
+	loss := []float64{0.05, 0.01}
+	delay := []sim.Time{30 * sim.Millisecond, 30 * sim.Millisecond}
+	sch, net, sess := starSession(loss, delay, 5)
+	sess.Start()
+	sch.RunUntil(60 * sim.Second)
+	if sess.Sender.Acker() != 0 {
+		t.Fatalf("acker = %d, want 0", sess.Sender.Acker())
+	}
+	// Acker vanishes silently.
+	net.LinkBetween(0, 2).LossProb = 1
+	net.LinkBetween(2, 0).LossProb = 1
+	sch.RunUntil(300 * sim.Second)
+	if sess.Sender.Acker() == 0 {
+		t.Fatal("acker timeout did not fire")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() (int64, float64) {
+		loss := []float64{0.02, 0.05}
+		delay := []sim.Time{30 * sim.Millisecond, 50 * sim.Millisecond}
+		sch, _, sess := starSession(loss, delay, 42)
+		sess.Start()
+		sch.RunUntil(60 * sim.Second)
+		return sess.Sender.PacketsSent, sess.Sender.Cwnd()
+	}
+	p1, c1 := run()
+	p2, c2 := run()
+	if p1 != p2 || c1 != c2 {
+		t.Fatalf("nondeterministic: %d/%.2f vs %d/%.2f", p1, c1, p2, c2)
+	}
+}

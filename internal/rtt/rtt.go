@@ -1,0 +1,141 @@
+// Package rtt implements TFMCC's scalable round-trip time estimation
+// (paper section 2.4): an exponentially weighted moving average over rare
+// explicit measurements, continuous one-way-delay adjustments between
+// them, and handling of the conservative initial RTT used before the
+// first real measurement. It also models clock-synchronised
+// initialisation (GPS/NTP, section 2.4.1).
+package rtt
+
+import "repro/internal/sim"
+
+// Config holds the estimator's smoothing constants (paper defaults).
+type Config struct {
+	InitialRTT  sim.Time // used before any measurement; paper: 500 ms
+	AlphaCLR    float64  // EWMA weight of a new sample for the CLR (0.05)
+	AlphaOther  float64  // EWMA weight for non-CLR receivers (0.5)
+	AlphaOneWay float64  // EWMA weight for one-way-delay adjustments (smaller)
+}
+
+// DefaultConfig returns the constants from section 2.4.2/2.4.3.
+func DefaultConfig() Config {
+	return Config{
+		InitialRTT:  500 * sim.Millisecond,
+		AlphaCLR:    0.05,
+		AlphaOther:  0.5,
+		AlphaOneWay: 0.05,
+	}
+}
+
+// Estimator tracks one receiver's RTT to the sender.
+type Estimator struct {
+	cfg Config
+
+	valid    bool
+	est      sim.Time
+	owdRecv  sim.Time // last measured sender->receiver one-way delay (incl. skew)
+	owdBack  sim.Time // derived receiver->sender one-way delay (incl. skew)
+	owdValid bool
+}
+
+// NewEstimator returns an estimator that reports cfg.InitialRTT until the
+// first measurement.
+func NewEstimator(cfg Config) *Estimator {
+	if cfg.InitialRTT == 0 {
+		cfg = DefaultConfig()
+	}
+	return &Estimator{cfg: cfg}
+}
+
+// Valid reports whether a real RTT measurement has been made.
+func (e *Estimator) Valid() bool { return e.valid }
+
+// RTT returns the current estimate (the initial RTT before the first
+// measurement).
+func (e *Estimator) RTT() sim.Time {
+	if !e.valid {
+		return e.cfg.InitialRTT
+	}
+	return e.est
+}
+
+// Measure incorporates an explicit RTT measurement: the receiver sent a
+// timestamped report at sendTS, the sender echoed it with processing
+// offset echoDelay, and the echo arrived at now with sender timestamp
+// dataSendTS (the data packet's send time, used to split the RTT into
+// one-way components). isCLR selects the CLR smoothing constant. It
+// returns the instantaneous sample.
+func (e *Estimator) Measure(now, sendTS, echoDelay, dataSendTS sim.Time, isCLR bool) sim.Time {
+	inst := now - sendTS - echoDelay
+	if inst < 0 {
+		inst = 0
+	}
+	if !e.valid {
+		e.valid = true
+		e.est = inst
+	} else {
+		alpha := e.cfg.AlphaOther
+		if isCLR {
+			alpha = e.cfg.AlphaCLR
+		}
+		e.est = ewma(e.est, inst, alpha)
+	}
+	// One-way split for later adjustments (section 2.4.3). The skew
+	// cancels when recombined with a later forward delay.
+	e.owdRecv = now - dataSendTS
+	e.owdBack = inst - e.owdRecv
+	e.owdValid = true
+	return inst
+}
+
+// AdjustOneWay updates the estimate from a data packet's send timestamp
+// without an explicit measurement: rtt' = d_recv->send + d'_send->recv.
+// It returns the adjusted instantaneous estimate and whether an
+// adjustment was possible. A large change signals the caller that a real
+// measurement should be requested.
+func (e *Estimator) AdjustOneWay(now, dataSendTS sim.Time) (sim.Time, bool) {
+	if !e.owdValid {
+		return 0, false
+	}
+	fwd := now - dataSendTS
+	inst := e.owdBack + fwd
+	if inst < 0 {
+		inst = 0
+	}
+	e.est = ewma(e.est, inst, e.cfg.AlphaOneWay)
+	return inst, true
+}
+
+// DiscardOneWay drops the stored one-way state. The paper discards all
+// interim one-way adjustments when a receiver is selected as CLR and
+// makes a fresh explicit measurement.
+func (e *Estimator) DiscardOneWay() { e.owdValid = false }
+
+func ewma(old, sample sim.Time, alpha float64) sim.Time {
+	return sim.Time(alpha*float64(sample) + (1-alpha)*float64(old))
+}
+
+// ClockSync models initialisation from synchronised clocks (GPS or NTP,
+// section 2.4.1): the one-way delay observed on a timestamped data packet
+// is doubled and padded with the worst-case synchronisation error.
+type ClockSync struct {
+	// Err is the worst-case synchronisation error at each end
+	// (errSender + errReceiver); zero for GPS.
+	Err sim.Time
+}
+
+// EstimateFromOneWay returns the conservative initial RTT
+// 2·(d_oneway + err).
+func (c ClockSync) EstimateFromOneWay(oneWay sim.Time) sim.Time {
+	if oneWay < 0 {
+		oneWay = 0
+	}
+	return 2 * (oneWay + c.Err)
+}
+
+// Seed installs a clock-sync-derived estimate as a real measurement with
+// no smoothing, marking the estimator valid. Receivers seeded this way
+// skip the 500 ms initial RTT entirely.
+func (e *Estimator) Seed(estimate sim.Time) {
+	e.valid = true
+	e.est = estimate
+}

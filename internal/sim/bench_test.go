@@ -1,0 +1,53 @@
+package sim
+
+import "testing"
+
+func BenchmarkSchedulerScheduleRun(b *testing.B) {
+	s := NewScheduler()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(Millisecond, func() {})
+		s.Step()
+	}
+}
+
+func BenchmarkSchedulerChurn1k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewScheduler()
+		for j := 0; j < 1000; j++ {
+			j := j
+			s.At(Time(j)*Microsecond, func() {
+				if j%2 == 0 {
+					s.After(Millisecond, func() {})
+				}
+			})
+		}
+		s.Run()
+	}
+}
+
+func BenchmarkTimerCancel(b *testing.B) {
+	s := NewScheduler()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := s.After(Second, func() {})
+		tm.Stop()
+		if s.Pending() > 10000 {
+			s.RunUntil(s.Now() + Second) // reap cancelled timers
+		}
+	}
+}
+
+func BenchmarkRandGeometric(b *testing.B) {
+	r := NewRand(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Geometric(0.02)
+	}
+}
+
+func BenchmarkRandGamma(b *testing.B) {
+	r := NewRand(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Gamma(8, 1)
+	}
+}

@@ -1,0 +1,11 @@
+package sim
+
+import "math"
+
+// Thin wrappers keep call sites short inside hot distribution code.
+
+func sqrtf(x float64) float64 { return math.Sqrt(x) }
+func logf(x float64) float64  { return math.Log(x) }
+func powf(x, y float64) float64 {
+	return math.Pow(x, y)
+}

@@ -1,0 +1,83 @@
+package sim
+
+import "math/rand"
+
+// Rand wraps a deterministic pseudo-random source with the distributions
+// the protocols and workloads need. All simulation randomness must flow
+// through a Rand so that every experiment is reproducible from its seed.
+type Rand struct {
+	r *rand.Rand
+}
+
+// NewRand returns a deterministic generator for the given seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *Rand) Float64() float64 { return r.r.Float64() }
+
+// Uniform returns a uniform value in [lo,hi).
+func (r *Rand) Uniform(lo, hi float64) float64 { return lo + (hi-lo)*r.r.Float64() }
+
+// Intn returns a uniform integer in [0,n).
+func (r *Rand) Intn(n int) int { return r.r.Intn(n) }
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.r.Float64() < p }
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *Rand) Exp(mean float64) float64 { return r.r.ExpFloat64() * mean }
+
+// Geometric returns the number of Bernoulli(p) trials up to and including
+// the first success (support {1,2,...}). It models the gap between packet
+// losses under independent loss with probability p.
+func (r *Rand) Geometric(p float64) int {
+	if p <= 0 {
+		return 1 << 30
+	}
+	if p >= 1 {
+		return 1
+	}
+	n := 1
+	for !r.Bool(p) {
+		n++
+	}
+	return n
+}
+
+// Gamma returns a Gamma(shape k, scale theta) variate using the
+// Marsaglia-Tsang method (with Ahrens-Dieter boosting for k < 1).
+func (r *Rand) Gamma(k, theta float64) float64 {
+	if k <= 0 || theta <= 0 {
+		return 0
+	}
+	if k < 1 {
+		// boost: Gamma(k) = Gamma(k+1) * U^(1/k)
+		u := r.r.Float64()
+		for u == 0 {
+			u = r.r.Float64()
+		}
+		return r.Gamma(k+1, theta) * powf(u, 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1.0 / sqrtf(9*d)
+	for {
+		x := r.r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * theta
+		}
+		if u > 0 && logf(u) < 0.5*x*x+d*(1-v+logf(v)) {
+			return d * v * theta
+		}
+	}
+}
+
+// Perm returns a random permutation of [0,n).
+func (r *Rand) Perm(n int) []int { return r.r.Perm(n) }

@@ -1,0 +1,137 @@
+package sim
+
+import "container/heap"
+
+// Timer is a handle to a scheduled event. Cancelling an expired or already
+// cancelled timer is a no-op.
+type Timer struct {
+	at      Time
+	seq     uint64
+	index   int // heap index, -1 when not queued
+	fn      func()
+	stopped bool
+}
+
+// At returns the virtual time the timer fires (or fired) at.
+func (t *Timer) At() Time { return t.at }
+
+// Stop cancels the timer. It reports whether the timer was still pending.
+func (t *Timer) Stop() bool {
+	if t.stopped || t.index < 0 {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Active reports whether the timer is still pending and not cancelled.
+func (t *Timer) Active() bool { return !t.stopped && t.index >= 0 }
+
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Scheduler is a single-threaded discrete-event scheduler. Events scheduled
+// for the same instant run in the order they were scheduled.
+type Scheduler struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	nRun   uint64
+}
+
+// NewScheduler returns a scheduler with the clock at zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Scheduler) Processed() uint64 { return s.nRun }
+
+// Pending returns the number of events still queued (including cancelled
+// timers that have not been reaped yet).
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a protocol bug.
+func (s *Scheduler) At(t Time, fn func()) *Timer {
+	if t < s.now {
+		panic("sim: event scheduled in the past")
+	}
+	s.seq++
+	tm := &Timer{at: t, seq: s.seq, fn: fn, index: -1}
+	heap.Push(&s.events, tm)
+	return tm
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step runs the next event. It reports false when the queue is empty.
+func (s *Scheduler) Step() bool {
+	for len(s.events) > 0 {
+		tm := heap.Pop(&s.events).(*Timer)
+		if tm.stopped {
+			continue
+		}
+		s.now = tm.at
+		s.nRun++
+		tm.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the clock would pass t; afterwards the
+// clock reads exactly t. Events at exactly t are executed.
+func (s *Scheduler) RunUntil(t Time) {
+	for len(s.events) > 0 {
+		tm := s.events[0]
+		if tm.at > t {
+			break
+		}
+		if !s.Step() {
+			break
+		}
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Run executes events until the queue drains.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}

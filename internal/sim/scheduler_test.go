@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if got := FromSeconds(1.5); got != 1500*Millisecond {
+		t.Fatalf("FromSeconds(1.5) = %v, want 1.5s", got)
+	}
+	if got := FromMillis(250).Seconds(); got != 0.25 {
+		t.Fatalf("FromMillis(250).Seconds() = %v, want 0.25", got)
+	}
+	if got := Second.Millis(); got != 1000 {
+		t.Fatalf("Second.Millis() = %v, want 1000", got)
+	}
+	if s := (1500 * Millisecond).String(); s != "1.500000s" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestTimeScaleSaturates(t *testing.T) {
+	if got := MaxTime.Scale(2); got != MaxTime {
+		t.Fatalf("Scale should saturate, got %v", got)
+	}
+	if got := (2 * Second).Scale(0.5); got != Second {
+		t.Fatalf("Scale(0.5) = %v, want 1s", got)
+	}
+}
+
+func TestMinMaxTime(t *testing.T) {
+	if MinTime(Second, 2*Second) != Second {
+		t.Fatal("MinTime wrong")
+	}
+	if MaxOf(Second, 2*Second) != 2*Second {
+		t.Fatal("MaxOf wrong")
+	}
+}
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.At(3*Second, func() { order = append(order, 3) })
+	s.At(1*Second, func() { order = append(order, 1) })
+	s.At(2*Second, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+	if s.Now() != 3*Second {
+		t.Fatalf("clock = %v, want 3s", s.Now())
+	}
+}
+
+func TestSchedulerFIFOAtSameInstant(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	tm := s.At(Second, func() { fired = true })
+	if !tm.Active() {
+		t.Fatal("timer should be active before firing")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop should report true for a pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestSchedulerAfterAndNesting(t *testing.T) {
+	s := NewScheduler()
+	var at2 Time
+	s.After(Second, func() {
+		s.After(Second, func() { at2 = s.Now() })
+	})
+	s.Run()
+	if at2 != 2*Second {
+		t.Fatalf("nested event at %v, want 2s", at2)
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		s.At(Time(i)*Second, func() { count++ })
+	}
+	s.RunUntil(3 * Second)
+	if count != 3 {
+		t.Fatalf("RunUntil(3s) ran %d events, want 3", count)
+	}
+	if s.Now() != 3*Second {
+		t.Fatalf("clock = %v, want exactly 3s", s.Now())
+	}
+	s.RunUntil(10 * Second)
+	if count != 5 || s.Now() != 10*Second {
+		t.Fatalf("count=%d now=%v", count, s.Now())
+	}
+}
+
+func TestSchedulerPastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		s.At(0, func() {})
+	})
+	s.Run()
+}
+
+func TestSchedulerNegativeAfterClamps(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	s.After(-Second, func() { ran = true })
+	s.Run()
+	if !ran {
+		t.Fatal("After with negative delay should run immediately")
+	}
+}
+
+func TestSchedulerProcessedCount(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 7; i++ {
+		s.At(Time(i), func() {})
+	}
+	s.Run()
+	if s.Processed() != 7 {
+		t.Fatalf("Processed = %d, want 7", s.Processed())
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestRandGeometricMean(t *testing.T) {
+	r := NewRand(1)
+	const p = 0.1
+	sum := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(p)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-1/p) > 0.5 {
+		t.Fatalf("geometric mean = %v, want ~%v", mean, 1/p)
+	}
+}
+
+func TestRandGeometricEdges(t *testing.T) {
+	r := NewRand(1)
+	if got := r.Geometric(1); got != 1 {
+		t.Fatalf("Geometric(1) = %d, want 1", got)
+	}
+	if got := r.Geometric(0); got < 1<<29 {
+		t.Fatalf("Geometric(0) should be huge, got %d", got)
+	}
+}
+
+func TestRandGammaMoments(t *testing.T) {
+	r := NewRand(7)
+	const k, theta = 8.0, 2.0
+	var sum, sum2 float64
+	const n = 30000
+	for i := 0; i < n; i++ {
+		x := r.Gamma(k, theta)
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean-k*theta) > 0.3 {
+		t.Fatalf("gamma mean = %v, want %v", mean, k*theta)
+	}
+	if math.Abs(variance-k*theta*theta) > 2 {
+		t.Fatalf("gamma var = %v, want %v", variance, k*theta*theta)
+	}
+}
+
+func TestRandGammaSmallShape(t *testing.T) {
+	r := NewRand(7)
+	const k, theta = 0.5, 1.0
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		x := r.Gamma(k, theta)
+		if x < 0 {
+			t.Fatal("gamma variate negative")
+		}
+		sum += x
+	}
+	if mean := sum / n; math.Abs(mean-k*theta) > 0.05 {
+		t.Fatalf("gamma(0.5) mean = %v, want %v", mean, k*theta)
+	}
+}
+
+func TestRandGammaDegenerate(t *testing.T) {
+	r := NewRand(1)
+	if r.Gamma(0, 1) != 0 || r.Gamma(1, 0) != 0 {
+		t.Fatal("degenerate gamma should be 0")
+	}
+}
+
+func TestRandUniformRange(t *testing.T) {
+	r := NewRand(3)
+	f := func(seed int64) bool {
+		v := r.Uniform(2, 5)
+		return v >= 2 && v < 5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the scheduler clock never moves backwards no matter the
+// scheduling pattern.
+func TestSchedulerMonotonicClockProperty(t *testing.T) {
+	f := func(delaysMs []uint16) bool {
+		s := NewScheduler()
+		last := Time(0)
+		ok := true
+		for _, d := range delaysMs {
+			s.After(Time(d)*Millisecond, func() {
+				if s.Now() < last {
+					ok = false
+				}
+				last = s.Now()
+			})
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

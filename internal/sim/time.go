@@ -1,0 +1,65 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock, an event queue with cancellable timers, and seeded
+// randomness helpers. It is the substrate equivalent of the ns-2 scheduler
+// used in the TFMCC paper.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. It is also used for durations.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable simulation time.
+const MaxTime = Time(math.MaxInt64)
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis returns t expressed in milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the time with millisecond precision for traces.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// FromSeconds converts a duration in seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// FromMillis converts a duration in milliseconds to a Time.
+func FromMillis(ms float64) Time { return Time(ms * float64(Millisecond)) }
+
+// Scale multiplies a time by a dimensionless factor, saturating at MaxTime.
+func (t Time) Scale(f float64) Time {
+	v := float64(t) * f
+	if v >= float64(math.MaxInt64) {
+		return MaxTime
+	}
+	return Time(v)
+}
+
+// MinTime returns the smaller of a and b.
+func MinTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxOf returns the larger of a and b.
+func MaxOf(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}

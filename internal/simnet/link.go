@@ -1,0 +1,73 @@
+package simnet
+
+import "repro/internal/sim"
+
+// LinkStats counts per-link traffic for tracing and assertions.
+type LinkStats struct {
+	Sent     int64 // packets handed to the link
+	Deliver  int64 // packets delivered to the far node
+	DropQ    int64 // queue (congestion) drops
+	DropRand int64 // random-loss-module drops
+	Bytes    int64 // bytes delivered
+}
+
+// Link is a unidirectional link with bandwidth, propagation delay, a
+// queue, and an optional random loss module. A zero Bandwidth means an
+// infinitely fast link (no serialisation, no queueing) — used for the
+// star access links in the large-receiver-set experiments where only
+// delay and random loss matter.
+type Link struct {
+	From, To  NodeID
+	Bandwidth float64  // bytes per second; 0 = infinite
+	Delay     sim.Time // propagation delay
+	Q         Queue
+	LossProb  float64 // Bernoulli drop probability on entry
+	Stats     LinkStats
+
+	net  *Network
+	busy bool
+}
+
+// send places a packet on the link, applying the loss module and queue.
+func (l *Link) send(pkt *Packet) {
+	l.Stats.Sent++
+	if l.LossProb > 0 && l.net.rng.Bool(l.LossProb) {
+		l.Stats.DropRand++
+		return
+	}
+	if l.Bandwidth <= 0 {
+		// Infinite-speed link: pure delay.
+		l.net.sched.After(l.Delay, func() { l.deliver(pkt) })
+		return
+	}
+	if !l.Q.Enqueue(pkt, l.net.sched.Now()) {
+		l.Stats.DropQ++
+		if l.net.DropHook != nil {
+			l.net.DropHook(l, pkt)
+		}
+		return
+	}
+	if !l.busy {
+		l.busy = true
+		l.startTx()
+	}
+}
+
+func (l *Link) startTx() {
+	pkt := l.Q.Dequeue(l.net.sched.Now())
+	if pkt == nil {
+		l.busy = false
+		return
+	}
+	txTime := sim.FromSeconds(float64(pkt.Size) / l.Bandwidth)
+	l.net.sched.After(txTime, func() {
+		l.net.sched.After(l.Delay, func() { l.deliver(pkt) })
+		l.startTx()
+	})
+}
+
+func (l *Link) deliver(pkt *Packet) {
+	l.Stats.Deliver++
+	l.Stats.Bytes += int64(pkt.Size)
+	l.net.arrive(l.To, pkt)
+}

@@ -1,0 +1,296 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Network ties nodes and links together with unicast routing and
+// source-rooted multicast forwarding.
+type Network struct {
+	sched *sim.Scheduler
+	rng   *sim.Rand
+
+	nodes []*node
+	links map[NodeID]map[NodeID]*Link
+
+	routes     [][]NodeID // routes[src][dst] = next hop, -1 unreachable
+	routesOK   bool
+	groups     map[GroupID]map[NodeID]bool
+	mcastTrees map[mcastKey]map[NodeID][]NodeID // children lists per (group, source)
+
+	// DropHook, when set, observes every congestion (queue) drop.
+	DropHook func(l *Link, pkt *Packet)
+}
+
+type mcastKey struct {
+	group GroupID
+	src   NodeID
+}
+
+type node struct {
+	id       NodeID
+	name     string
+	handlers map[Port]Handler
+}
+
+// New returns an empty network bound to a scheduler and RNG.
+func New(sched *sim.Scheduler, rng *sim.Rand) *Network {
+	return &Network{
+		sched:      sched,
+		rng:        rng,
+		links:      map[NodeID]map[NodeID]*Link{},
+		groups:     map[GroupID]map[NodeID]bool{},
+		mcastTrees: map[mcastKey]map[NodeID][]NodeID{},
+	}
+}
+
+// Scheduler returns the scheduler the network runs on.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// Rand returns the network's random source.
+func (n *Network) Rand() *sim.Rand { return n.rng }
+
+// AddNode creates a node and returns its ID.
+func (n *Network) AddNode(name string) NodeID {
+	id := NodeID(len(n.nodes))
+	n.nodes = append(n.nodes, &node{id: id, name: name, handlers: map[Port]Handler{}})
+	n.routesOK = false
+	return id
+}
+
+// NumNodes returns the number of nodes.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// NodeName returns the debug name of a node.
+func (n *Network) NodeName(id NodeID) string { return n.nodes[id].name }
+
+// Bind attaches a handler to a node's port.
+func (n *Network) Bind(addr Addr, h Handler) {
+	n.nodes[addr.Node].handlers[addr.Port] = h
+}
+
+// AddLink creates a unidirectional link. bandwidth is in bytes/second
+// (0 = infinite), queueLimit in packets (ignored for infinite links).
+func (n *Network) AddLink(from, to NodeID, bandwidth float64, delay sim.Time, queueLimit int) *Link {
+	l := &Link{
+		From: from, To: to,
+		Bandwidth: bandwidth,
+		Delay:     delay,
+		Q:         NewDropTail(queueLimit),
+		net:       n,
+	}
+	if n.links[from] == nil {
+		n.links[from] = map[NodeID]*Link{}
+	}
+	n.links[from][to] = l
+	n.routesOK = false
+	n.mcastTrees = map[mcastKey]map[NodeID][]NodeID{}
+	return l
+}
+
+// AddDuplex creates symmetric links in both directions and returns them.
+func (n *Network) AddDuplex(a, b NodeID, bandwidth float64, delay sim.Time, queueLimit int) (ab, ba *Link) {
+	return n.AddLink(a, b, bandwidth, delay, queueLimit),
+		n.AddLink(b, a, bandwidth, delay, queueLimit)
+}
+
+// LinkBetween returns the link from a to b, or nil.
+func (n *Network) LinkBetween(a, b NodeID) *Link {
+	return n.links[a][b]
+}
+
+// Join adds a node to a multicast group.
+func (n *Network) Join(g GroupID, id NodeID) {
+	if n.groups[g] == nil {
+		n.groups[g] = map[NodeID]bool{}
+	}
+	n.groups[g][id] = true
+	n.invalidateGroup(g)
+}
+
+// Leave removes a node from a multicast group.
+func (n *Network) Leave(g GroupID, id NodeID) {
+	delete(n.groups[g], id)
+	n.invalidateGroup(g)
+}
+
+// Members returns the current member count of a group.
+func (n *Network) Members(g GroupID) int { return len(n.groups[g]) }
+
+// IsMember reports whether id has joined g.
+func (n *Network) IsMember(g GroupID, id NodeID) bool { return n.groups[g][id] }
+
+func (n *Network) invalidateGroup(g GroupID) {
+	for k := range n.mcastTrees {
+		if k.group == g {
+			delete(n.mcastTrees, k)
+		}
+	}
+}
+
+// Send injects a packet at its source node. Unicast packets follow
+// shortest-path (by propagation delay) routes; multicast packets follow
+// the source-rooted shortest-path tree over current group members.
+func (n *Network) Send(pkt *Packet) {
+	pkt.SentAt = n.sched.Now()
+	if pkt.IsMcast {
+		n.forwardMcast(pkt.Src.Node, pkt.Src.Node, pkt)
+		return
+	}
+	n.forward(pkt.Src.Node, pkt)
+}
+
+func (n *Network) forward(at NodeID, pkt *Packet) {
+	if at == pkt.Dst.Node {
+		n.deliverLocal(at, pkt)
+		return
+	}
+	n.ensureRoutes()
+	next := n.routes[at][pkt.Dst.Node]
+	if next < 0 {
+		panic(fmt.Sprintf("simnet: no route %v -> %v", at, pkt.Dst.Node))
+	}
+	n.links[at][next].send(pkt)
+}
+
+func (n *Network) arrive(at NodeID, pkt *Packet) {
+	if pkt.IsMcast {
+		n.forwardMcast(at, pkt.Src.Node, pkt)
+		return
+	}
+	n.forward(at, pkt)
+}
+
+func (n *Network) forwardMcast(at, src NodeID, pkt *Packet) {
+	tree := n.mcastTree(pkt.Group, src)
+	if n.groups[pkt.Group][at] && at != src {
+		n.deliverLocal(at, pkt)
+	}
+	for _, child := range tree[at] {
+		n.links[at][child].send(pkt)
+	}
+}
+
+func (n *Network) deliverLocal(at NodeID, pkt *Packet) {
+	h := n.nodes[at].handlers[pkt.Dst.Port]
+	if h != nil {
+		h.Recv(pkt)
+	}
+}
+
+// ensureRoutes computes all-pairs next-hop routes by running Dijkstra
+// (edge weight = propagation delay, with a small constant so zero-delay
+// links still count hops) from every node.
+func (n *Network) ensureRoutes() {
+	if n.routesOK {
+		return
+	}
+	cnt := len(n.nodes)
+	n.routes = make([][]NodeID, cnt)
+	for s := 0; s < cnt; s++ {
+		n.routes[s] = n.dijkstra(NodeID(s))
+	}
+	n.routesOK = true
+}
+
+func (n *Network) dijkstra(src NodeID) []NodeID {
+	cnt := len(n.nodes)
+	const inf = int64(1) << 62
+	dist := make([]int64, cnt)
+	prev := make([]NodeID, cnt)
+	done := make([]bool, cnt)
+	for i := range dist {
+		dist[i] = inf
+		prev[i] = -1
+	}
+	dist[src] = 0
+	for {
+		u := NodeID(-1)
+		best := inf
+		for i := 0; i < cnt; i++ {
+			if !done[i] && dist[i] < best {
+				best = dist[i]
+				u = NodeID(i)
+			}
+		}
+		if u < 0 {
+			break
+		}
+		done[u] = true
+		for _, v := range n.sortedNeighbors(u) {
+			l := n.links[u][v]
+			w := int64(l.Delay) + 1 // +1 keeps zero-delay hops countable
+			if dist[u]+w < dist[v] {
+				dist[v] = dist[u] + w
+				prev[v] = u
+			}
+		}
+	}
+	// next[dst]: first hop from src towards dst.
+	next := make([]NodeID, cnt)
+	for d := 0; d < cnt; d++ {
+		if NodeID(d) == src || prev[d] == -1 {
+			next[d] = -1
+			continue
+		}
+		hop := NodeID(d)
+		for prev[hop] != src {
+			hop = prev[hop]
+			if hop < 0 {
+				break
+			}
+		}
+		next[d] = hop
+	}
+	return next
+}
+
+func (n *Network) sortedNeighbors(u NodeID) []NodeID {
+	out := make([]NodeID, 0, len(n.links[u]))
+	for v := range n.links[u] {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// mcastTree returns (building if needed) the children lists of the
+// shortest-path tree rooted at src spanning the group's members.
+func (n *Network) mcastTree(g GroupID, src NodeID) map[NodeID][]NodeID {
+	key := mcastKey{group: g, src: src}
+	if t, ok := n.mcastTrees[key]; ok {
+		return t
+	}
+	n.ensureRoutes()
+	tree := map[NodeID][]NodeID{}
+	onTree := map[[2]NodeID]bool{}
+	members := make([]NodeID, 0, len(n.groups[g]))
+	for m := range n.groups[g] {
+		members = append(members, m)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	for _, m := range members {
+		if m == src {
+			continue
+		}
+		// Walk the unicast path src -> m, adding edges not yet on the tree.
+		at := src
+		for at != m {
+			next := n.routes[at][m]
+			if next < 0 {
+				panic(fmt.Sprintf("simnet: no multicast route %v -> %v", src, m))
+			}
+			e := [2]NodeID{at, next}
+			if !onTree[e] {
+				onTree[e] = true
+				tree[at] = append(tree[at], next)
+			}
+			at = next
+		}
+	}
+	n.mcastTrees[key] = tree
+	return tree
+}

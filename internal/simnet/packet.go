@@ -1,0 +1,47 @@
+// Package simnet is a packet-level network simulator: nodes, queued
+// links with bandwidth and propagation delay, drop-tail and RED queues,
+// per-link random loss, shortest-path unicast routing and source-rooted
+// multicast distribution trees. It plays the role ns-2 plays in the
+// TFMCC paper's evaluation.
+package simnet
+
+import "repro/internal/sim"
+
+// NodeID identifies a node in a Network.
+type NodeID int
+
+// GroupID identifies a multicast group.
+type GroupID int
+
+// Port identifies a protocol endpoint within a node, so several agents
+// (e.g. a TCP sink and a TFMCC receiver) can share one node.
+type Port int
+
+// Addr is a node/port pair.
+type Addr struct {
+	Node NodeID
+	Port Port
+}
+
+// Packet is the unit of transmission. Payload carries the protocol
+// header/body as a Go value; Size alone determines transmission time.
+type Packet struct {
+	Size    int  // bytes on the wire
+	Src     Addr // originating agent
+	Dst     Addr // unicast destination; ignored for multicast
+	Group   GroupID
+	IsMcast bool
+	SentAt  sim.Time // stamped by Network.Send for tracing
+	Payload any
+}
+
+// Handler consumes packets delivered to a port.
+type Handler interface {
+	Recv(pkt *Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(pkt *Packet)
+
+// Recv implements Handler.
+func (f HandlerFunc) Recv(pkt *Packet) { f(pkt) }

@@ -1,0 +1,141 @@
+package simnet
+
+import "repro/internal/sim"
+
+// Queue is the buffering discipline of a link. Enqueue reports false when
+// the packet is dropped.
+type Queue interface {
+	Enqueue(pkt *Packet, now sim.Time) bool
+	Dequeue(now sim.Time) *Packet
+	Len() int
+}
+
+// DropTail is the FIFO queue used in all of the paper's simulations.
+type DropTail struct {
+	Limit int // capacity in packets
+	q     []*Packet
+}
+
+// NewDropTail returns a FIFO queue holding at most limit packets.
+func NewDropTail(limit int) *DropTail {
+	if limit <= 0 {
+		limit = 50
+	}
+	return &DropTail{Limit: limit}
+}
+
+// Enqueue implements Queue.
+func (d *DropTail) Enqueue(pkt *Packet, _ sim.Time) bool {
+	if len(d.q) >= d.Limit {
+		return false
+	}
+	d.q = append(d.q, pkt)
+	return true
+}
+
+// Dequeue implements Queue.
+func (d *DropTail) Dequeue(_ sim.Time) *Packet {
+	if len(d.q) == 0 {
+		return nil
+	}
+	pkt := d.q[0]
+	d.q[0] = nil
+	d.q = d.q[1:]
+	return pkt
+}
+
+// Len implements Queue.
+func (d *DropTail) Len() int { return len(d.q) }
+
+// RED implements Random Early Detection (Floyd & Jacobson). The paper
+// notes fairness improves when RED replaces drop-tail; it backs the
+// queue-discipline ablation bench.
+type RED struct {
+	Limit    int     // physical capacity in packets
+	MinTh    float64 // minimum average-queue threshold
+	MaxTh    float64 // maximum average-queue threshold
+	MaxP     float64 // maximum drop probability at MaxTh
+	Wq       float64 // averaging weight
+	MeanPkt  int     // mean packet size for idle-time compensation (bytes)
+	BW       float64 // link bandwidth in bytes/s, for idle-time compensation
+	Rng      *sim.Rand
+	q        []*Packet
+	avg      float64
+	count    int // packets since last drop
+	idleFrom sim.Time
+	idle     bool
+}
+
+// NewRED returns a RED queue with the classic parameter defaults
+// (min=5, max=15, maxP=0.1, wq=0.002) scaled to the given capacity.
+func NewRED(limit int, bwBytesPerSec float64, rng *sim.Rand) *RED {
+	if limit <= 0 {
+		limit = 50
+	}
+	return &RED{
+		Limit:   limit,
+		MinTh:   float64(limit) * 0.1,
+		MaxTh:   float64(limit) * 0.3,
+		MaxP:    0.1,
+		Wq:      0.002,
+		MeanPkt: 1000,
+		BW:      bwBytesPerSec,
+		Rng:     rng,
+	}
+}
+
+// Enqueue implements Queue with RED's average-queue drop logic.
+func (r *RED) Enqueue(pkt *Packet, now sim.Time) bool {
+	if r.idle && r.BW > 0 {
+		// Decay the average across the idle period as if m small packets
+		// had been dequeued.
+		idleDur := (now - r.idleFrom).Seconds()
+		m := idleDur * r.BW / float64(r.MeanPkt)
+		for i := 0; i < int(m) && i < 10000; i++ {
+			r.avg *= 1 - r.Wq
+		}
+		r.idle = false
+	}
+	r.avg = (1-r.Wq)*r.avg + r.Wq*float64(len(r.q))
+	drop := false
+	switch {
+	case len(r.q) >= r.Limit:
+		drop = true
+	case r.avg >= r.MaxTh:
+		drop = true
+	case r.avg >= r.MinTh:
+		pb := r.MaxP * (r.avg - r.MinTh) / (r.MaxTh - r.MinTh)
+		pa := pb / (1 - float64(r.count)*pb)
+		if pa < 0 || pa > 1 {
+			pa = 1
+		}
+		if r.Rng != nil && r.Rng.Bool(pa) {
+			drop = true
+		}
+	}
+	if drop {
+		r.count = 0
+		return false
+	}
+	r.count++
+	r.q = append(r.q, pkt)
+	return true
+}
+
+// Dequeue implements Queue.
+func (r *RED) Dequeue(now sim.Time) *Packet {
+	if len(r.q) == 0 {
+		return nil
+	}
+	pkt := r.q[0]
+	r.q[0] = nil
+	r.q = r.q[1:]
+	if len(r.q) == 0 {
+		r.idle = true
+		r.idleFrom = now
+	}
+	return pkt
+}
+
+// Len implements Queue.
+func (r *RED) Len() int { return len(r.q) }

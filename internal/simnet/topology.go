@@ -1,0 +1,103 @@
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Topology helpers for the standard shapes used throughout the paper's
+// evaluation (and most congestion control studies): the single-bottleneck
+// dumbbell, the star of per-receiver tails, and a k-ary distribution
+// tree. All helpers return the node IDs needed to attach agents.
+
+// Dumbbell is the classic two-router topology: sources attach to Left,
+// sinks to Right, and the shared bottleneck sits between them.
+type Dumbbell struct {
+	Left, Right NodeID
+	Bottleneck  *Link // left -> right direction
+	Reverse     *Link
+}
+
+// NewDumbbell creates the two routers and the bottleneck between them.
+// bandwidth is in bytes/s, qlen in packets.
+func NewDumbbell(n *Network, bandwidth float64, delay sim.Time, qlen int) *Dumbbell {
+	l := n.AddNode("dumbbell-left")
+	r := n.AddNode("dumbbell-right")
+	fwd, rev := n.AddDuplex(l, r, bandwidth, delay, qlen)
+	return &Dumbbell{Left: l, Right: r, Bottleneck: fwd, Reverse: rev}
+}
+
+// AttachSource adds a node connected to the left router by a fast link.
+func (d *Dumbbell) AttachSource(n *Network, name string) NodeID {
+	id := n.AddNode(name)
+	n.AddDuplex(id, d.Left, 0, sim.Millisecond, 0)
+	return id
+}
+
+// AttachSink adds a node connected to the right router by a fast link.
+func (d *Dumbbell) AttachSink(n *Network, name string) NodeID {
+	id := n.AddNode(name)
+	n.AddDuplex(d.Right, id, 0, sim.Millisecond, 0)
+	return id
+}
+
+// Star is a hub with per-leaf tail links, used for the per-receiver loss
+// and delay experiments.
+type Star struct {
+	Hub    NodeID
+	Leaves []NodeID
+	Down   []*Link // hub -> leaf
+	Up     []*Link // leaf -> hub
+}
+
+// NewStar creates a hub and count leaves. Per-leaf properties are set by
+// the configure callback (may be nil for fast lossless tails).
+func NewStar(n *Network, count int, configure func(i int, down, up *Link)) *Star {
+	s := &Star{Hub: n.AddNode("hub")}
+	for i := 0; i < count; i++ {
+		leaf := n.AddNode(fmt.Sprintf("leaf%d", i))
+		down, up := n.AddDuplex(s.Hub, leaf, 0, sim.Millisecond, 0)
+		if configure != nil {
+			configure(i, down, up)
+		}
+		s.Leaves = append(s.Leaves, leaf)
+		s.Down = append(s.Down, down)
+		s.Up = append(s.Up, up)
+	}
+	return s
+}
+
+// Tree builds a k-ary multicast distribution tree of the given depth
+// rooted at Root; the leaves are the receiver attachment points. Interior
+// links share capacity, so losses high in the tree are correlated across
+// subtrees — the structure behind the section 3 discussion.
+type Tree struct {
+	Root   NodeID
+	Leaves []NodeID
+	Links  []*Link // all downward links, breadth-first
+}
+
+// NewTreeTopology creates the tree. Each downward link gets the given
+// bandwidth (0 = infinite), delay and queue length.
+func NewTreeTopology(n *Network, fanout, depth int, bandwidth float64, delay sim.Time, qlen int) *Tree {
+	if fanout < 2 {
+		fanout = 2
+	}
+	t := &Tree{Root: n.AddNode("tree-root")}
+	level := []NodeID{t.Root}
+	for d := 0; d < depth; d++ {
+		var next []NodeID
+		for _, parent := range level {
+			for k := 0; k < fanout; k++ {
+				child := n.AddNode(fmt.Sprintf("tree-%d-%d", d+1, len(next)))
+				down, _ := n.AddDuplex(parent, child, bandwidth, delay, qlen)
+				t.Links = append(t.Links, down)
+				next = append(next, child)
+			}
+		}
+		level = next
+	}
+	t.Leaves = level
+	return t
+}

@@ -1,0 +1,110 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDumbbellConnectivity(t *testing.T) {
+	sch := sim.NewScheduler()
+	net := New(sch, sim.NewRand(1))
+	d := NewDumbbell(net, 1e6, 10*sim.Millisecond, 50)
+	src := d.AttachSource(net, "src")
+	dst := d.AttachSink(net, "dst")
+	got := 0
+	net.Bind(Addr{dst, 1}, HandlerFunc(func(*Packet) { got++ }))
+	net.Send(&Packet{Size: 1000, Src: Addr{src, 1}, Dst: Addr{dst, 1}})
+	sch.Run()
+	if got != 1 {
+		t.Fatal("dumbbell path broken")
+	}
+	if d.Bottleneck.Stats.Deliver != 1 {
+		t.Fatal("packet did not cross the bottleneck")
+	}
+}
+
+func TestStarConfiguration(t *testing.T) {
+	sch := sim.NewScheduler()
+	net := New(sch, sim.NewRand(1))
+	s := NewStar(net, 4, func(i int, down, up *Link) {
+		down.Delay = sim.Time(i+1) * 10 * sim.Millisecond
+		down.LossProb = float64(i) * 0.1
+	})
+	if len(s.Leaves) != 4 || len(s.Down) != 4 || len(s.Up) != 4 {
+		t.Fatal("star malformed")
+	}
+	for i, l := range s.Down {
+		if l.Delay != sim.Time(i+1)*10*sim.Millisecond {
+			t.Fatalf("leaf %d delay not configured", i)
+		}
+	}
+	// Multicast from a source behind the hub reaches all leaves that
+	// joined (leaf 0 has no loss).
+	src := net.AddNode("src")
+	net.AddDuplex(src, s.Hub, 0, sim.Millisecond, 0)
+	net.Join(1, s.Leaves[0])
+	got := 0
+	net.Bind(Addr{s.Leaves[0], 1}, HandlerFunc(func(*Packet) { got++ }))
+	net.Send(&Packet{Size: 100, Src: Addr{src, 1}, Dst: Addr{Port: 1}, Group: 1, IsMcast: true})
+	sch.Run()
+	if got != 1 {
+		t.Fatal("star multicast broken")
+	}
+}
+
+func TestTreeTopologyShape(t *testing.T) {
+	sch := sim.NewScheduler()
+	net := New(sch, sim.NewRand(1))
+	tr := NewTreeTopology(net, 3, 2, 0, sim.Millisecond, 0)
+	if len(tr.Leaves) != 9 {
+		t.Fatalf("leaves = %d, want 9", len(tr.Leaves))
+	}
+	if len(tr.Links) != 3+9 {
+		t.Fatalf("links = %d, want 12", len(tr.Links))
+	}
+	// Multicast from the root delivers to every joined leaf and uses each
+	// interior link exactly once.
+	for _, leaf := range tr.Leaves {
+		net.Join(1, leaf)
+	}
+	deliveries := 0
+	for _, leaf := range tr.Leaves {
+		net.Bind(Addr{leaf, 1}, HandlerFunc(func(*Packet) { deliveries++ }))
+	}
+	net.Send(&Packet{Size: 100, Src: Addr{tr.Root, 1}, Dst: Addr{Port: 1}, Group: 1, IsMcast: true})
+	sch.Run()
+	if deliveries != 9 {
+		t.Fatalf("deliveries = %d, want 9", deliveries)
+	}
+	for i, l := range tr.Links {
+		if l.Stats.Sent != 1 {
+			t.Fatalf("tree link %d carried %d copies, want 1", i, l.Stats.Sent)
+		}
+	}
+}
+
+func TestTreeCorrelatedLossStructure(t *testing.T) {
+	// A drop on a top-level link must affect an entire subtree at once.
+	sch := sim.NewScheduler()
+	net := New(sch, sim.NewRand(1))
+	tr := NewTreeTopology(net, 2, 2, 0, sim.Millisecond, 0)
+	for _, leaf := range tr.Leaves {
+		net.Join(1, leaf)
+	}
+	per := make(map[NodeID]int)
+	for _, leaf := range tr.Leaves {
+		leaf := leaf
+		net.Bind(Addr{leaf, 1}, HandlerFunc(func(*Packet) { per[leaf]++ }))
+	}
+	tr.Links[0].LossProb = 1 // kill the first top-level branch
+	net.Send(&Packet{Size: 100, Src: Addr{tr.Root, 1}, Dst: Addr{Port: 1}, Group: 1, IsMcast: true})
+	sch.Run()
+	// Leaves 0,1 are under the dead branch; 2,3 under the live one.
+	if per[tr.Leaves[0]] != 0 || per[tr.Leaves[1]] != 0 {
+		t.Fatal("dead subtree received packets")
+	}
+	if per[tr.Leaves[2]] != 1 || per[tr.Leaves[3]] != 1 {
+		t.Fatal("live subtree missed packets")
+	}
+}

@@ -1,0 +1,111 @@
+// Package tcpmodel implements the TCP long-term throughput models the
+// TFMCC control equation is built on: the full Padhye et al. response
+// function (Equation 1 of the paper) and the simplified square-root model
+// of Mathis et al. (Equation 4, used to initialise the loss history), with
+// numeric inverses for both.
+package tcpmodel
+
+import "math"
+
+// Params configures the TCP response function.
+type Params struct {
+	PacketSize int     // segment size s in bytes
+	B          float64 // packets acknowledged per ACK (1 with no delayed ACKs)
+	RTOFactor  float64 // t_RTO expressed as a multiple of RTT (TFRC uses 4)
+	MathisC    float64 // constant C in the simplified model, usually sqrt(3/2)
+}
+
+// Default returns the parameter set used throughout the paper: 1000-byte
+// packets, b = 1, t_RTO = 4·RTT, C = sqrt(3/2).
+func Default() Params {
+	return Params{PacketSize: 1000, B: 1, RTOFactor: 4, MathisC: math.Sqrt(1.5)}
+}
+
+// Throughput returns the expected TCP throughput in bytes/second for
+// steady-state loss event rate p and round-trip time rtt (seconds), using
+// the full model:
+//
+//	X = s / ( R·sqrt(2bp/3) + t_RTO·(3·sqrt(3bp/8))·p·(1+32p²) )
+//
+// Out-of-range inputs are clamped: p <= 0 yields +Inf (no loss means the
+// model does not bound the rate), rtt <= 0 yields +Inf.
+func (m Params) Throughput(p, rtt float64) float64 {
+	if p <= 0 || rtt <= 0 {
+		return math.Inf(1)
+	}
+	if p > 1 {
+		p = 1
+	}
+	s := float64(m.PacketSize)
+	b := m.B
+	trto := m.RTOFactor * rtt
+	denom := rtt*math.Sqrt(2*b*p/3) + trto*3*math.Sqrt(3*b*p/8)*p*(1+32*p*p)
+	return s / denom
+}
+
+// LossRate numerically inverts Throughput: it returns the loss event rate
+// p at which a TCP flow with the given rtt would achieve rate x bytes/s.
+// The result is clamped to [1e-9, 1].
+func (m Params) LossRate(x, rtt float64) float64 {
+	if math.IsInf(x, 1) || x <= 0 {
+		if x <= 0 {
+			return 1
+		}
+		return 1e-9
+	}
+	lo, hi := 1e-9, 1.0
+	// Throughput is strictly decreasing in p, so bisect.
+	for i := 0; i < 100; i++ {
+		mid := math.Sqrt(lo * hi) // geometric: p spans many decades
+		if m.Throughput(mid, rtt) > x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Sqrt(lo * hi)
+}
+
+// SimpleThroughput returns the simplified (Mathis) model throughput in
+// bytes/second:
+//
+//	X = s·C / (R·sqrt(p))
+//
+// It is slightly more conservative than the full model and cheap to invert.
+func (m Params) SimpleThroughput(p, rtt float64) float64 {
+	if p <= 0 || rtt <= 0 {
+		return math.Inf(1)
+	}
+	return float64(m.PacketSize) * m.MathisC / (rtt * math.Sqrt(p))
+}
+
+// SimpleLossRate inverts SimpleThroughput in closed form:
+//
+//	p = (s·C / (R·X))²
+//
+// clamped to [0, 1]. It backs the loss-history initialisation of
+// Appendix B, where the first loss interval is set to 1/p at half the
+// sending rate when the first loss occurred.
+func (m Params) SimpleLossRate(x, rtt float64) float64 {
+	if x <= 0 || rtt <= 0 {
+		return 1
+	}
+	r := float64(m.PacketSize) * m.MathisC / (rtt * x)
+	p := r * r
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// LossEventsPerRTT returns L = p·X·R/s, the expected number of loss events
+// per round-trip time at loss event rate p (Appendix A, Figure 17). Its
+// maximum over p is about 0.13, which is why aggregating losses with an
+// overestimated RTT is safe.
+func (m Params) LossEventsPerRTT(p, rtt float64) float64 {
+	x := m.Throughput(p, rtt)
+	if math.IsInf(x, 1) {
+		return 0
+	}
+	return p * x * rtt / float64(m.PacketSize)
+}

@@ -1,0 +1,488 @@
+package tfmcc
+
+import (
+	"math"
+
+	"repro/internal/feedback"
+	"repro/internal/lossrate"
+	"repro/internal/rtt"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Receiver is one TFMCC multicast receiver. It measures loss event rate
+// and RTT, computes its TCP-friendly rate and takes part in the biased
+// feedback suppression process.
+type Receiver struct {
+	cfg    Config
+	id     ReceiverID
+	net    *simnet.Network
+	sch    *sim.Scheduler
+	rng    *sim.Rand
+	addr   simnet.Addr
+	sender simnet.Addr
+	group  simnet.GroupID
+
+	est  *lossrate.Estimator
+	rtte *rtt.Estimator
+
+	haveSeq     bool
+	nextSeq     int64
+	lastArrival sim.Time
+	lastData    Data
+	rw          recvWindow
+
+	round     int
+	fbTimer   *sim.Timer
+	fbValue   float64 // planned report rate (bytes/s) guarding cancellation
+	fbHasLoss bool
+	isCLR     bool
+	clrNextAt sim.Time
+
+	left bool
+
+	// Appendix A/B bookkeeping: the first loss event was aggregated and
+	// initialised using the conservative initial RTT.
+	firstLossWithInitRTT bool
+
+	// Stats for the experiments.
+	ReportsSent     int64
+	SuppressCancels int64
+	Losses          int64
+	LossEvents      int64
+	PacketsRecv     int64
+	OnFirstRTT      func()       // optional hook fired at the first valid measurement
+	Meter           *stats.Meter // optional throughput meter
+	Trace           *trace.Log   // optional event trace (losses, reports)
+	lastSuppress    float64
+}
+
+// NewReceiver creates a receiver on the given node and joins the group.
+// sender is the sender's unicast address for reports.
+func NewReceiver(id ReceiverID, net *simnet.Network, node simnet.NodeID, port simnet.Port,
+	sender simnet.Addr, group simnet.GroupID, cfg Config, rng *sim.Rand) *Receiver {
+	r := &Receiver{
+		cfg:    cfg,
+		id:     id,
+		net:    net,
+		sch:    net.Scheduler(),
+		rng:    rng,
+		addr:   simnet.Addr{Node: node, Port: port},
+		sender: sender,
+		group:  group,
+		est:    lossrate.NewEstimator(lossrate.Weights(cfg.NumLossIntervals)),
+		rtte:   rtt.NewEstimator(cfg.RTT),
+		round:  -1,
+	}
+	net.Bind(r.addr, simnet.HandlerFunc(r.recv))
+	net.Join(group, node)
+	return r
+}
+
+// ID returns the receiver's identifier.
+func (r *Receiver) ID() ReceiverID { return r.id }
+
+// HasValidRTT reports whether the receiver has a real RTT measurement
+// (Figure 12's metric).
+func (r *Receiver) HasValidRTT() bool { return r.rtte.Valid() }
+
+// RTT returns the current RTT estimate.
+func (r *Receiver) RTT() sim.Time { return r.rtte.RTT() }
+
+// LossEventRate returns the measured loss event rate.
+func (r *Receiver) LossEventRate() float64 { return r.est.LossEventRate() }
+
+// IsCLR reports whether the sender currently designates this receiver as
+// the current limiting receiver.
+func (r *Receiver) IsCLR() bool { return r.isCLR }
+
+// SeedClockSync initialises the RTT estimate from synchronised clocks
+// using the observed one-way delay (section 2.4.1).
+func (r *Receiver) SeedClockSync(oneWay sim.Time) {
+	cs := rtt.ClockSync{Err: r.cfg.ClockSyncErr}
+	r.rtte.Seed(cs.EstimateFromOneWay(oneWay))
+}
+
+// CalcRate returns X_calc in bytes/s (+Inf before the first loss event).
+func (r *Receiver) CalcRate() float64 {
+	p := r.est.LossEventRate()
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return r.cfg.Model.Throughput(p, r.rtte.RTT().Seconds())
+}
+
+// Leave announces departure to the sender and leaves the multicast group.
+func (r *Receiver) Leave() {
+	if r.left {
+		return
+	}
+	r.left = true
+	r.cancelTimer()
+	r.net.Send(&simnet.Packet{
+		Size: r.cfg.ReportSize,
+		Src:  r.addr,
+		Dst:  r.sender,
+		Payload: Report{
+			From:      r.id,
+			Timestamp: r.sch.Now(),
+			Leave:     true,
+		},
+	})
+	r.net.Leave(r.group, r.addr.Node)
+}
+
+func (r *Receiver) recv(pkt *simnet.Packet) {
+	d, ok := pkt.Payload.(Data)
+	if !ok || r.left {
+		return
+	}
+	now := r.sch.Now()
+	r.PacketsRecv++
+	if r.Meter != nil {
+		r.Meter.Add(pkt.Size)
+	}
+
+	r.detectLosses(d, now)
+	r.est.OnPacket()
+	r.rw.add(now, pkt.Size)
+
+	wasCLR := r.isCLR
+	r.isCLR = d.CLR == r.id
+	if !r.isCLR && wasCLR {
+		r.clrNextAt = 0
+	}
+
+	r.updateRTT(d, now)
+
+	r.haveSeq = true
+	r.nextSeq = d.Seq + 1
+	r.lastArrival = now
+	r.lastData = d
+
+	if d.Round != r.round {
+		r.round = d.Round
+		r.startRound(d, now)
+	} else {
+		r.maybeSuppress(d)
+	}
+
+	if r.isCLR && now >= r.clrNextAt {
+		// The CLR reports immediately, unsuppressed, about once per RTT.
+		r.sendReport(now)
+		r.clrNextAt = now + r.rtte.RTT()
+	}
+}
+
+// detectLosses turns sequence gaps into loss events, interpolating the
+// loss times between the previous and current arrival.
+func (r *Receiver) detectLosses(d Data, now sim.Time) {
+	if !r.haveSeq || d.Seq <= r.nextSeq {
+		return
+	}
+	missing := d.Seq - r.nextSeq
+	if missing > 1000 {
+		missing = 1000 // sanity bound after long partitions
+	}
+	span := now - r.lastArrival
+	for i := int64(0); i < missing; i++ {
+		tLost := r.lastArrival + span.Scale(float64(i+1)/float64(missing+1))
+		r.Losses++
+		if r.Trace != nil {
+			r.Trace.Add(tLost, trace.CatLoss, int(r.id), 1, "")
+		}
+		first := !r.est.HaveLoss()
+		if r.est.OnLoss(tLost, r.rtte.RTT()) {
+			r.LossEvents++
+			if first {
+				r.initLossHistory(d)
+			}
+		}
+	}
+}
+
+// initLossHistory implements Appendix B: derive the first loss interval
+// from the receive rate when the first loss occurred rather than from the
+// packet count so far.
+func (r *Receiver) initLossHistory(d Data) {
+	// Appendix B uses the sending rate at which the first loss occurred
+	// as the bottleneck indicator; the measured receive rate is only a
+	// fallback (it is unreliable when few packets have arrived).
+	rate := d.Rate
+	if rate <= 0 {
+		rate = r.rw.rate(r.window(d), r.sch.Now())
+	}
+	// Slowstart overshoots to at most twice the bottleneck bandwidth, so
+	// half the receive rate approximates the fair rate.
+	p := r.cfg.Model.SimpleLossRate(rate/2, r.rtte.RTT().Seconds())
+	if p <= 0 {
+		return
+	}
+	l0 := int(1/p + 0.5)
+	if l0 < 1 {
+		l0 = 1
+	}
+	r.est.InitFirstInterval(l0)
+	r.firstLossWithInitRTT = !r.rtte.Valid()
+}
+
+func (r *Receiver) updateRTT(d Data, now sim.Time) {
+	if d.EchoRcvr == r.id {
+		wasValid := r.rtte.Valid()
+		r.rtte.Measure(now, d.EchoTS, d.EchoDelay, d.SendTime, r.isCLR)
+		if !wasValid {
+			r.onFirstRTTMeasurement(d)
+		}
+		if r.isCLR {
+			r.rtte.DiscardOneWay()
+		}
+		return
+	}
+	if r.rtte.Valid() {
+		r.rtte.AdjustOneWay(now, d.SendTime)
+	}
+}
+
+// onFirstRTTMeasurement applies the Appendix A/B corrections: loss events
+// aggregated with the too-high initial RTT are split, and the synthetic
+// first loss interval is rescaled by (R/R_init)².
+func (r *Receiver) onFirstRTTMeasurement(Data) {
+	if r.OnFirstRTT != nil {
+		r.OnFirstRTT()
+	}
+	if !r.est.HaveLoss() {
+		return
+	}
+	r.est.Reaggregate(r.rtte.RTT())
+	if r.firstLossWithInitRTT {
+		ratio := float64(r.rtte.RTT()) / float64(r.cfg.RTT.InitialRTT)
+		r.est.AdjustInitInterval(ratio * ratio)
+	}
+}
+
+// window returns the averaging window for receive-rate measurement: a
+// few RTTs, but always enough to span several packets — at very low
+// sending rates a short window quantises the measured rate so coarsely
+// that feedback suppression cannot match values across receivers.
+func (r *Receiver) window(d Data) sim.Time {
+	w := r.rtte.RTT().Scale(4)
+	if d.Rate > 0 {
+		minW := sim.FromSeconds(8 * float64(r.cfg.PacketSize) / d.Rate)
+		w = sim.MaxOf(w, minW)
+	}
+	return w
+}
+
+// startRound resets suppression state and draws a biased feedback timer
+// when this receiver has something to report (section 2.5.1).
+func (r *Receiver) startRound(d Data, now sim.Time) {
+	r.cancelTimer()
+	r.lastSuppress = math.Inf(1)
+	if r.isCLR {
+		return // the CLR reports outside the suppression process
+	}
+
+	var value, x float64
+	var hasLoss bool
+	if d.Slowstart {
+		// During slowstart every receiver reports its receive rate (the
+		// sender needs the round's minimum to set the target); the first
+		// lossy receiver reports X_calc and terminates slowstart.
+		if r.est.HaveLoss() {
+			value, hasLoss = r.CalcRate(), true
+		} else {
+			recv := r.rw.rate(r.window(d), now)
+			if recv <= 0 || d.Rate <= 0 {
+				return
+			}
+			value = recv
+		}
+		x = clamp01(value / d.Rate)
+	} else {
+		xc := r.CalcRate()
+		noCLR := d.CLR == noReceiver
+		if !noCLR && (math.IsInf(xc, 1) || xc >= d.Rate) {
+			return // feedback only when the calculated rate is lower
+		}
+		// With no CLR the sender cannot increase without feedback, so
+		// every receiver becomes eligible; lossless receivers report
+		// their receive rate as a safe upper bound.
+		if math.IsInf(xc, 1) {
+			recv := r.rw.rate(r.window(d), now)
+			if recv <= 0 {
+				return
+			}
+			value = recv
+		} else {
+			value, hasLoss = xc, true
+		}
+		x = clamp01(value / d.Rate)
+	}
+
+	fb := r.roundConfig(d)
+	delay := fb.Delay(x, r.rng.Float64())
+	r.fbValue = value
+	r.fbHasLoss = hasLoss
+	r.fbTimer = r.sch.After(delay, func() { r.fireFeedback(d) })
+}
+
+func (r *Receiver) roundConfig(d Data) feedback.Config {
+	return feedback.Config{
+		T:     d.RoundT,
+		N:     r.cfg.FeedbackN,
+		Delta: r.cfg.FeedbackDelta,
+		Eps:   r.cfg.FeedbackEps,
+		Bias:  r.cfg.FeedbackBias,
+	}
+}
+
+// maybeSuppress applies the ε-cancellation rule when the sender echoes a
+// lower report (section 2.5.2). During slowstart, a loss report can only
+// be suppressed by another loss report; conversely a receive-rate report
+// is moot once any loss has been echoed (slowstart is ending).
+func (r *Receiver) maybeSuppress(d Data) {
+	if r.fbTimer == nil || !r.fbTimer.Active() {
+		return
+	}
+	if math.IsInf(d.SuppressRate, 1) {
+		return
+	}
+	if r.fbHasLoss && !d.SuppressLoss {
+		return
+	}
+	if !r.fbHasLoss && d.SuppressLoss {
+		r.SuppressCancels++
+		r.cancelTimer()
+		return
+	}
+	if d.SuppressRate < r.lastSuppress {
+		r.lastSuppress = d.SuppressRate
+	}
+	// Compare against the value the report would carry *now*, not the one
+	// planned at round start: receive rates drift as the sending rate
+	// moves, and a stale low value must not defeat suppression.
+	if v := r.currentValue(d); v > 0 && !math.IsInf(v, 1) {
+		r.fbValue = v
+	}
+	if r.roundConfig(d).Cancel(r.fbValue, r.lastSuppress) {
+		r.SuppressCancels++
+		r.cancelTimer()
+	}
+}
+
+// currentValue returns the rate a report sent right now would carry.
+func (r *Receiver) currentValue(d Data) float64 {
+	if r.est.HaveLoss() {
+		return r.CalcRate()
+	}
+	return r.rw.rate(r.window(d), r.sch.Now())
+}
+
+func (r *Receiver) fireFeedback(d Data) {
+	// Re-check eligibility: the sending rate may have dropped below our
+	// calculated rate since the timer was set. (Not applicable during
+	// slowstart or when the sender has no CLR and is soliciting.)
+	if !d.Slowstart && r.lastData.CLR != noReceiver {
+		xc := r.CalcRate()
+		if math.IsInf(xc, 1) || xc >= r.lastData.Rate {
+			return
+		}
+	}
+	// Re-check suppression with the value the report will actually carry.
+	if !math.IsInf(r.lastSuppress, 1) {
+		v := r.currentValue(r.lastData)
+		if v > 0 && !math.IsInf(v, 1) &&
+			r.roundConfig(r.lastData).Cancel(v, r.lastSuppress) {
+			r.SuppressCancels++
+			return
+		}
+	}
+	r.sendReport(r.sch.Now())
+}
+
+func (r *Receiver) sendReport(now sim.Time) {
+	rate := r.fbValue
+	if r.est.HaveLoss() {
+		rate = r.CalcRate()
+	} else if recv := r.rw.rate(r.window(r.lastData), now); recv > 0 {
+		rate = recv
+	}
+	if rate <= 0 || math.IsInf(rate, 1) {
+		return
+	}
+	r.ReportsSent++
+	if r.Trace != nil {
+		r.Trace.Add(now, trace.CatFeedback, int(r.id), rate, "report")
+	}
+	r.net.Send(&simnet.Packet{
+		Size: r.cfg.ReportSize,
+		Src:  r.addr,
+		Dst:  r.sender,
+		Payload: Report{
+			From:      r.id,
+			Timestamp: now,
+			EchoTS:    r.lastData.SendTime,
+			EchoDelay: now - r.lastArrival,
+			Rate:      rate,
+			RecvRate:  r.rw.rate(r.window(r.lastData), now),
+			HasRTT:    r.rtte.Valid(),
+			RTT:       r.rtte.RTT(),
+			LossRate:  r.est.LossEventRate(),
+			HasLoss:   r.est.HaveLoss(),
+			Round:     r.round,
+		},
+	})
+}
+
+func (r *Receiver) cancelTimer() {
+	if r.fbTimer != nil {
+		r.fbTimer.Stop()
+		r.fbTimer = nil
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// recvWindow measures receive rate over a sliding time window.
+type recvWindow struct {
+	t     []sim.Time
+	b     []int
+	total int64
+}
+
+func (w *recvWindow) add(now sim.Time, bytes int) {
+	w.t = append(w.t, now)
+	w.b = append(w.b, bytes)
+	w.total += int64(bytes)
+	// Amortised pruning: keep at most ~512 samples.
+	if len(w.t) > 512 {
+		w.t = append([]sim.Time(nil), w.t[256:]...)
+		w.b = append([]int(nil), w.b[256:]...)
+	}
+}
+
+// rate returns bytes/second received over the trailing window.
+func (w *recvWindow) rate(window, now sim.Time) float64 {
+	if window <= 0 || len(w.t) == 0 {
+		return 0
+	}
+	cut := now - window
+	var bytes int64
+	for i := len(w.t) - 1; i >= 0; i-- {
+		if w.t[i] < cut {
+			break
+		}
+		bytes += int64(w.b[i])
+	}
+	return float64(bytes) / window.Seconds()
+}

@@ -1,0 +1,237 @@
+package tfmcc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// bareReceiver wires one receiver to a fake sender address so tests can
+// feed it crafted Data packets and capture its reports.
+type bareRig struct {
+	sch     *sim.Scheduler
+	net     *simnet.Network
+	rcv     *Receiver
+	reports []Report
+}
+
+func newBareRig(cfg Config) *bareRig {
+	sch := sim.NewScheduler()
+	net := simnet.New(sch, sim.NewRand(1))
+	snd := net.AddNode("snd")
+	rn := net.AddNode("rcv")
+	net.AddDuplex(snd, rn, 0, sim.Millisecond, 0)
+	rig := &bareRig{sch: sch, net: net}
+	senderAddr := simnet.Addr{Node: snd, Port: 100}
+	net.Bind(senderAddr, simnet.HandlerFunc(func(p *simnet.Packet) {
+		if rep, ok := p.Payload.(Report); ok {
+			rig.reports = append(rig.reports, rep)
+		}
+	}))
+	rig.rcv = NewReceiver(0, net, rn, 100, senderAddr, 1, cfg, sim.NewRand(2))
+	return rig
+}
+
+// inject delivers a Data packet to the receiver as if multicast.
+func (r *bareRig) inject(d Data, size int) {
+	r.net.Send(&simnet.Packet{
+		Size: size, Src: simnet.Addr{Node: 0, Port: 100},
+		Dst: simnet.Addr{Port: 100}, Group: 1, IsMcast: true,
+		Payload: d,
+	})
+	r.sch.Run()
+}
+
+func baseData(seq int64, now sim.Time) Data {
+	return Data{
+		Seq: seq, SendTime: now, Rate: 10000, Round: 1,
+		RoundT: 2 * sim.Second, MaxRTT: 500 * sim.Millisecond,
+		CLR: noReceiver, EchoRcvr: noReceiver,
+		SuppressRate: math.Inf(1),
+	}
+}
+
+func TestReceiverLossDetection(t *testing.T) {
+	rig := newBareRig(DefaultConfig())
+	rig.inject(baseData(0, 0), 1000)
+	rig.inject(baseData(1, 0), 1000)
+	d := baseData(4, 0) // seqs 2,3 missing
+	rig.inject(d, 1000)
+	if rig.rcv.Losses != 2 {
+		t.Fatalf("losses = %d, want 2", rig.rcv.Losses)
+	}
+	// Both within one (initial, 500ms) RTT: one loss event.
+	if rig.rcv.LossEvents != 1 {
+		t.Fatalf("loss events = %d, want 1", rig.rcv.LossEvents)
+	}
+}
+
+func TestReceiverDuplicateAndReorderTolerant(t *testing.T) {
+	rig := newBareRig(DefaultConfig())
+	rig.inject(baseData(0, 0), 1000)
+	rig.inject(baseData(1, 0), 1000)
+	rig.inject(baseData(1, 0), 1000) // duplicate
+	rig.inject(baseData(0, 0), 1000) // late/reordered
+	if rig.rcv.Losses != 0 {
+		t.Fatalf("dup/reorder counted as loss: %d", rig.rcv.Losses)
+	}
+}
+
+func TestReceiverRTTMeasurementViaEcho(t *testing.T) {
+	rig := newBareRig(DefaultConfig())
+	// Make the receiver CLR so it reports immediately; then echo it.
+	d := baseData(0, rig.sch.Now())
+	d.CLR = 0
+	rig.inject(d, 1000)
+	if len(rig.reports) != 1 {
+		t.Fatalf("CLR should report immediately, got %d reports", len(rig.reports))
+	}
+	rep := rig.reports[0]
+	// Echo the report in the next data packet.
+	d2 := baseData(1, rig.sch.Now())
+	d2.CLR = 0
+	d2.EchoRcvr = 0
+	d2.EchoTS = rep.Timestamp
+	d2.EchoDelay = 0
+	rig.inject(d2, 1000)
+	if !rig.rcv.HasValidRTT() {
+		t.Fatal("echo should yield a valid RTT")
+	}
+	// True path RTT = 2ms (1ms each way).
+	if got := rig.rcv.RTT(); got < sim.Millisecond || got > 4*sim.Millisecond {
+		t.Fatalf("RTT = %v, want ~2ms", got)
+	}
+}
+
+func TestReceiverIgnoresForeignEcho(t *testing.T) {
+	rig := newBareRig(DefaultConfig())
+	d := baseData(0, rig.sch.Now())
+	d.EchoRcvr = 42 // someone else
+	d.EchoTS = 0
+	rig.inject(d, 1000)
+	if rig.rcv.HasValidRTT() {
+		t.Fatal("echo for another receiver must not produce a measurement")
+	}
+}
+
+func TestReceiverLeaveSendsReportAndStops(t *testing.T) {
+	rig := newBareRig(DefaultConfig())
+	rig.inject(baseData(0, 0), 1000)
+	rig.rcv.Leave()
+	rig.sch.Run()
+	found := false
+	for _, r := range rig.reports {
+		if r.Leave {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Leave must send a leave report")
+	}
+	before := rig.rcv.PacketsRecv
+	rig.inject(baseData(1, 0), 1000)
+	if rig.rcv.PacketsRecv != before {
+		t.Fatal("left receiver must ignore further data")
+	}
+	rig.rcv.Leave() // idempotent
+}
+
+func TestReceiverEligibilityRequiresLowerRate(t *testing.T) {
+	cfg := DefaultConfig()
+	rig := newBareRig(cfg)
+	// Normal mode (no slowstart), with a CLR set, no loss experienced:
+	// the receiver must stay silent through entire rounds.
+	seq := int64(0)
+	for round := 1; round <= 5; round++ {
+		for i := 0; i < 20; i++ {
+			d := baseData(seq, rig.sch.Now())
+			seq++
+			d.Slowstart = false
+			d.CLR = 42
+			d.Round = round
+			rig.inject(d, 1000)
+			rig.sch.RunUntil(rig.sch.Now() + 100*sim.Millisecond)
+		}
+	}
+	if len(rig.reports) != 0 {
+		t.Fatalf("no-loss receiver reported %d times with a CLR present", len(rig.reports))
+	}
+}
+
+func TestRecvWindowRate(t *testing.T) {
+	var w recvWindow
+	w.add(0, 1000)
+	w.add(100*sim.Millisecond, 1000)
+	w.add(200*sim.Millisecond, 1000)
+	// Window of 1s from t=200ms covers all three packets.
+	if got := w.rate(sim.Second, 200*sim.Millisecond); got != 3000 {
+		t.Fatalf("rate = %v, want 3000 B/s", got)
+	}
+	// Window of 150ms covers the last two.
+	if got := w.rate(150*sim.Millisecond, 200*sim.Millisecond); math.Abs(got-2000/0.15) > 1 {
+		t.Fatalf("rate = %v, want %v", got, 2000/0.15)
+	}
+	if w.rate(0, 0) != 0 {
+		t.Fatal("zero window should be 0")
+	}
+	var empty recvWindow
+	if empty.rate(sim.Second, 0) != 0 {
+		t.Fatal("empty window should be 0")
+	}
+}
+
+func TestRecvWindowPruning(t *testing.T) {
+	var w recvWindow
+	for i := 0; i < 2000; i++ {
+		w.add(sim.Time(i)*sim.Millisecond, 100)
+	}
+	if len(w.t) > 512 {
+		t.Fatalf("window not pruned: %d samples", len(w.t))
+	}
+	// Recent rate still correct after pruning.
+	got := w.rate(100*sim.Millisecond, 1999*sim.Millisecond)
+	if math.Abs(got-100*101/0.1) > 2000 {
+		t.Fatalf("post-prune rate = %v", got)
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	f := func(x float64) bool {
+		v := clamp01(x)
+		return v >= 0 && v <= 1 && (x < 0 || x > 1 || v == x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLRReportsUnsuppressed(t *testing.T) {
+	rig := newBareRig(DefaultConfig())
+	now := rig.sch.Now()
+	// CLR with an active suppression echo far below: must report anyway.
+	d := baseData(0, now)
+	d.CLR = 0
+	d.SuppressRate = 1 // absurdly low echo
+	rig.inject(d, 1000)
+	if len(rig.reports) == 0 {
+		t.Fatal("CLR must report regardless of suppression")
+	}
+}
+
+func TestCLRReportRateLimitedPerRTT(t *testing.T) {
+	rig := newBareRig(DefaultConfig())
+	now := rig.sch.Now()
+	for i := 0; i < 10; i++ {
+		d := baseData(int64(i), now)
+		d.CLR = 0
+		rig.inject(d, 1000)
+	}
+	// All ten packets arrive within far less than the 500ms initial RTT:
+	// only the first may trigger a CLR report.
+	if len(rig.reports) != 1 {
+		t.Fatalf("CLR reported %d times within one RTT, want 1", len(rig.reports))
+	}
+}

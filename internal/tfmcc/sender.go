@@ -1,0 +1,543 @@
+package tfmcc
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// Sender is the TFMCC multicast sender: it paces data packets at the
+// TCP-friendly rate dictated by the current limiting receiver, runs the
+// feedback rounds, echoes receiver timestamps for RTT measurement and
+// performs slowstart (section 2.6).
+type Sender struct {
+	cfg   Config
+	net   *simnet.Network
+	sch   *sim.Scheduler
+	addr  simnet.Addr
+	group simnet.GroupID
+
+	running bool
+	seq     int64
+	rate    float64 // current sending rate, bytes/s
+	target  float64 // rate the sender is ramping towards
+
+	slowstart    bool
+	minRecvRound float64 // minimum receive rate reported this round
+
+	round      int
+	roundT     sim.Time
+	roundTimer *sim.Timer
+
+	suppressRate float64
+	suppressLoss bool
+
+	maxRTT     sim.Time
+	roundRTT   sim.Time // max RTT reported this round
+	roundNoRTT bool     // a report without valid RTT arrived this round
+	rttWindow  []sim.Time
+
+	clr           ReceiverID
+	clrRate       float64
+	clrRTT        sim.Time
+	lastCLRReport sim.Time
+	newCLREcho    bool
+
+	prevCLR        ReceiverID // Appendix C
+	prevCLRRate    float64
+	prevCLRExpires sim.Time
+
+	echoQ   []echoEntry
+	clrEcho echoEntry // last CLR report, echoed when the queue is empty
+	reports map[ReceiverID]reportInfo
+
+	rampTimer *sim.Timer
+
+	// Stats.
+	PacketsSent int64
+	ReportsRecv int64
+	CLRChanges  int64
+
+	// Trace, when set, records rate changes, CLR switches, rounds and
+	// received feedback.
+	Trace *trace.Log
+}
+
+type echoEntry struct {
+	rcvr    ReceiverID
+	ts      sim.Time // receiver timestamp to echo
+	arrived sim.Time // when the report arrived (for EchoDelay)
+	class   int      // echo priority class, lower first (section 2.4.2)
+	rate    float64  // tie-break: lowest reported rate first
+	valid   bool
+}
+
+type reportInfo struct {
+	at      sim.Time
+	rate    float64 // RTT-adjusted rate
+	hasRTT  bool
+	rtt     sim.Time
+	hasLoss bool
+}
+
+// Echo priority classes (section 2.4.2).
+const (
+	echoClassNewCLR = iota
+	echoClassNoRTT
+	echoClassOther
+	echoClassCLR
+)
+
+// NewSender creates a sender on the given node sending to group. Reports
+// are received on addr.
+func NewSender(net *simnet.Network, node simnet.NodeID, port simnet.Port,
+	group simnet.GroupID, cfg Config) *Sender {
+	s := &Sender{
+		cfg:          cfg,
+		net:          net,
+		sch:          net.Scheduler(),
+		addr:         simnet.Addr{Node: node, Port: port},
+		group:        group,
+		rate:         cfg.InitialRate,
+		target:       cfg.InitialRate,
+		slowstart:    true,
+		suppressRate: math.Inf(1),
+		maxRTT:       cfg.RTT.InitialRTT,
+		clr:          noReceiver,
+		prevCLR:      noReceiver,
+		reports:      map[ReceiverID]reportInfo{},
+		minRecvRound: math.Inf(1),
+	}
+	net.Bind(s.addr, simnet.HandlerFunc(s.recv))
+	return s
+}
+
+// Start begins transmission and the feedback round schedule.
+func (s *Sender) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.roundT = s.cfg.feedbackConfig(s.maxRTT, s.rate).T
+	s.advanceRound()
+	s.sendLoop()
+}
+
+// Stop halts transmission.
+func (s *Sender) Stop() { s.running = false }
+
+// Rate returns the current sending rate in bytes/s.
+func (s *Sender) Rate() float64 { return s.rate }
+
+// InSlowstart reports whether the sender is still in slowstart.
+func (s *Sender) InSlowstart() bool { return s.slowstart }
+
+// CLR returns the current limiting receiver (noReceiver == -1 if none).
+func (s *Sender) CLR() ReceiverID { return s.clr }
+
+// Round returns the current feedback round number.
+func (s *Sender) Round() int { return s.round }
+
+// MaxRTT returns the sender's view of the maximum receiver RTT.
+func (s *Sender) MaxRTT() sim.Time { return s.maxRTT }
+
+func (s *Sender) sendLoop() {
+	if !s.running {
+		return
+	}
+	s.transmit()
+	gap := sim.FromSeconds(float64(s.cfg.PacketSize) / s.rate)
+	s.sch.After(gap, s.sendLoop)
+}
+
+func (s *Sender) transmit() {
+	now := s.sch.Now()
+	d := Data{
+		Seq:          s.seq,
+		SendTime:     now,
+		Rate:         s.rate,
+		Round:        s.round,
+		RoundT:       s.roundT,
+		MaxRTT:       s.maxRTT,
+		Slowstart:    s.slowstart,
+		CLR:          s.clr,
+		EchoRcvr:     noReceiver,
+		SuppressRate: s.suppressRate,
+		SuppressLoss: s.suppressLoss,
+	}
+	if e := s.popEcho(); e.valid {
+		d.EchoRcvr = e.rcvr
+		d.EchoTS = e.ts
+		d.EchoDelay = now - e.arrived
+	}
+	s.seq++
+	s.PacketsSent++
+	s.net.Send(&simnet.Packet{
+		Size:    s.cfg.PacketSize,
+		Src:     s.addr,
+		Dst:     simnet.Addr{Port: s.addr.Port},
+		Group:   s.group,
+		IsMcast: true,
+		Payload: d,
+	})
+}
+
+// popEcho picks the highest-priority pending echo, falling back to the
+// CLR's last report.
+func (s *Sender) popEcho() echoEntry {
+	if len(s.echoQ) > 0 {
+		sort.SliceStable(s.echoQ, func(i, j int) bool {
+			if s.echoQ[i].class != s.echoQ[j].class {
+				return s.echoQ[i].class < s.echoQ[j].class
+			}
+			return s.echoQ[i].rate < s.echoQ[j].rate
+		})
+		e := s.echoQ[0]
+		s.echoQ = s.echoQ[1:]
+		return e
+	}
+	return s.clrEcho
+}
+
+func (s *Sender) recv(pkt *simnet.Packet) {
+	rep, ok := pkt.Payload.(Report)
+	if !ok || !s.running {
+		return
+	}
+	now := s.sch.Now()
+	s.ReportsRecv++
+	if s.Trace != nil {
+		s.Trace.Add(now, trace.CatFeedback, int(rep.From), rep.Rate, "")
+	}
+
+	if rep.Leave {
+		s.onLeave(rep.From, now)
+		return
+	}
+
+	// Sender-side RTT measurement (section 2.4.4): adjust the reported
+	// rate when the receiver is still using the initial RTT.
+	adj := rep.Rate
+	sampleRTT := rep.RTT
+	if !rep.HasRTT {
+		measured := now - rep.EchoTS - rep.EchoDelay
+		if measured < sim.Millisecond {
+			measured = sim.Millisecond
+		}
+		sampleRTT = measured
+		if rep.HasLoss && rep.LossRate > 0 {
+			adj = s.cfg.Model.Throughput(rep.LossRate, measured.Seconds())
+		}
+	}
+
+	s.reports[rep.From] = reportInfo{
+		at: now, rate: adj, hasRTT: rep.HasRTT, rtt: sampleRTT, hasLoss: rep.HasLoss,
+	}
+	s.trackRTT(rep, sampleRTT)
+	// Suppression compares like with like: receivers judge their own
+	// X_calc against the echo, so the echo must carry the rate exactly as
+	// reported, not the sender-side RTT-adjusted value.
+	s.updateSuppression(rep, rep.Rate)
+	s.queueEcho(rep, now, adj)
+
+	if s.slowstart {
+		s.slowstartReport(rep, adj, now)
+		return
+	}
+	s.steadyReport(rep, adj, now)
+}
+
+func (s *Sender) trackRTT(rep Report, sample sim.Time) {
+	if rep.HasRTT {
+		if sample > s.roundRTT {
+			s.roundRTT = sample
+		}
+	} else {
+		s.roundNoRTT = true
+	}
+}
+
+func (s *Sender) updateSuppression(rep Report, adj float64) {
+	// Echo the lowest rate of the round so receivers can cancel timers.
+	// During slowstart, loss reports dominate non-loss reports.
+	if s.slowstart && rep.HasLoss && !s.suppressLoss {
+		s.suppressRate = adj
+		s.suppressLoss = true
+		return
+	}
+	if adj < s.suppressRate && (!s.suppressLoss || rep.HasLoss) {
+		s.suppressRate = adj
+		s.suppressLoss = rep.HasLoss
+	}
+}
+
+func (s *Sender) queueEcho(rep Report, now sim.Time, adj float64) {
+	e := echoEntry{rcvr: rep.From, ts: rep.Timestamp, arrived: now, rate: adj, valid: true}
+	switch {
+	case rep.From == s.clr:
+		e.class = echoClassCLR
+		s.clrEcho = e
+		return // the CLR is echoed in all otherwise-unused packets
+	case !rep.HasRTT:
+		e.class = echoClassNoRTT
+	default:
+		e.class = echoClassOther
+	}
+	s.echoQ = append(s.echoQ, e)
+	if len(s.echoQ) > 64 {
+		s.echoQ = s.echoQ[len(s.echoQ)-64:]
+	}
+}
+
+func (s *Sender) slowstartReport(rep Report, adj float64, now sim.Time) {
+	if rep.HasLoss {
+		// First loss terminates slowstart; the reporter becomes CLR.
+		s.slowstart = false
+		s.setCLR(rep.From, adj, rep.RTT, now)
+		if adj < s.rate {
+			s.setRate(adj)
+		}
+		s.target = adj
+		return
+	}
+	if rep.RecvRate > 0 && rep.RecvRate < s.minRecvRound {
+		s.minRecvRound = rep.RecvRate
+	}
+}
+
+func (s *Sender) steadyReport(rep Report, adj float64, now sim.Time) {
+	if rep.From == s.clr {
+		s.lastCLRReport = now
+		s.clrRate = adj
+		if rep.HasRTT {
+			s.clrRTT = rep.RTT
+		}
+		if adj < s.rate {
+			s.setRate(adj)
+			s.target = adj
+		} else {
+			s.target = adj
+			s.ensureRamp()
+		}
+		s.maybeRevertToPrevCLR(now)
+		return
+	}
+	// Feedback lower than the current rate: immediate reduction, and the
+	// reporter becomes the new CLR (section 2.2). With no CLR at all, any
+	// report is adopted; increases then ramp at one packet per RTT.
+	if adj < s.rate || s.clr == noReceiver {
+		s.storePrevCLR(now)
+		s.setCLR(rep.From, adj, rep.RTT, now)
+		if adj < s.rate {
+			s.setRate(adj)
+			s.target = adj
+		} else {
+			s.target = adj
+			s.ensureRamp()
+		}
+	}
+}
+
+func (s *Sender) setCLR(id ReceiverID, rate float64, rttEst sim.Time, now sim.Time) {
+	if s.clr != id {
+		s.CLRChanges++
+		s.newCLREcho = true
+		if s.Trace != nil {
+			s.Trace.Add(now, trace.CatCLR, int(id), rate, "clr change")
+		}
+	}
+	s.clr = id
+	s.clrRate = rate
+	if rttEst > 0 {
+		s.clrRTT = rttEst
+	}
+	s.lastCLRReport = now
+	// Promote the new CLR's echo to the front of the queue.
+	for i := range s.echoQ {
+		if s.echoQ[i].rcvr == id {
+			s.echoQ[i].class = echoClassNewCLR
+		}
+	}
+}
+
+// storePrevCLR remembers the CLR being displaced (Appendix C).
+func (s *Sender) storePrevCLR(now sim.Time) {
+	if !s.cfg.StorePrevCLR || s.clr == noReceiver {
+		return
+	}
+	s.prevCLR = s.clr
+	s.prevCLRRate = s.clrRate
+	s.prevCLRExpires = now + s.cfg.PrevCLRTimeout
+}
+
+// maybeRevertToPrevCLR switches back to the stored CLR when the current
+// CLR's rate rises above it (Appendix C).
+func (s *Sender) maybeRevertToPrevCLR(now sim.Time) {
+	if !s.cfg.StorePrevCLR || s.prevCLR == noReceiver || now > s.prevCLRExpires {
+		s.prevCLR = noReceiver
+		return
+	}
+	if s.clrRate > s.prevCLRRate {
+		old := s.prevCLR
+		oldRate := s.prevCLRRate
+		s.prevCLR = noReceiver
+		s.setCLR(old, oldRate, 0, now)
+		if oldRate < s.rate {
+			s.setRate(oldRate)
+		}
+		s.target = oldRate
+	}
+}
+
+func (s *Sender) onLeave(id ReceiverID, now sim.Time) {
+	delete(s.reports, id)
+	if id == s.prevCLR {
+		s.prevCLR = noReceiver
+	}
+	if id != s.clr {
+		return
+	}
+	s.clr = noReceiver
+	s.clrEcho = echoEntry{}
+	s.pickBackupCLR(now)
+}
+
+// pickBackupCLR selects the lowest-rate receiver heard from recently.
+// The rate then ramps towards the new CLR's rate at one packet per RTT
+// (section 2.2).
+func (s *Sender) pickBackupCLR(now sim.Time) {
+	best := noReceiver
+	bestRate := math.Inf(1)
+	var bestRTT sim.Time
+	horizon := now - s.roundT.Scale(2*float64(s.cfg.CLRTimeoutRounds))
+	for id, info := range s.reports {
+		if info.at < horizon {
+			continue
+		}
+		if info.rate < bestRate {
+			best, bestRate, bestRTT = id, info.rate, info.rtt
+		}
+	}
+	if best == noReceiver {
+		return // no increase without feedback
+	}
+	s.setCLR(best, bestRate, bestRTT, now)
+	if bestRate < s.rate {
+		s.setRate(bestRate)
+		s.target = bestRate
+	} else {
+		s.target = bestRate
+		s.ensureRamp()
+	}
+}
+
+func (s *Sender) setRate(r float64) {
+	if r < s.cfg.MinRate {
+		r = s.cfg.MinRate
+	}
+	if s.cfg.MaxRate > 0 && r > s.cfg.MaxRate {
+		r = s.cfg.MaxRate
+	}
+	if s.Trace != nil && r != s.rate {
+		s.Trace.Add(s.sch.Now(), trace.CatRate, -1, r, "")
+	}
+	s.rate = r
+}
+
+// ensureRamp arms the additive-increase clock: at most one packet per RTT
+// of rate increase towards the target.
+func (s *Sender) ensureRamp() {
+	if s.rampTimer != nil && s.rampTimer.Active() {
+		return
+	}
+	rtt := s.rampRTT()
+	s.rampTimer = s.sch.After(rtt, s.rampTick)
+}
+
+func (s *Sender) rampRTT() sim.Time {
+	rtt := s.clrRTT
+	if rtt <= 0 {
+		rtt = s.maxRTT
+	}
+	if rtt < sim.Millisecond {
+		rtt = sim.Millisecond
+	}
+	return rtt
+}
+
+func (s *Sender) rampTick() {
+	if !s.running || s.clr == noReceiver {
+		return
+	}
+	if s.target > s.rate {
+		step := float64(s.cfg.PacketSize) / s.rampRTT().Seconds()
+		s.setRate(math.Min(s.target, s.rate+step))
+	}
+	if s.target > s.rate {
+		s.rampTimer = s.sch.After(s.rampRTT(), s.rampTick)
+	}
+}
+
+// advanceRound closes the current feedback round and opens the next
+// (section 2.5): apply the slowstart target, age the RTT window, check
+// the CLR timeout, reset suppression state.
+func (s *Sender) advanceRound() {
+	if !s.running {
+		return
+	}
+	now := s.sch.Now()
+
+	if s.slowstart && !math.IsInf(s.minRecvRound, 1) {
+		target := s.cfg.SlowstartFactor * s.minRecvRound
+		if target > s.rate {
+			s.setRate(target)
+		}
+		s.target = s.rate
+	}
+	s.minRecvRound = math.Inf(1)
+
+	// Maximum-RTT tracking: while any receiver reports without a valid
+	// RTT, stay at the conservative initial value (footnote 7).
+	if s.roundNoRTT {
+		s.rttWindow = s.rttWindow[:0]
+		s.maxRTT = s.cfg.RTT.InitialRTT
+	} else if s.roundRTT > 0 {
+		s.rttWindow = append(s.rttWindow, s.roundRTT)
+		if len(s.rttWindow) > 4 {
+			s.rttWindow = s.rttWindow[1:]
+		}
+		// Only move off the conservative initial RTT after several
+		// consecutive rounds in which every reporter had a valid RTT
+		// (footnote 7: the initial RTT governs feedback suppression
+		// until the receiver set has measured its RTTs).
+		if len(s.rttWindow) >= 4 {
+			max := sim.Time(0)
+			for _, v := range s.rttWindow {
+				if v > max {
+					max = v
+				}
+			}
+			s.maxRTT = max
+		}
+	}
+	s.roundRTT = 0
+	s.roundNoRTT = false
+
+	// CLR timeout: assume the CLR left if it has been silent too long.
+	if s.clr != noReceiver && s.lastCLRReport > 0 &&
+		now-s.lastCLRReport > s.roundT.Scale(float64(s.cfg.CLRTimeoutRounds)) {
+		s.onLeave(s.clr, now)
+	}
+
+	s.round++
+	s.suppressRate = math.Inf(1)
+	s.suppressLoss = false
+	s.roundT = s.cfg.feedbackConfig(s.maxRTT, s.rate).T
+	if s.Trace != nil {
+		s.Trace.Add(now, trace.CatRound, s.round, s.roundT.Seconds(), "")
+	}
+	s.roundTimer = s.sch.After(s.roundT, s.advanceRound)
+}

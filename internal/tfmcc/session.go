@@ -1,0 +1,55 @@
+package tfmcc
+
+import (
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Session wires one TFMCC sender and its receivers onto an existing
+// network topology, allocating receiver IDs and a shared port.
+type Session struct {
+	Cfg       Config
+	Net       *simnet.Network
+	Group     simnet.GroupID
+	Port      simnet.Port
+	Sender    *Sender
+	Receivers []*Receiver
+
+	rng *sim.Rand
+}
+
+// NewSession creates a session with the sender on senderNode.
+func NewSession(net *simnet.Network, senderNode simnet.NodeID, group simnet.GroupID,
+	port simnet.Port, cfg Config, rng *sim.Rand) *Session {
+	return &Session{
+		Cfg:    cfg,
+		Net:    net,
+		Group:  group,
+		Port:   port,
+		Sender: NewSender(net, senderNode, port, group, cfg),
+		rng:    rng,
+	}
+}
+
+// AddReceiver joins a receiver on the given node and returns it.
+func (s *Session) AddReceiver(node simnet.NodeID) *Receiver {
+	id := ReceiverID(len(s.Receivers))
+	r := NewReceiver(id, s.Net, node, s.Port, s.Sender.addr, s.Group, s.Cfg, s.rng)
+	s.Receivers = append(s.Receivers, r)
+	return r
+}
+
+// Start begins the transfer.
+func (s *Session) Start() { s.Sender.Start() }
+
+// ValidRTTCount returns how many receivers have a real RTT measurement
+// (the Figure 12 metric).
+func (s *Session) ValidRTTCount() int {
+	n := 0
+	for _, r := range s.Receivers {
+		if r.HasValidRTT() {
+			n++
+		}
+	}
+	return n
+}

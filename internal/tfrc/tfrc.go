@@ -1,0 +1,318 @@
+// Package tfrc implements unicast TCP-Friendly Rate Control (Floyd,
+// Handley, Padhye, Widmer, SIGCOMM 2000; RFC 3448) on top of simnet. It
+// is the protocol TFMCC extends to multicast, and serves as the unicast
+// reference point in comparison benchmarks: same control equation, same
+// loss-interval measurement, but sender-side rate computation and a
+// single receiver reporting once per RTT.
+package tfrc
+
+import (
+	"math"
+
+	"repro/internal/lossrate"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/tcpmodel"
+)
+
+// Data is a TFRC data packet header.
+type Data struct {
+	Seq       int64
+	SendTime  sim.Time
+	Rate      float64  // current sending rate (bytes/s)
+	EchoTS    sim.Time // echoed receiver report timestamp
+	EchoDelay sim.Time
+	RTT       sim.Time // sender's current RTT estimate (for loss aggregation)
+}
+
+// Feedback is the once-per-RTT receiver report.
+type Feedback struct {
+	Timestamp sim.Time // receiver clock (echoed back for RTT)
+	EchoTS    sim.Time // SendTime of the most recent data packet
+	EchoDelay sim.Time
+	LossRate  float64 // loss event rate p
+	RecvRate  float64 // measured receive rate, bytes/s
+	HasLoss   bool
+}
+
+// Config holds the TFRC tunables.
+type Config struct {
+	PacketSize  int
+	ReportSize  int
+	Model       tcpmodel.Params
+	InitialRate float64 // bytes/s
+	MinRate     float64
+	NumWeights  int
+}
+
+// DefaultConfig mirrors the TFMCC defaults for apples-to-apples benches.
+func DefaultConfig() Config {
+	return Config{
+		PacketSize:  1000,
+		ReportSize:  40,
+		Model:       tcpmodel.Default(),
+		InitialRate: 2000,
+		MinRate:     125,
+		NumWeights:  8,
+	}
+}
+
+// Sender paces data packets and adjusts the rate from receiver feedback
+// using the TCP model.
+type Sender struct {
+	cfg  Config
+	net  *simnet.Network
+	sch  *sim.Scheduler
+	addr simnet.Addr
+	peer simnet.Addr
+
+	running   bool
+	seq       int64
+	rate      float64
+	slowstart bool
+
+	srtt     sim.Time
+	haveRTT  bool
+	lastEcho Feedback
+	echoAt   sim.Time
+	haveEcho bool
+
+	noFeedback *sim.Timer
+
+	PacketsSent int64
+}
+
+// NewSender creates a TFRC sender bound to addr, sending to peer.
+func NewSender(net *simnet.Network, addr, peer simnet.Addr, cfg Config) *Sender {
+	if cfg.PacketSize == 0 {
+		cfg = DefaultConfig()
+	}
+	s := &Sender{
+		cfg: cfg, net: net, sch: net.Scheduler(),
+		addr: addr, peer: peer,
+		rate: cfg.InitialRate, slowstart: true,
+	}
+	net.Bind(addr, simnet.HandlerFunc(s.recv))
+	return s
+}
+
+// Start begins transmission.
+func (s *Sender) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.armNoFeedback()
+	s.sendLoop()
+}
+
+// Stop halts transmission.
+func (s *Sender) Stop() { s.running = false }
+
+// Rate returns the current sending rate in bytes/s.
+func (s *Sender) Rate() float64 { return s.rate }
+
+// RTT returns the smoothed RTT estimate (0 before the first feedback).
+func (s *Sender) RTT() sim.Time { return s.srtt }
+
+// InSlowstart reports whether the first loss has yet to be reported.
+func (s *Sender) InSlowstart() bool { return s.slowstart }
+
+func (s *Sender) sendLoop() {
+	if !s.running {
+		return
+	}
+	now := s.sch.Now()
+	d := Data{
+		Seq:      s.seq,
+		SendTime: now,
+		Rate:     s.rate,
+		RTT:      s.currentRTT(),
+	}
+	if s.haveEcho {
+		d.EchoTS = s.lastEcho.Timestamp
+		d.EchoDelay = now - s.echoAt
+		s.haveEcho = false
+	}
+	s.seq++
+	s.PacketsSent++
+	s.net.Send(&simnet.Packet{
+		Size: s.cfg.PacketSize, Src: s.addr, Dst: s.peer, Payload: d,
+	})
+	s.sch.After(sim.FromSeconds(float64(s.cfg.PacketSize)/s.rate), s.sendLoop)
+}
+
+func (s *Sender) currentRTT() sim.Time {
+	if !s.haveRTT {
+		return 500 * sim.Millisecond
+	}
+	return s.srtt
+}
+
+func (s *Sender) recv(pkt *simnet.Packet) {
+	fb, ok := pkt.Payload.(Feedback)
+	if !ok || !s.running {
+		return
+	}
+	now := s.sch.Now()
+	sample := now - fb.EchoTS - fb.EchoDelay
+	if sample > 0 {
+		if !s.haveRTT {
+			s.haveRTT = true
+			s.srtt = sample
+		} else {
+			s.srtt = sim.Time(0.1*float64(sample) + 0.9*float64(s.srtt))
+		}
+	}
+	s.lastEcho = fb
+	s.echoAt = now
+	s.haveEcho = true
+
+	if s.slowstart && fb.HasLoss {
+		s.slowstart = false
+	}
+	if s.slowstart {
+		// Double per RTT, bounded by twice the reported receive rate.
+		target := math.Min(2*s.rate, 2*math.Max(fb.RecvRate, s.cfg.InitialRate))
+		if target > s.rate {
+			s.rate = target
+		}
+	} else if fb.LossRate > 0 {
+		x := s.cfg.Model.Throughput(fb.LossRate, s.currentRTT().Seconds())
+		// RFC 3448: never more than twice the rate the receiver saw.
+		x = math.Min(x, 2*fb.RecvRate)
+		s.setRate(x)
+	}
+	s.armNoFeedback()
+}
+
+func (s *Sender) setRate(x float64) {
+	if x < s.cfg.MinRate {
+		x = s.cfg.MinRate
+	}
+	s.rate = x
+}
+
+// armNoFeedback (re)starts the no-feedback timer: when no report arrives
+// for 4 RTTs (or 2 packet intervals at low rates), the rate is halved.
+func (s *Sender) armNoFeedback() {
+	if s.noFeedback != nil {
+		s.noFeedback.Stop()
+	}
+	d := sim.MaxOf(s.currentRTT().Scale(4),
+		sim.FromSeconds(2*float64(s.cfg.PacketSize)/s.rate))
+	s.noFeedback = s.sch.After(d, func() {
+		if !s.running {
+			return
+		}
+		s.setRate(s.rate / 2)
+		s.armNoFeedback()
+	})
+}
+
+// Receiver measures loss and reports once per RTT.
+type Receiver struct {
+	cfg  Config
+	net  *simnet.Network
+	sch  *sim.Scheduler
+	addr simnet.Addr
+	peer simnet.Addr
+
+	est         *lossrate.Estimator
+	haveSeq     bool
+	nextSeq     int64
+	lastArrival sim.Time
+	lastData    Data
+	winBytes    []int
+	winTimes    []sim.Time
+	nextReport  sim.Time
+
+	Meter *stats.Meter
+
+	PacketsRecv int64
+	Losses      int64
+}
+
+// NewReceiver creates a TFRC receiver bound to addr reporting to peer.
+func NewReceiver(net *simnet.Network, addr, peer simnet.Addr, cfg Config) *Receiver {
+	if cfg.PacketSize == 0 {
+		cfg = DefaultConfig()
+	}
+	r := &Receiver{
+		cfg: cfg, net: net, sch: net.Scheduler(),
+		addr: addr, peer: peer,
+		est: lossrate.NewEstimator(lossrate.Weights(cfg.NumWeights)),
+	}
+	net.Bind(addr, simnet.HandlerFunc(r.recv))
+	return r
+}
+
+// LossEventRate returns the receiver's measured loss event rate.
+func (r *Receiver) LossEventRate() float64 { return r.est.LossEventRate() }
+
+func (r *Receiver) recv(pkt *simnet.Packet) {
+	d, ok := pkt.Payload.(Data)
+	if !ok {
+		return
+	}
+	now := r.sch.Now()
+	r.PacketsRecv++
+	if r.Meter != nil {
+		r.Meter.Add(pkt.Size)
+	}
+	if r.haveSeq && d.Seq > r.nextSeq {
+		missing := d.Seq - r.nextSeq
+		span := now - r.lastArrival
+		for i := int64(0); i < missing; i++ {
+			t := r.lastArrival + span.Scale(float64(i+1)/float64(missing+1))
+			r.Losses++
+			r.est.OnLoss(t, d.RTT)
+		}
+	}
+	r.est.OnPacket()
+	r.haveSeq = true
+	r.nextSeq = d.Seq + 1
+	r.lastArrival = now
+	r.lastData = d
+	r.winTimes = append(r.winTimes, now)
+	r.winBytes = append(r.winBytes, pkt.Size)
+	if len(r.winTimes) > 256 {
+		r.winTimes = append([]sim.Time(nil), r.winTimes[128:]...)
+		r.winBytes = append([]int(nil), r.winBytes[128:]...)
+	}
+
+	if now >= r.nextReport {
+		r.report(now, d)
+		r.nextReport = now + sim.MaxOf(d.RTT, sim.FromSeconds(float64(r.cfg.PacketSize)/d.Rate))
+	}
+}
+
+func (r *Receiver) report(now sim.Time, d Data) {
+	window := sim.MaxOf(d.RTT.Scale(2), sim.FromSeconds(8*float64(r.cfg.PacketSize)/d.Rate))
+	cut := now - window
+	var bytes int64
+	for i := len(r.winTimes) - 1; i >= 0 && r.winTimes[i] >= cut; i-- {
+		bytes += int64(r.winBytes[i])
+	}
+	r.net.Send(&simnet.Packet{
+		Size: r.cfg.ReportSize, Src: r.addr, Dst: r.peer,
+		Payload: Feedback{
+			Timestamp: now,
+			EchoTS:    d.SendTime,
+			EchoDelay: now - r.lastArrival,
+			LossRate:  r.est.LossEventRate(),
+			RecvRate:  float64(bytes) / window.Seconds(),
+			HasLoss:   r.est.HaveLoss(),
+		},
+	})
+}
+
+// NewFlow wires a TFRC sender/receiver pair between two nodes.
+func NewFlow(net *simnet.Network, from, to simnet.NodeID, port simnet.Port, cfg Config) (*Sender, *Receiver) {
+	sAddr := simnet.Addr{Node: from, Port: port}
+	rAddr := simnet.Addr{Node: to, Port: port}
+	snd := NewSender(net, sAddr, rAddr, cfg)
+	rcv := NewReceiver(net, rAddr, sAddr, cfg)
+	return snd, rcv
+}

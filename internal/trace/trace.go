@@ -1,0 +1,141 @@
+// Package trace provides a lightweight, allocation-conscious event log
+// for protocol debugging and experiment post-processing — the equivalent
+// of ns-2's trace files. Events are kept in a bounded ring buffer;
+// writers tag them with a category so analyses can filter cheaply.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Category classifies events for filtering.
+type Category uint8
+
+// Event categories.
+const (
+	CatSend Category = iota
+	CatRecv
+	CatLoss
+	CatRate
+	CatCLR
+	CatFeedback
+	CatRound
+	numCategories
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case CatSend:
+		return "send"
+	case CatRecv:
+		return "recv"
+	case CatLoss:
+		return "loss"
+	case CatRate:
+		return "rate"
+	case CatCLR:
+		return "clr"
+	case CatFeedback:
+		return "fb"
+	case CatRound:
+		return "round"
+	}
+	return "?"
+}
+
+// Event is one trace record.
+type Event struct {
+	At    sim.Time
+	Cat   Category
+	Actor int     // receiver/sender/flow id; -1 = n/a
+	Value float64 // category-specific numeric payload
+	Note  string
+}
+
+// Log is a bounded ring of events. The zero value is unusable; use New.
+type Log struct {
+	buf     []Event
+	next    int
+	full    bool
+	counts  [numCategories]int64
+	enabled bool
+}
+
+// New creates a log holding at most capacity events (minimum 16).
+func New(capacity int) *Log {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Log{buf: make([]Event, capacity), enabled: true}
+}
+
+// SetEnabled toggles recording; counting continues regardless.
+func (l *Log) SetEnabled(on bool) { l.enabled = on }
+
+// Add appends an event.
+func (l *Log) Add(at sim.Time, cat Category, actor int, value float64, note string) {
+	if cat < numCategories {
+		l.counts[cat]++
+	}
+	if !l.enabled {
+		return
+	}
+	l.buf[l.next] = Event{At: at, Cat: cat, Actor: actor, Value: value, Note: note}
+	l.next++
+	if l.next == len(l.buf) {
+		l.next = 0
+		l.full = true
+	}
+}
+
+// Len returns the number of retained events.
+func (l *Log) Len() int {
+	if l.full {
+		return len(l.buf)
+	}
+	return l.next
+}
+
+// Count returns how many events of a category were ever recorded
+// (including ones that have rotated out of the ring).
+func (l *Log) Count(cat Category) int64 {
+	if cat >= numCategories {
+		return 0
+	}
+	return l.counts[cat]
+}
+
+// Events returns the retained events in chronological order.
+func (l *Log) Events() []Event {
+	out := make([]Event, 0, l.Len())
+	if l.full {
+		out = append(out, l.buf[l.next:]...)
+	}
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// Filter returns retained events of one category, in order.
+func (l *Log) Filter(cat Category) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if e.Cat == cat {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump renders the retained events as an ns-2-like text trace.
+func (l *Log) Dump() string {
+	var b strings.Builder
+	for _, e := range l.Events() {
+		fmt.Fprintf(&b, "%.6f %-5s actor=%d v=%.3f %s\n",
+			e.At.Seconds(), e.Cat, e.Actor, e.Value, e.Note)
+	}
+	return b.String()
+}

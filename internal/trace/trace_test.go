@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestAddAndRetrieve(t *testing.T) {
+	l := New(100)
+	l.Add(sim.Second, CatSend, 1, 42, "pkt 0")
+	l.Add(2*sim.Second, CatLoss, 2, 1, "gap")
+	if l.Len() != 2 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	ev := l.Events()
+	if ev[0].Cat != CatSend || ev[1].Cat != CatLoss {
+		t.Fatalf("wrong order: %+v", ev)
+	}
+	if l.Count(CatSend) != 1 || l.Count(CatLoss) != 1 || l.Count(CatRate) != 0 {
+		t.Fatal("counts wrong")
+	}
+}
+
+func TestRingRotation(t *testing.T) {
+	l := New(16)
+	for i := 0; i < 40; i++ {
+		l.Add(sim.Time(i), CatSend, i, 0, "")
+	}
+	if l.Len() != 16 {
+		t.Fatalf("len = %d, want 16", l.Len())
+	}
+	ev := l.Events()
+	// Oldest retained should be actor 24 (40-16), newest 39.
+	if ev[0].Actor != 24 || ev[15].Actor != 39 {
+		t.Fatalf("rotation wrong: first=%d last=%d", ev[0].Actor, ev[15].Actor)
+	}
+	if l.Count(CatSend) != 40 {
+		t.Fatal("count should include rotated-out events")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	l := New(64)
+	for i := 0; i < 10; i++ {
+		cat := CatSend
+		if i%2 == 0 {
+			cat = CatRecv
+		}
+		l.Add(sim.Time(i), cat, i, 0, "")
+	}
+	recvs := l.Filter(CatRecv)
+	if len(recvs) != 5 {
+		t.Fatalf("filtered %d, want 5", len(recvs))
+	}
+	for _, e := range recvs {
+		if e.Cat != CatRecv {
+			t.Fatal("filter returned wrong category")
+		}
+	}
+}
+
+func TestDisabledStillCounts(t *testing.T) {
+	l := New(16)
+	l.SetEnabled(false)
+	l.Add(0, CatCLR, 1, 0, "")
+	if l.Len() != 0 {
+		t.Fatal("disabled log retained an event")
+	}
+	if l.Count(CatCLR) != 1 {
+		t.Fatal("disabled log should still count")
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	l := New(16)
+	l.Add(1500*sim.Millisecond, CatRate, 3, 125000, "increase")
+	out := l.Dump()
+	if !strings.Contains(out, "1.500000 rate  actor=3") {
+		t.Fatalf("dump = %q", out)
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	names := map[Category]string{
+		CatSend: "send", CatRecv: "recv", CatLoss: "loss", CatRate: "rate",
+		CatCLR: "clr", CatFeedback: "fb", CatRound: "round", Category(99): "?",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Fatalf("%d -> %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	l := New(1)
+	for i := 0; i < 20; i++ {
+		l.Add(sim.Time(i), CatSend, i, 0, "")
+	}
+	if l.Len() != 16 {
+		t.Fatalf("minimum capacity not enforced: %d", l.Len())
+	}
+}
+
+// Property: Len never exceeds capacity and Events() is time-ordered when
+// events are added in time order.
+func TestRingInvariants(t *testing.T) {
+	f := func(n uint16, capRaw uint8) bool {
+		capacity := int(capRaw)%100 + 1
+		l := New(capacity)
+		for i := 0; i < int(n)%500; i++ {
+			l.Add(sim.Time(i), CatSend, i, 0, "")
+		}
+		if l.Len() > len(l.buf) {
+			return false
+		}
+		ev := l.Events()
+		for i := 1; i < len(ev); i++ {
+			if ev[i].At < ev[i-1].At {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	l := New(4096)
+	for i := 0; i < b.N; i++ {
+		l.Add(sim.Time(i), CatSend, 1, 0, "")
+	}
+}

@@ -1,0 +1,211 @@
+package wire
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/tfmcc"
+)
+
+func TestDataRoundTrip(t *testing.T) {
+	d := tfmcc.Data{
+		Seq:          123456789,
+		SendTime:     42 * sim.Second,
+		Rate:         125000.5,
+		Round:        77,
+		RoundT:       2 * sim.Second,
+		MaxRTT:       500 * sim.Millisecond,
+		Slowstart:    true,
+		CLR:          9,
+		EchoRcvr:     3,
+		EchoTS:       41 * sim.Second,
+		EchoDelay:    7 * sim.Millisecond,
+		SuppressRate: 9999.25,
+		SuppressLoss: true,
+	}
+	buf := make([]byte, DataHeaderSize)
+	n, err := EncodeData(buf, d)
+	if err != nil || n != DataHeaderSize {
+		t.Fatalf("encode: n=%d err=%v", n, err)
+	}
+	got, err := DecodeData(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MaxRTT is quantised to 4ms units.
+	d.MaxRTT = 500 * sim.Millisecond
+	if got != d {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, d)
+	}
+}
+
+func TestDataNegativeIDs(t *testing.T) {
+	d := tfmcc.Data{CLR: -1, EchoRcvr: -1, SuppressRate: math.Inf(1)}
+	buf := make([]byte, DataHeaderSize)
+	if _, err := EncodeData(buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeData(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CLR != -1 || got.EchoRcvr != -1 {
+		t.Fatalf("negative IDs mangled: %+v", got)
+	}
+	if !math.IsInf(got.SuppressRate, 1) {
+		t.Fatal("+Inf suppress rate mangled")
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := tfmcc.Report{
+		From:      42,
+		Timestamp: 10 * sim.Second,
+		EchoTS:    9 * sim.Second,
+		EchoDelay: 3 * sim.Millisecond,
+		Rate:      54321.75,
+		RecvRate:  44000,
+		HasRTT:    true,
+		HasLoss:   true,
+		Leave:     false,
+		RTT:       62 * sim.Millisecond,
+		LossRate:  0.042,
+		Round:     13,
+	}
+	buf := make([]byte, ReportSize)
+	n, err := EncodeReport(buf, r)
+	if err != nil || n != ReportSize {
+		t.Fatalf("encode: n=%d err=%v", n, err)
+	}
+	got, err := DecodeReport(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, r)
+	}
+}
+
+func TestTruncatedBuffers(t *testing.T) {
+	if _, err := EncodeData(make([]byte, 10), tfmcc.Data{}); err != ErrTruncated {
+		t.Fatal("short encode buffer should fail")
+	}
+	if _, err := DecodeData(make([]byte, 10)); err != ErrTruncated {
+		t.Fatal("short decode buffer should fail")
+	}
+	if _, err := EncodeReport(make([]byte, 10), tfmcc.Report{}); err != ErrTruncated {
+		t.Fatal("short report encode should fail")
+	}
+	if _, err := DecodeReport(make([]byte, 10)); err != ErrTruncated {
+		t.Fatal("short report decode should fail")
+	}
+}
+
+func TestTypeConfusion(t *testing.T) {
+	buf := make([]byte, DataHeaderSize)
+	if _, err := EncodeData(buf, tfmcc.Data{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeReport(buf); err != ErrBadType {
+		t.Fatal("data decoded as report")
+	}
+	buf2 := make([]byte, ReportSize)
+	if _, err := EncodeReport(buf2, tfmcc.Report{}); err != nil {
+		t.Fatal(err)
+	}
+	// A report buffer is shorter than a data header, so either error is
+	// acceptable — it must just not decode.
+	if _, err := DecodeData(buf2); err == nil {
+		t.Fatal("report decoded as data")
+	}
+}
+
+// Property: encode→decode is the identity on reports (all fields exact).
+func TestReportRoundTripProperty(t *testing.T) {
+	f := func(from int32, ts, echoTS, echoDelay int64, rate, recv, lossRate float64,
+		hasRTT, hasLoss, leave bool, rtt int64, round uint16) bool {
+		r := tfmcc.Report{
+			From:      tfmcc.ReceiverID(from),
+			Timestamp: sim.Time(ts),
+			EchoTS:    sim.Time(echoTS),
+			EchoDelay: sim.Time(echoDelay),
+			Rate:      rate,
+			RecvRate:  recv,
+			HasRTT:    hasRTT,
+			HasLoss:   hasLoss,
+			Leave:     leave,
+			RTT:       sim.Time(rtt),
+			LossRate:  lossRate,
+			Round:     int(round),
+		}
+		buf := make([]byte, ReportSize)
+		if _, err := EncodeReport(buf, r); err != nil {
+			return false
+		}
+		got, err := DecodeReport(buf)
+		if err != nil {
+			return false
+		}
+		// NaN never compares equal; treat NaN fields as matched when both
+		// are NaN.
+		if math.IsNaN(rate) {
+			return math.IsNaN(got.Rate)
+		}
+		return got == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: data headers survive for the fields that are not quantised.
+func TestDataRoundTripProperty(t *testing.T) {
+	f := func(seq int64, sendTime int64, rate float64, round uint16,
+		clr, echo int16, ss bool) bool {
+		d := tfmcc.Data{
+			Seq:       seq,
+			SendTime:  sim.Time(sendTime),
+			Rate:      rate,
+			Round:     int(round),
+			Slowstart: ss,
+			CLR:       tfmcc.ReceiverID(clr),
+			EchoRcvr:  tfmcc.ReceiverID(echo),
+		}
+		buf := make([]byte, DataHeaderSize)
+		if _, err := EncodeData(buf, d); err != nil {
+			return false
+		}
+		got, err := DecodeData(buf)
+		if err != nil {
+			return false
+		}
+		if math.IsNaN(rate) {
+			return math.IsNaN(got.Rate)
+		}
+		return got.Seq == d.Seq && got.SendTime == d.SendTime &&
+			got.Rate == d.Rate && got.Round == d.Round &&
+			got.Slowstart == d.Slowstart && got.CLR == d.CLR &&
+			got.EchoRcvr == d.EchoRcvr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeData(b *testing.B) {
+	buf := make([]byte, DataHeaderSize)
+	d := tfmcc.Data{Seq: 1, Rate: 125000, CLR: 3}
+	for i := 0; i < b.N; i++ {
+		_, _ = EncodeData(buf, d)
+	}
+}
+
+func BenchmarkDecodeData(b *testing.B) {
+	buf := make([]byte, DataHeaderSize)
+	_, _ = EncodeData(buf, tfmcc.Data{Seq: 1, Rate: 125000, CLR: 3})
+	for i := 0; i < b.N; i++ {
+		_, _ = DecodeData(buf)
+	}
+}
