@@ -88,11 +88,22 @@ func BenchmarkExtensionFeedbackTree(b *testing.B) {
 
 // BenchmarkTFMCCSession measures end-to-end simulation cost: one sender,
 // 100 receivers, a 1 Mbit/s bottleneck, 10 simulated seconds per
-// iteration.
+// iteration. Engine-level metrics (events/sec, packets/sec, ns/event)
+// make -bench output machine-comparable across PRs.
 func BenchmarkTFMCCSession(b *testing.B) {
+	b.ReportAllocs()
+	var st experiments.EngineStats
 	for i := 0; i < b.N; i++ {
-		res := experiments.SessionThroughput(100, 10)
-		_ = res
+		st = experiments.CollectEngineStats(func() {
+			experiments.SessionThroughput(100, 10)
+		})
+	}
+	sec := b.Elapsed().Seconds()
+	if sec > 0 && st.Events > 0 {
+		events := float64(st.Events) * float64(b.N)
+		b.ReportMetric(events/sec, "events/sec")
+		b.ReportMetric(float64(st.PacketsDelivered)*float64(b.N)/sec, "packets/sec")
+		b.ReportMetric(sec*1e9/events, "ns/event")
 	}
 }
 

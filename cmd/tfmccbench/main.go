@@ -1,0 +1,146 @@
+// Command tfmccbench measures the simulation engine across the paper's
+// figure scenarios and emits a machine-readable BENCH_engine.json so the
+// performance trajectory can be tracked across PRs (and uploaded as a CI
+// artifact).
+//
+// Usage:
+//
+//	tfmccbench [-n runs] [-figures 1,7,15|all] [-session] [-o BENCH_engine.json]
+//
+// Per scenario it reports wall time, scheduler events, link-level packet
+// counts and Go heap allocations, normalised to events/sec, packets/sec,
+// ns/event and allocs/event.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// Metrics is one scenario's aggregate engine measurement.
+type Metrics struct {
+	ID            string  `json:"id"`
+	Title         string  `json:"title"`
+	Runs          int     `json:"runs"`
+	WallNS        int64   `json:"wall_ns"`
+	Events        uint64  `json:"events"`
+	PacketsSent   int64   `json:"packets_sent"`
+	PacketsDeliv  int64   `json:"packets_delivered"`
+	Allocs        uint64  `json:"allocs"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	PacketsPerSec float64 `json:"packets_per_sec"`
+	NSPerEvent    float64 `json:"ns_per_event"`
+	AllocsPerEvt  float64 `json:"allocs_per_event"`
+}
+
+// Report is the BENCH_engine.json document.
+type Report struct {
+	Generated string    `json:"generated"`
+	GoVersion string    `json:"go_version"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	Scenarios []Metrics `json:"scenarios"`
+}
+
+func measure(id, title string, runs int, fn func()) Metrics {
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	allocs0 := ms.Mallocs
+	start := time.Now()
+	var st experiments.EngineStats
+	for i := 0; i < runs; i++ {
+		one := experiments.CollectEngineStats(fn)
+		st.Events += one.Events
+		st.PacketsSent += one.PacketsSent
+		st.PacketsDelivered += one.PacketsDelivered
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms)
+
+	m := Metrics{
+		ID: id, Title: title, Runs: runs,
+		WallNS:       wall.Nanoseconds(),
+		Events:       st.Events,
+		PacketsSent:  st.PacketsSent,
+		PacketsDeliv: st.PacketsDelivered,
+		Allocs:       ms.Mallocs - allocs0,
+	}
+	if sec := wall.Seconds(); sec > 0 {
+		m.EventsPerSec = float64(st.Events) / sec
+		m.PacketsPerSec = float64(st.PacketsDelivered) / sec
+	}
+	if st.Events > 0 {
+		m.NSPerEvent = float64(wall.Nanoseconds()) / float64(st.Events)
+		m.AllocsPerEvt = float64(m.Allocs) / float64(st.Events)
+	}
+	return m
+}
+
+func main() {
+	runs := flag.Int("n", 3, "runs per scenario")
+	figures := flag.String("figures", "all", "comma-separated figure ids, or 'all'")
+	session := flag.Bool("session", true, "include the 100-receiver session micro-scenario")
+	out := flag.String("o", "BENCH_engine.json", "output file ('-' for stdout)")
+	flag.Parse()
+
+	var ids []string
+	if *figures == "all" {
+		ids = experiments.Figures()
+	} else if *figures != "" {
+		ids = strings.Split(*figures, ",")
+	}
+
+	rep := Report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, id := range ids {
+		id := strings.TrimSpace(id)
+		if _, err := experiments.Run(id, 1); err != nil {
+			fmt.Fprintf(os.Stderr, "tfmccbench: %v\n", err)
+			os.Exit(1)
+		}
+		m := measure("figure"+id, experiments.Title(id), *runs, func() {
+			if _, err := experiments.Run(id, 1); err != nil {
+				panic(err)
+			}
+		})
+		rep.Scenarios = append(rep.Scenarios, m)
+		fmt.Fprintf(os.Stderr, "figure %-3s %8.0f events/sec %8.0f packets/sec %6.1f ns/event %.3f allocs/event\n",
+			id, m.EventsPerSec, m.PacketsPerSec, m.NSPerEvent, m.AllocsPerEvt)
+	}
+	if *session {
+		m := measure("session100x10", "100 receivers, 1 Mbit/s bottleneck, 10 s", *runs, func() {
+			experiments.SessionThroughput(100, 10)
+		})
+		rep.Scenarios = append(rep.Scenarios, m)
+		fmt.Fprintf(os.Stderr, "session    %8.0f events/sec %8.0f packets/sec %6.1f ns/event %.3f allocs/event\n",
+			m.EventsPerSec, m.PacketsPerSec, m.NSPerEvent, m.AllocsPerEvt)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tfmccbench: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "tfmccbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d scenarios)\n", *out, len(rep.Scenarios))
+}

@@ -106,7 +106,11 @@ type env struct {
 
 func newEnv(seed int64) *env {
 	sch := sim.NewScheduler()
-	return &env{sch: sch, net: simnet.New(sch, sim.NewRand(seed)), rng: sim.NewRand(seed + 7)}
+	e := &env{sch: sch, net: simnet.New(sch, sim.NewRand(seed)), rng: sim.NewRand(seed + 7)}
+	if collecting != nil {
+		collecting = append(collecting, e)
+	}
+	return e
 }
 
 // addTCP wires a TCP flow from a fresh source node through `in` to a
@@ -135,3 +139,35 @@ const (
 	mbit = 125000.0 // bytes/s per Mbit/s
 	kbit = 125.0    // bytes/s per Kbit/s
 )
+
+// --- engine benchmarking hooks -----------------------------------------
+
+// EngineStats aggregates raw simulation-engine counters over one or more
+// scenario runs, for cmd/tfmccbench and the root benchmarks.
+type EngineStats struct {
+	Events           uint64 // scheduler events executed
+	PacketsSent      int64  // packets handed to links
+	PacketsDelivered int64  // packets delivered by links
+}
+
+// collecting, when non-nil, receives every env created by scenario
+// builders so CollectEngineStats can read their counters afterwards. The
+// engine is single-threaded; no locking.
+var collecting []*env
+
+// CollectEngineStats runs fn and returns the engine counters of every
+// simulation environment fn created (a figure runner may create many).
+func CollectEngineStats(fn func()) EngineStats {
+	collecting = []*env{}
+	defer func() { collecting = nil }()
+	fn()
+	var st EngineStats
+	for _, e := range collecting {
+		st.Events += e.sch.Processed()
+		for _, l := range e.net.Links() {
+			st.PacketsSent += l.Stats.Sent
+			st.PacketsDelivered += l.Stats.Deliver
+		}
+	}
+	return st
+}

@@ -283,3 +283,20 @@ func TestExtensionFeedbackTreeQuality(t *testing.T) {
 		}
 	}
 }
+
+// TestLateJoinDeterministic guards the engine's seed-determinism through
+// the late-join scenario, which exercises mid-run Join/Leave against the
+// cached multicast trees: the same seed must reproduce the same summary.
+func TestLateJoinDeterministic(t *testing.T) {
+	a, err := Run("15", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("15", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Summary() != b.Summary() {
+		t.Fatalf("late-join figure not seed-deterministic:\n%s\nvs\n%s", a.Summary(), b.Summary())
+	}
+}

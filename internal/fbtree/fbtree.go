@@ -35,7 +35,7 @@ type Node struct {
 
 	sch     *sim.Scheduler
 	pending *Report
-	timer   *sim.Timer
+	timer   sim.Timer
 
 	// Deliver is called at the root for each aggregated report.
 	Deliver func(Report)
@@ -107,7 +107,7 @@ func (nd *Node) Submit(r Report) {
 		cp := r
 		nd.pending = &cp
 	}
-	if nd.timer == nil || !nd.timer.Active() {
+	if !nd.timer.Active() {
 		nd.timer = nd.sch.After(nd.HoldTime, nd.flush)
 	}
 }

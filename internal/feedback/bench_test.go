@@ -7,11 +7,13 @@ import (
 )
 
 func BenchmarkDelayModifiedOffset(b *testing.B) {
+	b.ReportAllocs()
 	c := DefaultConfig(100 * sim.Millisecond)
 	rng := sim.NewRand(1)
 	for i := 0; i < b.N; i++ {
 		_ = c.Delay(0.7, rng.Float64())
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "delays/sec")
 }
 
 func BenchmarkSimulateRound1000(b *testing.B) {
@@ -25,10 +27,14 @@ func BenchmarkSimulateRound1000(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = SimulateRound(c, vals, 50*sim.Millisecond, rng)
 	}
+	b.ReportAllocs()
+	b.ReportMetric(float64(b.N)*float64(len(vals))/b.Elapsed().Seconds(), "receivers/sec")
 }
 
 func BenchmarkExpectedResponses(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = ExpectedResponses(1000, 10000, sim.Second, 3*sim.Second)
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "calls/sec")
 }

@@ -7,10 +7,12 @@ import (
 )
 
 func BenchmarkOnPacket(b *testing.B) {
+	b.ReportAllocs()
 	e := NewEstimator(DefaultWeights)
 	for i := 0; i < b.N; i++ {
 		e.OnPacket()
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
 }
 
 func BenchmarkOnLossAndRate(b *testing.B) {
@@ -24,4 +26,6 @@ func BenchmarkOnLossAndRate(b *testing.B) {
 		}
 		_ = e.LossEventRate()
 	}
+	b.ReportAllocs()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
 }

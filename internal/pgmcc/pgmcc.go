@@ -100,8 +100,8 @@ type Sender struct {
 	lastCutAt  sim.Time
 	round      int
 	roundT     sim.Time
-	roundTimer *sim.Timer
-	rtoTimer   *sim.Timer
+	roundTimer sim.Timer
+	rtoTimer   sim.Timer
 	srtt       sim.Time
 
 	PacketsSent int64
@@ -165,23 +165,21 @@ func (s *Sender) trySend() {
 
 func (s *Sender) transmit(seq int64) {
 	s.PacketsSent++
-	s.net.Send(&simnet.Packet{
-		Size:    s.cfg.PacketSize,
-		Src:     s.addr,
-		Dst:     simnet.Addr{Port: s.addr.Port},
-		Group:   s.group,
-		IsMcast: true,
-		Payload: Data{
-			Seq: seq, SendTime: s.sch.Now(),
-			Acker: s.acker, Round: s.round, RoundT: s.roundT,
-		},
-	})
+	pkt := s.net.AllocPacket()
+	pkt.Size = s.cfg.PacketSize
+	pkt.Src = s.addr
+	pkt.Dst = simnet.Addr{Port: s.addr.Port}
+	pkt.Group = s.group
+	pkt.IsMcast = true
+	pkt.Payload = Data{
+		Seq: seq, SendTime: s.sch.Now(),
+		Acker: s.acker, Round: s.round, RoundT: s.roundT,
+	}
+	s.net.Send(pkt)
 }
 
 func (s *Sender) armRTO() {
-	if s.rtoTimer != nil {
-		s.rtoTimer.Stop()
-	}
+	s.rtoTimer.Stop()
 	rto := sim.MaxOf(s.srtt.Scale(4), 500*sim.Millisecond)
 	s.rtoTimer = s.sch.After(rto, func() {
 		if !s.running {
@@ -304,7 +302,7 @@ type Receiver struct {
 	srtt        sim.Time
 	haveRTT     bool
 	round       int
-	fbTimer     *sim.Timer
+	fbTimer     sim.Timer
 
 	Meter       *stats.Meter
 	PacketsRecv int64
@@ -370,13 +368,15 @@ func (r *Receiver) recv(pkt *simnet.Packet) {
 	r.lastArrival = now
 
 	if d.Acker == r.id {
-		r.net.Send(&simnet.Packet{
-			Size: r.cfg.AckSize, Src: r.addr, Dst: r.peer,
-			Payload: Ack{
-				From: r.id, CumSeq: r.nextSeq, TS: d.SendTime,
-				LossRate: r.est.LossEventRate(), RTT: r.srtt,
-			},
-		})
+		ack := r.net.AllocPacket()
+		ack.Size = r.cfg.AckSize
+		ack.Src = r.addr
+		ack.Dst = r.peer
+		ack.Payload = Ack{
+			From: r.id, CumSeq: r.nextSeq, TS: d.SendTime,
+			LossRate: r.est.LossEventRate(), RTT: r.srtt,
+		}
+		r.net.Send(ack)
 	}
 	if d.Round != r.round {
 		r.round = d.Round
@@ -385,9 +385,7 @@ func (r *Receiver) recv(pkt *simnet.Packet) {
 }
 
 func (r *Receiver) startRound(d Data) {
-	if r.fbTimer != nil {
-		r.fbTimer.Stop()
-	}
+	r.fbTimer.Stop()
 	if !r.est.HaveLoss() || d.Acker == r.id {
 		return // nothing to compare, or we already ack every packet
 	}
@@ -402,13 +400,15 @@ func (r *Receiver) startRound(d Data) {
 		delay = 0
 	}
 	r.fbTimer = r.sch.After(sim.Time(delay), func() {
-		r.net.Send(&simnet.Packet{
-			Size: r.cfg.AckSize, Src: r.addr, Dst: r.peer,
-			Payload: Report{
-				From: r.id, LossRate: r.est.LossEventRate(),
-				RTT: r.srtt, TS: r.sch.Now(), Round: d.Round,
-			},
-		})
+		rep := r.net.AllocPacket()
+		rep.Size = r.cfg.AckSize
+		rep.Src = r.addr
+		rep.Dst = r.peer
+		rep.Payload = Report{
+			From: r.id, LossRate: r.est.LossEventRate(),
+			RTT: r.srtt, TS: r.sch.Now(), Round: d.Round,
+		}
+		r.net.Send(rep)
 	})
 }
 

@@ -3,15 +3,19 @@ package sim
 import "testing"
 
 func BenchmarkSchedulerScheduleRun(b *testing.B) {
+	b.ReportAllocs()
 	s := NewScheduler()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.After(Millisecond, func() {})
 		s.Step()
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
 }
 
 func BenchmarkSchedulerChurn1k(b *testing.B) {
+	b.ReportAllocs()
+	var events uint64
 	for i := 0; i < b.N; i++ {
 		s := NewScheduler()
 		for j := 0; j < 1000; j++ {
@@ -23,19 +27,23 @@ func BenchmarkSchedulerChurn1k(b *testing.B) {
 			})
 		}
 		s.Run()
+		events = s.Processed()
+	}
+	sec := b.Elapsed().Seconds()
+	if sec > 0 {
+		b.ReportMetric(float64(events)*float64(b.N)/sec, "events/sec")
 	}
 }
 
 func BenchmarkTimerCancel(b *testing.B) {
+	b.ReportAllocs()
 	s := NewScheduler()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tm := s.After(Second, func() {})
-		tm.Stop()
-		if s.Pending() > 10000 {
-			s.RunUntil(s.Now() + Second) // reap cancelled timers
-		}
+		tm.Stop() // reaps automatically once >50% of the queue is dead
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cancels/sec")
 }
 
 func BenchmarkRandGeometric(b *testing.B) {

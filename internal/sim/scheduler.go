@@ -1,72 +1,80 @@
 package sim
 
-import "container/heap"
+// The scheduler is the innermost loop of every experiment, so it avoids
+// container/heap (interface boxing, per-op dynamic dispatch) in favour of
+// a hand-rolled 4-ary min-heap of small value entries, and avoids per-event
+// allocations with a free-list pool of timer slots. Generation counters
+// make Timer handles safe across slot reuse: a stale handle (fired or
+// stopped timer) simply no-ops. Cancelled timers are removed lazily; when
+// more than half the queue is dead the heap is compacted in one pass.
 
-// Timer is a handle to a scheduled event. Cancelling an expired or already
-// cancelled timer is a no-op.
+// Timer is a handle to a scheduled event. The zero Timer is inactive;
+// cancelling an expired, cancelled, or zero timer is a no-op.
 type Timer struct {
-	at      Time
-	seq     uint64
-	index   int // heap index, -1 when not queued
-	fn      func()
-	stopped bool
+	s    *Scheduler
+	slot int32 // slot index + 1; 0 marks the zero handle
+	gen  uint32
 }
 
-// At returns the virtual time the timer fires (or fired) at.
-func (t *Timer) At() Time { return t.at }
+// At returns the virtual time the timer fires, or 0 once it has fired or
+// been stopped.
+func (t Timer) At() Time {
+	if !t.Active() {
+		return 0
+	}
+	return t.s.slots[t.slot-1].at
+}
 
 // Stop cancels the timer. It reports whether the timer was still pending.
-func (t *Timer) Stop() bool {
-	if t.stopped || t.index < 0 {
+func (t Timer) Stop() bool {
+	if !t.Active() {
 		return false
 	}
-	t.stopped = true
+	t.s.stopSlot(t.slot - 1)
 	return true
 }
 
 // Active reports whether the timer is still pending and not cancelled.
-func (t *Timer) Active() bool { return !t.stopped && t.index >= 0 }
+func (t Timer) Active() bool {
+	return t.slot != 0 && t.s.slots[t.slot-1].gen == t.gen
+}
 
-type eventHeap []*Timer
+// timerSlot is pooled storage for one scheduled event. gen increments on
+// every release, invalidating outstanding Timer handles and heap entries.
+type timerSlot struct {
+	at    Time
+	fn    func()
+	fnArg func(any)
+	arg   any
+	gen   uint32
+	next  int32 // free-list link
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq // FIFO among simultaneous events
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*h)
-	*h = append(*h, t)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*h = old[:n-1]
-	return t
+// heapEntry is what actually sits in the priority queue: 24 bytes, no
+// pointers into the heap, ordered by (at, seq) so simultaneous events run
+// in schedule order (FIFO).
+type heapEntry struct {
+	at   Time
+	seq  uint64
+	slot int32
+	gen  uint32
 }
 
 // Scheduler is a single-threaded discrete-event scheduler. Events scheduled
 // for the same instant run in the order they were scheduled.
 type Scheduler struct {
-	now    Time
-	events eventHeap
-	seq    uint64
-	nRun   uint64
+	now  Time
+	seq  uint64
+	nRun uint64
+
+	heap     []heapEntry
+	slots    []timerSlot
+	free     int32 // head of the slot free list, -1 when empty
+	nStopped int   // dead entries still in the heap
 }
 
 // NewScheduler returns a scheduler with the clock at zero.
-func NewScheduler() *Scheduler { return &Scheduler{} }
+func NewScheduler() *Scheduler { return &Scheduler{free: -1} }
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
@@ -76,38 +84,178 @@ func (s *Scheduler) Processed() uint64 { return s.nRun }
 
 // Pending returns the number of events still queued (including cancelled
 // timers that have not been reaped yet).
-func (s *Scheduler) Pending() int { return len(s.events) }
+func (s *Scheduler) Pending() int { return len(s.heap) }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a protocol bug.
-func (s *Scheduler) At(t Time, fn func()) *Timer {
+func (s *Scheduler) At(t Time, fn func()) Timer {
+	return s.schedule(t, fn, nil, nil)
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d Time, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.schedule(s.now+d, fn, nil, nil)
+}
+
+// AtArg schedules fn(arg) at absolute time t. Unlike At it needs no
+// closure: callers keep one fn per object and pass per-event state in arg,
+// so scheduling a packet event allocates nothing.
+func (s *Scheduler) AtArg(t Time, fn func(any), arg any) Timer {
+	return s.schedule(t, nil, fn, arg)
+}
+
+// AfterArg schedules fn(arg) to run d after the current time.
+func (s *Scheduler) AfterArg(d Time, fn func(any), arg any) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.schedule(s.now+d, nil, fn, arg)
+}
+
+func (s *Scheduler) schedule(t Time, fn func(), fnArg func(any), arg any) Timer {
 	if t < s.now {
 		panic("sim: event scheduled in the past")
 	}
 	s.seq++
-	tm := &Timer{at: t, seq: s.seq, fn: fn, index: -1}
-	heap.Push(&s.events, tm)
-	return tm
+	si := s.free
+	if si < 0 {
+		s.slots = append(s.slots, timerSlot{})
+		si = int32(len(s.slots) - 1)
+	} else {
+		s.free = s.slots[si].next
+	}
+	sl := &s.slots[si]
+	sl.at, sl.fn, sl.fnArg, sl.arg = t, fn, fnArg, arg
+	s.push(heapEntry{at: t, seq: s.seq, slot: si, gen: sl.gen})
+	return Timer{s: s, slot: si + 1, gen: sl.gen}
 }
 
-// After schedules fn to run d after the current time.
-func (s *Scheduler) After(d Time, fn func()) *Timer {
-	if d < 0 {
-		d = 0
+// releaseSlot invalidates all handles/entries for the slot and returns it
+// to the free list.
+func (s *Scheduler) releaseSlot(si int32) {
+	sl := &s.slots[si]
+	sl.gen++
+	sl.fn, sl.fnArg, sl.arg = nil, nil, nil
+	sl.next = s.free
+	s.free = si
+}
+
+func (s *Scheduler) stopSlot(si int32) {
+	s.releaseSlot(si)
+	s.nStopped++
+	if s.nStopped*2 > len(s.heap) {
+		s.reap()
 	}
-	return s.At(s.now+d, fn)
+}
+
+// reap removes dead entries (whose slot generation moved on) in one pass
+// and restores the heap property bottom-up.
+func (s *Scheduler) reap() {
+	live := s.heap[:0]
+	for _, e := range s.heap {
+		if s.slots[e.slot].gen == e.gen {
+			live = append(live, e)
+		}
+	}
+	for i := len(live); i < len(s.heap); i++ {
+		s.heap[i] = heapEntry{}
+	}
+	s.heap = live
+	s.nStopped = 0
+	if len(s.heap) > 1 {
+		for i := (len(s.heap) - 2) / 4; i >= 0; i-- {
+			s.siftDown(i)
+		}
+	}
+}
+
+func entryLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Scheduler) push(e heapEntry) {
+	s.heap = append(s.heap, e)
+	// Sift up.
+	h := s.heap
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !entryLess(e, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = e
+}
+
+// popTop removes the minimum entry.
+func (s *Scheduler) popTop() {
+	h := s.heap
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = heapEntry{}
+	s.heap = h[:n]
+	if n > 1 {
+		s.siftDown(0)
+	}
+}
+
+func (s *Scheduler) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	e := h[i]
+	for {
+		c := i*4 + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if entryLess(h[j], h[best]) {
+				best = j
+			}
+		}
+		if !entryLess(h[best], e) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = e
 }
 
 // Step runs the next event. It reports false when the queue is empty.
 func (s *Scheduler) Step() bool {
-	for len(s.events) > 0 {
-		tm := heap.Pop(&s.events).(*Timer)
-		if tm.stopped {
+	for len(s.heap) > 0 {
+		e := s.heap[0]
+		s.popTop()
+		sl := &s.slots[e.slot]
+		if sl.gen != e.gen {
+			if s.nStopped > 0 {
+				s.nStopped--
+			}
 			continue
 		}
-		s.now = tm.at
+		fn, fnArg, arg := sl.fn, sl.fnArg, sl.arg
+		s.releaseSlot(e.slot)
+		s.now = e.at
 		s.nRun++
-		tm.fn()
+		if fn != nil {
+			fn()
+		} else {
+			fnArg(arg)
+		}
 		return true
 	}
 	return false
@@ -116,9 +264,17 @@ func (s *Scheduler) Step() bool {
 // RunUntil executes events until the clock would pass t; afterwards the
 // clock reads exactly t. Events at exactly t are executed.
 func (s *Scheduler) RunUntil(t Time) {
-	for len(s.events) > 0 {
-		tm := s.events[0]
-		if tm.at > t {
+	for {
+		// Discard dead entries at the top so the peek sees a live event;
+		// otherwise a cancelled timer's deadline could admit a Step that
+		// runs a live event scheduled after t.
+		for len(s.heap) > 0 && s.slots[s.heap[0].slot].gen != s.heap[0].gen {
+			s.popTop()
+			if s.nStopped > 0 {
+				s.nStopped--
+			}
+		}
+		if len(s.heap) == 0 || s.heap[0].at > t {
 			break
 		}
 		if !s.Step() {

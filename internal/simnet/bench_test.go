@@ -16,9 +16,17 @@ func BenchmarkUnicastHop(b *testing.B) {
 	net.Bind(Addr{c, 1}, HandlerFunc(func(*Packet) {}))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		net.Send(&Packet{Size: 1000, Src: Addr{a, 1}, Dst: Addr{c, 1}})
+		pkt := net.AllocPacket()
+		pkt.Size = 1000
+		pkt.Src = Addr{a, 1}
+		pkt.Dst = Addr{c, 1}
+		net.Send(pkt)
 		sch.Run()
 	}
+	sec := b.Elapsed().Seconds()
+	b.ReportAllocs()
+	b.ReportMetric(float64(b.N)/sec, "packets/sec")
+	b.ReportMetric(float64(sch.Processed())/sec, "events/sec")
 }
 
 // BenchmarkMulticastFanout100 measures delivering one packet to 100
@@ -38,12 +46,23 @@ func BenchmarkMulticastFanout100(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		net.Send(&Packet{Size: 1000, Src: Addr{src, 1}, Dst: Addr{Port: 1}, Group: g, IsMcast: true})
+		pkt := net.AllocPacket()
+		pkt.Size = 1000
+		pkt.Src = Addr{src, 1}
+		pkt.Dst = Addr{Port: 1}
+		pkt.Group = g
+		pkt.IsMcast = true
+		net.Send(pkt)
 		sch.Run()
 	}
+	sec := b.Elapsed().Seconds()
+	b.ReportAllocs()
+	b.ReportMetric(float64(b.N)*100/sec, "deliveries/sec")
+	b.ReportMetric(float64(sch.Processed())/sec, "events/sec")
 }
 
 func BenchmarkDropTail(b *testing.B) {
+	b.ReportAllocs()
 	q := NewDropTail(64)
 	p := &Packet{Size: 1000}
 	b.ResetTimer()
@@ -51,9 +70,11 @@ func BenchmarkDropTail(b *testing.B) {
 		q.Enqueue(p, 0)
 		q.Dequeue(0)
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
 }
 
 func BenchmarkRED(b *testing.B) {
+	b.ReportAllocs()
 	q := NewRED(64, 1e6, sim.NewRand(1))
 	p := &Packet{Size: 1000}
 	b.ResetTimer()
@@ -61,6 +82,7 @@ func BenchmarkRED(b *testing.B) {
 		q.Enqueue(p, sim.Time(i))
 		q.Dequeue(sim.Time(i))
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
 }
 
 func BenchmarkRouteComputation(b *testing.B) {
@@ -77,4 +99,6 @@ func BenchmarkRouteComputation(b *testing.B) {
 		net.Send(&Packet{Size: 1, Src: Addr{0, 1}, Dst: Addr{99, 1}})
 		sch.Run()
 	}
+	b.ReportAllocs()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rebuilds/sec")
 }

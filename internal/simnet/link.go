@@ -26,18 +26,25 @@ type Link struct {
 
 	net  *Network
 	busy bool
+
+	// Pre-bound callbacks so per-packet scheduling allocates no closures;
+	// the packet rides along as the event argument.
+	deliverFn func(any)
+	txDoneFn  func(any)
 }
 
 // send places a packet on the link, applying the loss module and queue.
+// It consumes one packet reference on every path that ends here (drops).
 func (l *Link) send(pkt *Packet) {
 	l.Stats.Sent++
 	if l.LossProb > 0 && l.net.rng.Bool(l.LossProb) {
 		l.Stats.DropRand++
+		l.net.releasePkt(pkt)
 		return
 	}
 	if l.Bandwidth <= 0 {
 		// Infinite-speed link: pure delay.
-		l.net.sched.After(l.Delay, func() { l.deliver(pkt) })
+		l.net.sched.AfterArg(l.Delay, l.deliverFn, pkt)
 		return
 	}
 	if !l.Q.Enqueue(pkt, l.net.sched.Now()) {
@@ -45,6 +52,7 @@ func (l *Link) send(pkt *Packet) {
 		if l.net.DropHook != nil {
 			l.net.DropHook(l, pkt)
 		}
+		l.net.releasePkt(pkt)
 		return
 	}
 	if !l.busy {
@@ -60,11 +68,18 @@ func (l *Link) startTx() {
 		return
 	}
 	txTime := sim.FromSeconds(float64(pkt.Size) / l.Bandwidth)
-	l.net.sched.After(txTime, func() {
-		l.net.sched.After(l.Delay, func() { l.deliver(pkt) })
-		l.startTx()
-	})
+	l.net.sched.AfterArg(txTime, l.txDoneFn, pkt)
 }
+
+// txDone runs when a packet's last bit leaves the serialiser: propagation
+// starts and the next queued packet (if any) begins transmission.
+func (l *Link) txDone(a any) {
+	pkt := a.(*Packet)
+	l.net.sched.AfterArg(l.Delay, l.deliverFn, pkt)
+	l.startTx()
+}
+
+func (l *Link) deliverArg(a any) { l.deliver(a.(*Packet)) }
 
 func (l *Link) deliver(pkt *Packet) {
 	l.Stats.Deliver++

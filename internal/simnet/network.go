@@ -2,38 +2,80 @@ package simnet
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/sim"
 )
 
 // Network ties nodes and links together with unicast routing and
 // source-rooted multicast forwarding.
+//
+// The per-packet fast path is allocation- and map-free: links live in a
+// flat slice with a CSR adjacency index, unicast routes are a single
+// []int32 of size V*V holding first-hop link indices, multicast trees are
+// compiled into flattened child-link arrays, and packets obtained from
+// AllocPacket are recycled through a per-network free list (the simulator
+// is single-threaded, so no locking is needed).
 type Network struct {
 	sched *sim.Scheduler
 	rng   *sim.Rand
 
-	nodes []*node
-	links map[NodeID]map[NodeID]*Link
+	nodes []node
 
-	routes     [][]NodeID // routes[src][dst] = next hop, -1 unreachable
-	routesOK   bool
-	groups     map[GroupID]map[NodeID]bool
-	mcastTrees map[mcastKey]map[NodeID][]NodeID // children lists per (group, source)
+	linkList []*Link
+	linkIdx  map[linkKey]int32 // (from,to) -> index into linkList
+
+	// CSR adjacency: for node u, linkList indices adjLinks[adjStart[u]:
+	// adjStart[u+1]] are u's outgoing links sorted by destination.
+	adjOK    bool
+	adjStart []int32
+	adjLinks []int32
+
+	routesOK bool
+	routes   []int32 // routes[src*V+dst] = first-hop link index, -1 unreachable
+
+	groups     map[GroupID]*group
+	mcastTrees map[mcastKey]*mcastTree
+	topoVer    uint32 // bumped on any change that can affect forwarding
+
+	// Dijkstra scratch, reused across route recomputations.
+	dist []int64
+	prev []NodeID
+	done []bool
+	dh   []distEntry
+
+	freePkts []*Packet
 
 	// DropHook, when set, observes every congestion (queue) drop.
 	DropHook func(l *Link, pkt *Packet)
 }
+
+type linkKey struct{ from, to NodeID }
 
 type mcastKey struct {
 	group GroupID
 	src   NodeID
 }
 
+// group tracks membership as a node-indexed bitmap: O(1) membership tests
+// with no per-packet map lookups.
+type group struct {
+	member []bool
+	count  int
+}
+
+// mcastTree is a compiled source-rooted distribution tree: child link
+// indices in CSR form plus a node-indexed delivery bitmap. Forwarding one
+// hop touches only flat slices.
+type mcastTree struct {
+	start   []int32 // len V+1
+	links   []int32 // linkList indices, grouped per node
+	deliver []bool  // member && not source
+}
+
 type node struct {
 	id       NodeID
 	name     string
-	handlers map[Port]Handler
+	handlers []Handler // indexed by Port
 }
 
 // New returns an empty network bound to a scheduler and RNG.
@@ -41,9 +83,9 @@ func New(sched *sim.Scheduler, rng *sim.Rand) *Network {
 	return &Network{
 		sched:      sched,
 		rng:        rng,
-		links:      map[NodeID]map[NodeID]*Link{},
-		groups:     map[GroupID]map[NodeID]bool{},
-		mcastTrees: map[mcastKey]map[NodeID][]NodeID{},
+		linkIdx:    map[linkKey]int32{},
+		groups:     map[GroupID]*group{},
+		mcastTrees: map[mcastKey]*mcastTree{},
 	}
 }
 
@@ -56,8 +98,10 @@ func (n *Network) Rand() *sim.Rand { return n.rng }
 // AddNode creates a node and returns its ID.
 func (n *Network) AddNode(name string) NodeID {
 	id := NodeID(len(n.nodes))
-	n.nodes = append(n.nodes, &node{id: id, name: name, handlers: map[Port]Handler{}})
+	n.nodes = append(n.nodes, node{id: id, name: name})
 	n.routesOK = false
+	n.adjOK = false
+	n.topoVer++
 	return id
 }
 
@@ -69,7 +113,12 @@ func (n *Network) NodeName(id NodeID) string { return n.nodes[id].name }
 
 // Bind attaches a handler to a node's port.
 func (n *Network) Bind(addr Addr, h Handler) {
-	n.nodes[addr.Node].handlers[addr.Port] = h
+	hs := n.nodes[addr.Node].handlers
+	for int(addr.Port) >= len(hs) {
+		hs = append(hs, nil)
+	}
+	hs[addr.Port] = h
+	n.nodes[addr.Node].handlers = hs
 }
 
 // AddLink creates a unidirectional link. bandwidth is in bytes/second
@@ -82,12 +131,19 @@ func (n *Network) AddLink(from, to NodeID, bandwidth float64, delay sim.Time, qu
 		Q:         NewDropTail(queueLimit),
 		net:       n,
 	}
-	if n.links[from] == nil {
-		n.links[from] = map[NodeID]*Link{}
+	l.deliverFn = l.deliverArg
+	l.txDoneFn = l.txDone
+	key := linkKey{from, to}
+	if i, ok := n.linkIdx[key]; ok {
+		n.linkList[i] = l // replace, matching the old map-overwrite semantics
+	} else {
+		n.linkIdx[key] = int32(len(n.linkList))
+		n.linkList = append(n.linkList, l)
 	}
-	n.links[from][to] = l
 	n.routesOK = false
-	n.mcastTrees = map[mcastKey]map[NodeID][]NodeID{}
+	n.adjOK = false
+	clear(n.mcastTrees)
+	n.topoVer++
 	return l
 }
 
@@ -99,35 +155,86 @@ func (n *Network) AddDuplex(a, b NodeID, bandwidth float64, delay sim.Time, queu
 
 // LinkBetween returns the link from a to b, or nil.
 func (n *Network) LinkBetween(a, b NodeID) *Link {
-	return n.links[a][b]
+	if i, ok := n.linkIdx[linkKey{a, b}]; ok {
+		return n.linkList[i]
+	}
+	return nil
+}
+
+func (n *Network) groupFor(g GroupID) *group {
+	gr := n.groups[g]
+	if gr == nil {
+		gr = &group{}
+		n.groups[g] = gr
+	}
+	return gr
 }
 
 // Join adds a node to a multicast group.
 func (n *Network) Join(g GroupID, id NodeID) {
-	if n.groups[g] == nil {
-		n.groups[g] = map[NodeID]bool{}
+	gr := n.groupFor(g)
+	for int(id) >= len(gr.member) {
+		gr.member = append(gr.member, false)
 	}
-	n.groups[g][id] = true
+	if !gr.member[id] {
+		gr.member[id] = true
+		gr.count++
+	}
 	n.invalidateGroup(g)
 }
 
 // Leave removes a node from a multicast group.
 func (n *Network) Leave(g GroupID, id NodeID) {
-	delete(n.groups[g], id)
+	gr := n.groups[g]
+	if gr != nil && int(id) < len(gr.member) && gr.member[id] {
+		gr.member[id] = false
+		gr.count--
+	}
 	n.invalidateGroup(g)
 }
 
 // Members returns the current member count of a group.
-func (n *Network) Members(g GroupID) int { return len(n.groups[g]) }
+func (n *Network) Members(g GroupID) int {
+	if gr := n.groups[g]; gr != nil {
+		return gr.count
+	}
+	return 0
+}
 
 // IsMember reports whether id has joined g.
-func (n *Network) IsMember(g GroupID, id NodeID) bool { return n.groups[g][id] }
+func (n *Network) IsMember(g GroupID, id NodeID) bool {
+	gr := n.groups[g]
+	return gr != nil && int(id) < len(gr.member) && gr.member[id]
+}
 
 func (n *Network) invalidateGroup(g GroupID) {
 	for k := range n.mcastTrees {
 		if k.group == g {
 			delete(n.mcastTrees, k)
 		}
+	}
+	n.topoVer++
+}
+
+// AllocPacket returns a packet from the network's free list. The network
+// reclaims it after the final delivery (or drop), so handlers must copy
+// anything they need to keep; senders must not touch it after Send.
+func (n *Network) AllocPacket() *Packet {
+	if k := len(n.freePkts); k > 0 {
+		p := n.freePkts[k-1]
+		n.freePkts = n.freePkts[:k-1]
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+// releasePkt drops one reference; the last reference of a pooled packet
+// recycles it onto the free list.
+func (n *Network) releasePkt(p *Packet) {
+	p.refs--
+	if p.refs == 0 && p.pooled {
+		*p = Packet{pooled: true}
+		n.freePkts = append(n.freePkts, p)
 	}
 }
 
@@ -136,6 +243,8 @@ func (n *Network) invalidateGroup(g GroupID) {
 // the source-rooted shortest-path tree over current group members.
 func (n *Network) Send(pkt *Packet) {
 	pkt.SentAt = n.sched.Now()
+	pkt.refs = 1
+	pkt.tree = nil // a reused packet must not forward along a stale tree
 	if pkt.IsMcast {
 		n.forwardMcast(pkt.Src.Node, pkt.Src.Node, pkt)
 		return
@@ -146,14 +255,17 @@ func (n *Network) Send(pkt *Packet) {
 func (n *Network) forward(at NodeID, pkt *Packet) {
 	if at == pkt.Dst.Node {
 		n.deliverLocal(at, pkt)
+		n.releasePkt(pkt)
 		return
 	}
-	n.ensureRoutes()
-	next := n.routes[at][pkt.Dst.Node]
-	if next < 0 {
+	if !n.routesOK {
+		n.ensureRoutes()
+	}
+	li := n.routes[int(at)*len(n.nodes)+int(pkt.Dst.Node)]
+	if li < 0 {
 		panic(fmt.Sprintf("simnet: no route %v -> %v", at, pkt.Dst.Node))
 	}
-	n.links[at][next].send(pkt)
+	n.linkList[li].send(pkt)
 }
 
 func (n *Network) arrive(at NodeID, pkt *Packet) {
@@ -165,72 +277,190 @@ func (n *Network) arrive(at NodeID, pkt *Packet) {
 }
 
 func (n *Network) forwardMcast(at, src NodeID, pkt *Packet) {
-	tree := n.mcastTree(pkt.Group, src)
-	if n.groups[pkt.Group][at] && at != src {
+	t := pkt.tree
+	if t == nil || pkt.treeVer != n.topoVer {
+		t = n.mcastTree(pkt.Group, src)
+		pkt.tree, pkt.treeVer = t, n.topoVer
+	}
+	if int(at) < len(t.deliver) && t.deliver[at] {
 		n.deliverLocal(at, pkt)
 	}
-	for _, child := range tree[at] {
-		n.links[at][child].send(pkt)
+	var children []int32
+	if int(at)+1 < len(t.start) {
+		children = t.links[t.start[at]:t.start[at+1]]
 	}
+	pkt.refs += int32(len(children))
+	for _, li := range children {
+		n.linkList[li].send(pkt)
+	}
+	n.releasePkt(pkt)
 }
 
 func (n *Network) deliverLocal(at NodeID, pkt *Packet) {
-	h := n.nodes[at].handlers[pkt.Dst.Port]
-	if h != nil {
-		h.Recv(pkt)
+	hs := n.nodes[at].handlers
+	if int(pkt.Dst.Port) < len(hs) {
+		if h := hs[pkt.Dst.Port]; h != nil {
+			h.Recv(pkt)
+		}
 	}
 }
 
-// ensureRoutes computes all-pairs next-hop routes by running Dijkstra
-// (edge weight = propagation delay, with a small constant so zero-delay
-// links still count hops) from every node.
+// ensureAdj builds the CSR adjacency index with each node's outgoing
+// links sorted by destination. It replaces the per-relaxation map
+// iteration + sort the old Dijkstra paid on every visit.
+func (n *Network) ensureAdj() {
+	if n.adjOK {
+		return
+	}
+	cnt := len(n.nodes)
+	if cap(n.adjStart) < cnt+1 {
+		n.adjStart = make([]int32, cnt+1)
+	} else {
+		n.adjStart = n.adjStart[:cnt+1]
+		clear(n.adjStart)
+	}
+	for _, l := range n.linkList {
+		n.adjStart[l.From+1]++
+	}
+	for i := 0; i < cnt; i++ {
+		n.adjStart[i+1] += n.adjStart[i]
+	}
+	if cap(n.adjLinks) < len(n.linkList) {
+		n.adjLinks = make([]int32, len(n.linkList))
+	} else {
+		n.adjLinks = n.adjLinks[:len(n.linkList)]
+	}
+	fill := make([]int32, cnt)
+	for i, l := range n.linkList {
+		pos := n.adjStart[l.From] + fill[l.From]
+		n.adjLinks[pos] = int32(i)
+		fill[l.From]++
+	}
+	// Insertion sort each node's bucket by destination (buckets are tiny).
+	for u := 0; u < cnt; u++ {
+		b := n.adjLinks[n.adjStart[u]:n.adjStart[u+1]]
+		for i := 1; i < len(b); i++ {
+			for j := i; j > 0 && n.linkList[b[j]].To < n.linkList[b[j-1]].To; j-- {
+				b[j], b[j-1] = b[j-1], b[j]
+			}
+		}
+	}
+	n.adjOK = true
+}
+
+// ensureRoutes computes all-pairs first-hop link indices by running
+// heap-based Dijkstra (edge weight = propagation delay, with a small
+// constant so zero-delay links still count hops) from every node.
 func (n *Network) ensureRoutes() {
 	if n.routesOK {
 		return
 	}
+	n.ensureAdj()
 	cnt := len(n.nodes)
-	n.routes = make([][]NodeID, cnt)
+	if cap(n.routes) < cnt*cnt {
+		n.routes = make([]int32, cnt*cnt)
+	} else {
+		n.routes = n.routes[:cnt*cnt]
+	}
+	if cap(n.dist) < cnt {
+		n.dist = make([]int64, cnt)
+		n.prev = make([]NodeID, cnt)
+		n.done = make([]bool, cnt)
+	} else {
+		n.dist = n.dist[:cnt]
+		n.prev = n.prev[:cnt]
+		n.done = n.done[:cnt]
+	}
 	for s := 0; s < cnt; s++ {
-		n.routes[s] = n.dijkstra(NodeID(s))
+		n.dijkstra(NodeID(s), n.routes[s*cnt:(s+1)*cnt])
 	}
 	n.routesOK = true
 }
 
-func (n *Network) dijkstra(src NodeID) []NodeID {
+// distEntry is a lazy-deletion Dijkstra heap entry ordered by (d, node);
+// the node tie-break reproduces the lowest-index extraction order of the
+// previous linear-scan implementation, keeping routes bit-identical.
+type distEntry struct {
+	d    int64
+	node NodeID
+}
+
+func distLess(a, b distEntry) bool {
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	return a.node < b.node
+}
+
+// dijkstra fills next[dst] with the linkList index of the first hop from
+// src towards dst (-1 when unreachable).
+func (n *Network) dijkstra(src NodeID, next []int32) {
 	cnt := len(n.nodes)
 	const inf = int64(1) << 62
-	dist := make([]int64, cnt)
-	prev := make([]NodeID, cnt)
-	done := make([]bool, cnt)
-	for i := range dist {
+	dist, prev, done := n.dist, n.prev, n.done
+	for i := 0; i < cnt; i++ {
 		dist[i] = inf
 		prev[i] = -1
+		done[i] = false
 	}
 	dist[src] = 0
-	for {
-		u := NodeID(-1)
-		best := inf
-		for i := 0; i < cnt; i++ {
-			if !done[i] && dist[i] < best {
-				best = dist[i]
-				u = NodeID(i)
+	h := n.dh[:0]
+	h = append(h, distEntry{0, src})
+	for len(h) > 0 {
+		e := h[0]
+		// Pop-min (binary sift-down over a value slice).
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		if last > 1 {
+			i := 0
+			x := h[0]
+			for {
+				c := 2*i + 1
+				if c >= last {
+					break
+				}
+				if c+1 < last && distLess(h[c+1], h[c]) {
+					c++
+				}
+				if !distLess(h[c], x) {
+					break
+				}
+				h[i] = h[c]
+				i = c
 			}
+			h[i] = x
 		}
-		if u < 0 {
-			break
+		u := e.node
+		if done[u] || e.d != dist[u] {
+			continue
 		}
 		done[u] = true
-		for _, v := range n.sortedNeighbors(u) {
-			l := n.links[u][v]
+		for _, li := range n.adjLinks[n.adjStart[u]:n.adjStart[u+1]] {
+			l := n.linkList[li]
+			v := l.To
 			w := int64(l.Delay) + 1 // +1 keeps zero-delay hops countable
-			if dist[u]+w < dist[v] {
-				dist[v] = dist[u] + w
+			if nd := dist[u] + w; nd < dist[v] {
+				dist[v] = nd
 				prev[v] = u
+				// Push (sift-up).
+				h = append(h, distEntry{nd, v})
+				i := len(h) - 1
+				x := h[i]
+				for i > 0 {
+					p := (i - 1) / 2
+					if !distLess(x, h[p]) {
+						break
+					}
+					h[i] = h[p]
+					i = p
+				}
+				h[i] = x
 			}
 		}
 	}
-	// next[dst]: first hop from src towards dst.
-	next := make([]NodeID, cnt)
+	n.dh = h[:0]
+	// next[dst]: first-hop link from src towards dst.
 	for d := 0; d < cnt; d++ {
 		if NodeID(d) == src || prev[d] == -1 {
 			next[d] = -1
@@ -243,54 +473,64 @@ func (n *Network) dijkstra(src NodeID) []NodeID {
 				break
 			}
 		}
-		next[d] = hop
+		next[d] = n.linkIdx[linkKey{src, hop}]
 	}
-	return next
 }
 
-func (n *Network) sortedNeighbors(u NodeID) []NodeID {
-	out := make([]NodeID, 0, len(n.links[u]))
-	for v := range n.links[u] {
-		out = append(out, v)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// mcastTree returns (building if needed) the children lists of the
-// shortest-path tree rooted at src spanning the group's members.
-func (n *Network) mcastTree(g GroupID, src NodeID) map[NodeID][]NodeID {
+// mcastTree returns (compiling if needed) the flattened shortest-path tree
+// rooted at src spanning the group's members.
+func (n *Network) mcastTree(g GroupID, src NodeID) *mcastTree {
 	key := mcastKey{group: g, src: src}
 	if t, ok := n.mcastTrees[key]; ok {
 		return t
 	}
 	n.ensureRoutes()
-	tree := map[NodeID][]NodeID{}
+	cnt := len(n.nodes)
+	gr := n.groups[g]
+	children := make([][]int32, cnt)
 	onTree := map[[2]NodeID]bool{}
-	members := make([]NodeID, 0, len(n.groups[g]))
-	for m := range n.groups[g] {
-		members = append(members, m)
-	}
-	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
-	for _, m := range members {
-		if m == src {
-			continue
-		}
-		// Walk the unicast path src -> m, adding edges not yet on the tree.
-		at := src
-		for at != m {
-			next := n.routes[at][m]
-			if next < 0 {
-				panic(fmt.Sprintf("simnet: no multicast route %v -> %v", src, m))
+	nLinks := 0
+	if gr != nil {
+		for mi, in := range gr.member {
+			m := NodeID(mi)
+			if !in || m == src {
+				continue
 			}
-			e := [2]NodeID{at, next}
-			if !onTree[e] {
-				onTree[e] = true
-				tree[at] = append(tree[at], next)
+			// Walk the unicast path src -> m, adding edges not yet on the tree.
+			at := src
+			for at != m {
+				li := n.routes[int(at)*cnt+int(m)]
+				if li < 0 {
+					panic(fmt.Sprintf("simnet: no multicast route %v -> %v", src, m))
+				}
+				nxt := n.linkList[li].To
+				e := [2]NodeID{at, nxt}
+				if !onTree[e] {
+					onTree[e] = true
+					children[at] = append(children[at], li)
+					nLinks++
+				}
+				at = nxt
 			}
-			at = next
 		}
 	}
-	n.mcastTrees[key] = tree
-	return tree
+	t := &mcastTree{
+		start:   make([]int32, cnt+1),
+		links:   make([]int32, 0, nLinks),
+		deliver: make([]bool, cnt),
+	}
+	for u := 0; u < cnt; u++ {
+		t.start[u] = int32(len(t.links))
+		t.links = append(t.links, children[u]...)
+		if gr != nil && u < len(gr.member) {
+			t.deliver[u] = gr.member[u] && NodeID(u) != src
+		}
+	}
+	t.start[cnt] = int32(len(t.links))
+	n.mcastTrees[key] = t
+	return t
 }
+
+// Links returns the network's links in creation order. Intended for
+// tooling (benchmark counters, tracing); the slice must not be modified.
+func (n *Network) Links() []*Link { return n.linkList }

@@ -25,6 +25,12 @@ type Addr struct {
 
 // Packet is the unit of transmission. Payload carries the protocol
 // header/body as a Go value; Size alone determines transmission time.
+//
+// Packets built with a composite literal work as before and are never
+// recycled. Packets from Network.AllocPacket belong to the network once
+// sent: the network reference-counts the multicast fan-out and returns
+// them to a free list after the last delivery or drop, so handlers must
+// copy anything they keep.
 type Packet struct {
 	Size    int  // bytes on the wire
 	Src     Addr // originating agent
@@ -33,6 +39,11 @@ type Packet struct {
 	IsMcast bool
 	SentAt  sim.Time // stamped by Network.Send for tracing
 	Payload any
+
+	tree    *mcastTree // compiled tree cache, valid while treeVer matches
+	treeVer uint32
+	refs    int32 // outstanding forwarding tokens
+	pooled  bool  // came from AllocPacket; recycle at refs==0
 }
 
 // Handler consumes packets delivered to a port.

@@ -10,10 +10,14 @@ type Queue interface {
 	Len() int
 }
 
-// DropTail is the FIFO queue used in all of the paper's simulations.
+// DropTail is the FIFO queue used in all of the paper's simulations. It
+// is a fixed ring buffer: steady-state enqueue/dequeue never allocates
+// (the old slice version re-grew its backing array continuously).
 type DropTail struct {
 	Limit int // capacity in packets
-	q     []*Packet
+	buf   []*Packet
+	head  int
+	n     int
 }
 
 // NewDropTail returns a FIFO queue holding at most limit packets.
@@ -26,26 +30,42 @@ func NewDropTail(limit int) *DropTail {
 
 // Enqueue implements Queue.
 func (d *DropTail) Enqueue(pkt *Packet, _ sim.Time) bool {
-	if len(d.q) >= d.Limit {
+	if d.n >= d.Limit {
 		return false
 	}
-	d.q = append(d.q, pkt)
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.n)%len(d.buf)] = pkt
+	d.n++
 	return true
+}
+
+// grow resizes the ring to the current Limit (which is exported and may
+// have been raised after construction).
+func (d *DropTail) grow() {
+	nb := make([]*Packet, d.Limit)
+	for i := 0; i < d.n; i++ {
+		nb[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf = nb
+	d.head = 0
 }
 
 // Dequeue implements Queue.
 func (d *DropTail) Dequeue(_ sim.Time) *Packet {
-	if len(d.q) == 0 {
+	if d.n == 0 {
 		return nil
 	}
-	pkt := d.q[0]
-	d.q[0] = nil
-	d.q = d.q[1:]
+	pkt := d.buf[d.head]
+	d.buf[d.head] = nil
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
 	return pkt
 }
 
 // Len implements Queue.
-func (d *DropTail) Len() int { return len(d.q) }
+func (d *DropTail) Len() int { return d.n }
 
 // RED implements Random Early Detection (Floyd & Jacobson). The paper
 // notes fairness improves when RED replaces drop-tail; it backs the

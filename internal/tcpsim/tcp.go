@@ -73,7 +73,8 @@ type Sender struct {
 	srtt, rttvar sim.Time
 	rto          sim.Time
 	haveRTT      bool
-	rtoTimer     *sim.Timer
+	rtoTimer     sim.Timer
+	sendFn       func(any) // pre-bound so jittered departures allocate no closure
 	backoff      int
 
 	rttSeq     int64
@@ -100,6 +101,7 @@ func NewSender(name string, net *simnet.Network, src, dst simnet.Addr, cfg Confi
 		src: src, dst: dst, name: name,
 		cwnd: 1, ssthresh: cfg.MaxCwnd, rto: cfg.InitialRTO,
 	}
+	s.sendFn = func(a any) { s.net.Send(a.(*simnet.Packet)) }
 	net.Bind(src, simnet.HandlerFunc(s.recv))
 	return s
 }
@@ -137,12 +139,11 @@ func (s *Sender) transmit(seq int64, isRetx bool) {
 			s.rttPending = false
 		}
 	}
-	pkt := &simnet.Packet{
-		Size:    s.cfg.PacketSize,
-		Src:     s.src,
-		Dst:     s.dst,
-		Payload: Segment{Seq: seq},
-	}
+	pkt := s.net.AllocPacket()
+	pkt.Size = s.cfg.PacketSize
+	pkt.Src = s.src
+	pkt.Dst = s.dst
+	pkt.Payload = Segment{Seq: seq}
 	if s.cfg.Overhead > 0 {
 		depart := s.sch.Now() + sim.Time(s.net.Rand().Uniform(0, float64(s.cfg.Overhead)))
 		// Keep departures monotonic so the jitter cannot reorder segments.
@@ -150,7 +151,7 @@ func (s *Sender) transmit(seq int64, isRetx bool) {
 			depart = s.lastDepart
 		}
 		s.lastDepart = depart
-		s.sch.At(depart, func() { s.net.Send(pkt) })
+		s.sch.AtArg(depart, s.sendFn, pkt)
 	} else {
 		s.net.Send(pkt)
 	}
@@ -159,15 +160,13 @@ func (s *Sender) transmit(seq int64, isRetx bool) {
 		s.rttSeq = seq
 		s.rttSentAt = s.sch.Now()
 	}
-	if s.rtoTimer == nil || !s.rtoTimer.Active() {
+	if !s.rtoTimer.Active() {
 		s.armRTO()
 	}
 }
 
 func (s *Sender) armRTO() {
-	if s.rtoTimer != nil {
-		s.rtoTimer.Stop()
-	}
+	s.rtoTimer.Stop()
 	d := s.rto
 	for i := 0; i < s.backoff; i++ {
 		d *= 2
@@ -246,7 +245,7 @@ func (s *Sender) onNewAck(cum int64) {
 	}
 	if s.flight() > 0 {
 		s.armRTO()
-	} else if s.rtoTimer != nil {
+	} else {
 		s.rtoTimer.Stop()
 	}
 }
@@ -340,12 +339,12 @@ func (k *Sink) recv(pkt *simnet.Packet) {
 	} else if seg.Seq > k.next {
 		k.ooo[seg.Seq] = true
 	}
-	k.net.Send(&simnet.Packet{
-		Size:    k.cfg.AckSize,
-		Src:     k.src,
-		Dst:     k.peer,
-		Payload: Ack{CumAck: k.next},
-	})
+	ack := k.net.AllocPacket()
+	ack.Size = k.cfg.AckSize
+	ack.Src = k.src
+	ack.Dst = k.peer
+	ack.Payload = Ack{CumAck: k.next}
+	k.net.Send(ack)
 }
 
 func (k *Sink) advance(size int) {

@@ -35,7 +35,7 @@ type Receiver struct {
 	rw          recvWindow
 
 	round     int
-	fbTimer   *sim.Timer
+	fbTimer   sim.Timer
 	fbValue   float64 // planned report rate (bytes/s) guarding cancellation
 	fbHasLoss bool
 	isCLR     bool
@@ -121,16 +121,16 @@ func (r *Receiver) Leave() {
 	}
 	r.left = true
 	r.cancelTimer()
-	r.net.Send(&simnet.Packet{
-		Size: r.cfg.ReportSize,
-		Src:  r.addr,
-		Dst:  r.sender,
-		Payload: Report{
-			From:      r.id,
-			Timestamp: r.sch.Now(),
-			Leave:     true,
-		},
-	})
+	pkt := r.net.AllocPacket()
+	pkt.Size = r.cfg.ReportSize
+	pkt.Src = r.addr
+	pkt.Dst = r.sender
+	pkt.Payload = Report{
+		From:      r.id,
+		Timestamp: r.sch.Now(),
+		Leave:     true,
+	}
+	r.net.Send(pkt)
 	r.net.Leave(r.group, r.addr.Node)
 }
 
@@ -343,7 +343,7 @@ func (r *Receiver) roundConfig(d Data) feedback.Config {
 // be suppressed by another loss report; conversely a receive-rate report
 // is moot once any loss has been echoed (slowstart is ending).
 func (r *Receiver) maybeSuppress(d Data) {
-	if r.fbTimer == nil || !r.fbTimer.Active() {
+	if !r.fbTimer.Active() {
 		return
 	}
 	if math.IsInf(d.SuppressRate, 1) {
@@ -416,31 +416,29 @@ func (r *Receiver) sendReport(now sim.Time) {
 	if r.Trace != nil {
 		r.Trace.Add(now, trace.CatFeedback, int(r.id), rate, "report")
 	}
-	r.net.Send(&simnet.Packet{
-		Size: r.cfg.ReportSize,
-		Src:  r.addr,
-		Dst:  r.sender,
-		Payload: Report{
-			From:      r.id,
-			Timestamp: now,
-			EchoTS:    r.lastData.SendTime,
-			EchoDelay: now - r.lastArrival,
-			Rate:      rate,
-			RecvRate:  r.rw.rate(r.window(r.lastData), now),
-			HasRTT:    r.rtte.Valid(),
-			RTT:       r.rtte.RTT(),
-			LossRate:  r.est.LossEventRate(),
-			HasLoss:   r.est.HaveLoss(),
-			Round:     r.round,
-		},
-	})
+	pkt := r.net.AllocPacket()
+	pkt.Size = r.cfg.ReportSize
+	pkt.Src = r.addr
+	pkt.Dst = r.sender
+	pkt.Payload = Report{
+		From:      r.id,
+		Timestamp: now,
+		EchoTS:    r.lastData.SendTime,
+		EchoDelay: now - r.lastArrival,
+		Rate:      rate,
+		RecvRate:  r.rw.rate(r.window(r.lastData), now),
+		HasRTT:    r.rtte.Valid(),
+		RTT:       r.rtte.RTT(),
+		LossRate:  r.est.LossEventRate(),
+		HasLoss:   r.est.HaveLoss(),
+		Round:     r.round,
+	}
+	r.net.Send(pkt)
 }
 
 func (r *Receiver) cancelTimer() {
-	if r.fbTimer != nil {
-		r.fbTimer.Stop()
-		r.fbTimer = nil
-	}
+	r.fbTimer.Stop()
+	r.fbTimer = sim.Timer{}
 }
 
 func clamp01(x float64) float64 {
@@ -453,36 +451,45 @@ func clamp01(x float64) float64 {
 	return x
 }
 
-// recvWindow measures receive rate over a sliding time window.
+// recvWindow measures receive rate over a sliding time window. Samples
+// live in a fixed power-of-two ring so the per-packet add never
+// allocates; pruning keeps the same samples the old slice version kept
+// (drop the oldest 256 once 512 is exceeded).
 type recvWindow struct {
-	t     []sim.Time
-	b     []int
+	t     [recvWindowCap]sim.Time
+	b     [recvWindowCap]int
+	head  int // index of the oldest sample
+	n     int
 	total int64
 }
 
+const recvWindowCap = 1024 // must exceed 513, power of two for masking
+
 func (w *recvWindow) add(now sim.Time, bytes int) {
-	w.t = append(w.t, now)
-	w.b = append(w.b, bytes)
+	w.t[(w.head+w.n)&(recvWindowCap-1)] = now
+	w.b[(w.head+w.n)&(recvWindowCap-1)] = bytes
+	w.n++
 	w.total += int64(bytes)
 	// Amortised pruning: keep at most ~512 samples.
-	if len(w.t) > 512 {
-		w.t = append([]sim.Time(nil), w.t[256:]...)
-		w.b = append([]int(nil), w.b[256:]...)
+	if w.n > 512 {
+		w.head = (w.head + 256) & (recvWindowCap - 1)
+		w.n -= 256
 	}
 }
 
 // rate returns bytes/second received over the trailing window.
 func (w *recvWindow) rate(window, now sim.Time) float64 {
-	if window <= 0 || len(w.t) == 0 {
+	if window <= 0 || w.n == 0 {
 		return 0
 	}
 	cut := now - window
 	var bytes int64
-	for i := len(w.t) - 1; i >= 0; i-- {
-		if w.t[i] < cut {
+	for i := w.n - 1; i >= 0; i-- {
+		j := (w.head + i) & (recvWindowCap - 1)
+		if w.t[j] < cut {
 			break
 		}
-		bytes += int64(w.b[i])
+		bytes += int64(w.b[j])
 	}
 	return float64(bytes) / window.Seconds()
 }

@@ -188,8 +188,8 @@ func TestRecvWindowPruning(t *testing.T) {
 	for i := 0; i < 2000; i++ {
 		w.add(sim.Time(i)*sim.Millisecond, 100)
 	}
-	if len(w.t) > 512 {
-		t.Fatalf("window not pruned: %d samples", len(w.t))
+	if w.n > 512 {
+		t.Fatalf("window not pruned: %d samples", w.n)
 	}
 	// Recent rate still correct after pruning.
 	got := w.rate(100*sim.Millisecond, 1999*sim.Millisecond)

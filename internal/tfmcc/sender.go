@@ -30,7 +30,7 @@ type Sender struct {
 
 	round      int
 	roundT     sim.Time
-	roundTimer *sim.Timer
+	roundTimer sim.Timer
 
 	suppressRate float64
 	suppressLoss bool
@@ -54,7 +54,7 @@ type Sender struct {
 	clrEcho echoEntry // last CLR report, echoed when the queue is empty
 	reports map[ReceiverID]reportInfo
 
-	rampTimer *sim.Timer
+	rampTimer sim.Timer
 
 	// Stats.
 	PacketsSent int64
@@ -175,14 +175,14 @@ func (s *Sender) transmit() {
 	}
 	s.seq++
 	s.PacketsSent++
-	s.net.Send(&simnet.Packet{
-		Size:    s.cfg.PacketSize,
-		Src:     s.addr,
-		Dst:     simnet.Addr{Port: s.addr.Port},
-		Group:   s.group,
-		IsMcast: true,
-		Payload: d,
-	})
+	pkt := s.net.AllocPacket()
+	pkt.Size = s.cfg.PacketSize
+	pkt.Src = s.addr
+	pkt.Dst = simnet.Addr{Port: s.addr.Port}
+	pkt.Group = s.group
+	pkt.IsMcast = true
+	pkt.Payload = d
+	s.net.Send(pkt)
 }
 
 // popEcho picks the highest-priority pending echo, falling back to the
@@ -450,7 +450,7 @@ func (s *Sender) setRate(r float64) {
 // ensureRamp arms the additive-increase clock: at most one packet per RTT
 // of rate increase towards the target.
 func (s *Sender) ensureRamp() {
-	if s.rampTimer != nil && s.rampTimer.Active() {
+	if s.rampTimer.Active() {
 		return
 	}
 	rtt := s.rampRTT()

@@ -78,7 +78,7 @@ type Sender struct {
 	echoAt   sim.Time
 	haveEcho bool
 
-	noFeedback *sim.Timer
+	noFeedback sim.Timer
 
 	PacketsSent int64
 }
@@ -137,9 +137,12 @@ func (s *Sender) sendLoop() {
 	}
 	s.seq++
 	s.PacketsSent++
-	s.net.Send(&simnet.Packet{
-		Size: s.cfg.PacketSize, Src: s.addr, Dst: s.peer, Payload: d,
-	})
+	pkt := s.net.AllocPacket()
+	pkt.Size = s.cfg.PacketSize
+	pkt.Src = s.addr
+	pkt.Dst = s.peer
+	pkt.Payload = d
+	s.net.Send(pkt)
 	s.sch.After(sim.FromSeconds(float64(s.cfg.PacketSize)/s.rate), s.sendLoop)
 }
 
@@ -197,9 +200,7 @@ func (s *Sender) setRate(x float64) {
 // armNoFeedback (re)starts the no-feedback timer: when no report arrives
 // for 4 RTTs (or 2 packet intervals at low rates), the rate is halved.
 func (s *Sender) armNoFeedback() {
-	if s.noFeedback != nil {
-		s.noFeedback.Stop()
-	}
+	s.noFeedback.Stop()
 	d := sim.MaxOf(s.currentRTT().Scale(4),
 		sim.FromSeconds(2*float64(s.cfg.PacketSize)/s.rate))
 	s.noFeedback = s.sch.After(d, func() {
@@ -295,17 +296,19 @@ func (r *Receiver) report(now sim.Time, d Data) {
 	for i := len(r.winTimes) - 1; i >= 0 && r.winTimes[i] >= cut; i-- {
 		bytes += int64(r.winBytes[i])
 	}
-	r.net.Send(&simnet.Packet{
-		Size: r.cfg.ReportSize, Src: r.addr, Dst: r.peer,
-		Payload: Feedback{
-			Timestamp: now,
-			EchoTS:    d.SendTime,
-			EchoDelay: now - r.lastArrival,
-			LossRate:  r.est.LossEventRate(),
-			RecvRate:  float64(bytes) / window.Seconds(),
-			HasLoss:   r.est.HaveLoss(),
-		},
-	})
+	fb := r.net.AllocPacket()
+	fb.Size = r.cfg.ReportSize
+	fb.Src = r.addr
+	fb.Dst = r.peer
+	fb.Payload = Feedback{
+		Timestamp: now,
+		EchoTS:    d.SendTime,
+		EchoDelay: now - r.lastArrival,
+		LossRate:  r.est.LossEventRate(),
+		RecvRate:  float64(bytes) / window.Seconds(),
+		HasLoss:   r.est.HaveLoss(),
+	}
+	r.net.Send(fb)
 }
 
 // NewFlow wires a TFRC sender/receiver pair between two nodes.
