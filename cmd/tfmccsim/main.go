@@ -3,27 +3,43 @@
 //
 // Usage:
 //
-//	tfmccsim -figure 9            # run one figure, print summary
-//	tfmccsim -figure 9 -tsv       # dump the series as TSV
-//	tfmccsim -all                 # run every figure, print summaries
-//	tfmccsim -list                # list available figures
+//	tfmccsim -figure 9                       # run one figure, print summary
+//	tfmccsim -figure 9 -tsv                  # dump the series as TSV
+//	tfmccsim -figure 9 -seeds 8 -workers 4   # 8-seed sweep, merged bands
+//	tfmccsim -all                            # run every figure
+//	tfmccsim -list                           # list available figures
+//
+// With -seeds > 1 the figure is replicated across that many independent
+// seeds (fanned out over -workers goroutines, each reusing one simulation
+// arena) and the output carries mean/CI/min/max band columns instead of a
+// single trajectory: TSV becomes the long-format table
+//
+//	series  x  mean  ci_lo  ci_hi  min  max  n
+//
+// where [ci_lo, ci_hi] is the -ci confidence interval for the mean. The
+// merged output is bit-for-bit independent of -workers.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/experiments"
+	"repro/internal/sweep"
 )
 
 func main() {
 	var (
-		figure = flag.String("figure", "", "figure id to reproduce (e.g. 9)")
-		all    = flag.Bool("all", false, "run every figure")
-		list   = flag.Bool("list", false, "list available figures")
-		tsv    = flag.Bool("tsv", false, "print full series as TSV instead of a summary")
-		seed   = flag.Int64("seed", 1, "random seed")
+		figure  = flag.String("figure", "", "figure id to reproduce (e.g. 9)")
+		all     = flag.Bool("all", false, "run every figure")
+		list    = flag.Bool("list", false, "list available figures")
+		tsv     = flag.Bool("tsv", false, "print full series as TSV instead of a summary")
+		seed    = flag.Int64("seed", 1, "random seed (first seed of a sweep)")
+		seeds   = flag.Int("seeds", 1, "number of independent seeds to sweep and merge")
+		workers = flag.Int("workers", runtime.NumCPU(), "parallel sweep workers (capped at -seeds)")
+		ci      = flag.Float64("ci", 0.95, "confidence level for the merged bands")
 	)
 	flag.Parse()
 
@@ -34,17 +50,32 @@ func main() {
 		}
 	case *all:
 		for _, id := range experiments.Figures() {
-			run(id, *seed, *tsv)
+			run(id, *seed, *seeds, *workers, *ci, *tsv)
 		}
 	case *figure != "":
-		run(*figure, *seed, *tsv)
+		run(*figure, *seed, *seeds, *workers, *ci, *tsv)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func run(id string, seed int64, tsv bool) {
+func run(id string, seed int64, seeds, workers int, ci float64, tsv bool) {
+	if seeds > 1 {
+		res, err := experiments.Sweep(id, sweep.Config{
+			Seeds: seeds, Workers: workers, CI: ci, Base: seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if tsv {
+			fmt.Print(res.TSV())
+			return
+		}
+		fmt.Print(res.Summary())
+		return
+	}
 	res, err := experiments.Run(id, seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -20,10 +20,11 @@ import (
 // AblationLossHistoryDepth compares loss-history depths n = 4, 8, 32:
 // deeper history smooths the rate but reacts more slowly when congestion
 // doubles mid-run.
-func AblationLossHistoryDepth(seed int64) *Result {
+func AblationLossHistoryDepth(c *RunCtx, seed int64) *Result {
+	defer c.begin("ablationLossHistoryDepth")()
 	res := &Result{Figure: "A1", Title: "Ablation: loss history depth (smoothness vs responsiveness)"}
 	for _, depth := range []int{4, 8, 32} {
-		e := newEnv(seed)
+		e := c.newEnv(seed)
 		hub := e.net.AddNode("hub")
 		snd := e.net.AddNode("src")
 		e.net.AddDuplex(snd, hub, 0, sim.Millisecond, 0)
@@ -50,10 +51,11 @@ func AblationLossHistoryDepth(seed int64) *Result {
 
 // AblationPrevCLR toggles the Appendix C previous-CLR store under
 // oscillating congestion on two receivers and counts CLR changes.
-func AblationPrevCLR(seed int64) *Result {
+func AblationPrevCLR(c *RunCtx, seed int64) *Result {
+	defer c.begin("ablationPrevCLR")()
 	res := &Result{Figure: "A2", Title: "Ablation: Appendix C previous-CLR store"}
 	for _, store := range []bool{false, true} {
-		e := newEnv(seed)
+		e := c.newEnv(seed)
 		hub := e.net.AddNode("hub")
 		snd := e.net.AddNode("src")
 		e.net.AddDuplex(snd, hub, 0, sim.Millisecond, 0)
@@ -97,10 +99,11 @@ func AblationPrevCLR(seed int64) *Result {
 
 // AblationQueueDiscipline compares drop-tail and RED bottlenecks for the
 // Figure 9 scenario (the paper notes fairness improves with RED).
-func AblationQueueDiscipline(seed int64) *Result {
+func AblationQueueDiscipline(c *RunCtx, seed int64) *Result {
+	defer c.begin("ablationQueueDiscipline")()
 	res := &Result{Figure: "A3", Title: "Ablation: drop-tail vs RED bottleneck (Figure 9 scenario)"}
 	for _, red := range []bool{false, true} {
-		e := newEnv(seed)
+		e := c.newEnv(seed)
 		r1 := e.net.AddNode("r1")
 		r2 := e.net.AddNode("r2")
 		l, back := e.net.AddDuplex(r1, r2, 8*mbit, 20*sim.Millisecond, 80)
@@ -142,14 +145,15 @@ func AblationQueueDiscipline(seed int64) *Result {
 // CompareTFMCCvsPGMCC runs both protocols in the same star scenario and
 // compares smoothness — the paper's central qualitative claim (section 5):
 // TFMCC's rate is smoother, PGMCC shows TCP's sawtooth.
-func CompareTFMCCvsPGMCC(seed int64) *Result {
+func CompareTFMCCvsPGMCC(c *RunCtx, seed int64) *Result {
+	defer c.begin("compareTFMCCvsPGMCC")()
 	res := &Result{Figure: "A4", Title: "TFMCC vs PGMCC: throughput smoothness (CoV)"}
 	loss := []float64{0.02, 0.005}
 	delay := []sim.Time{28 * sim.Millisecond, 28 * sim.Millisecond}
 
 	// TFMCC run.
 	{
-		e := newEnv(seed)
+		e := c.newEnv(seed)
 		st := buildStar(e, loss, delay, 0, 0)
 		var m *stats.Meter
 		for i, leaf := range st.leafs {
@@ -166,7 +170,7 @@ func CompareTFMCCvsPGMCC(seed int64) *Result {
 	}
 	// PGMCC run on an identical topology.
 	{
-		e := newEnv(seed)
+		e := c.newEnv(seed)
 		hub := e.net.AddNode("hub")
 		snd := e.net.AddNode("src")
 		e.net.AddDuplex(snd, hub, 0, sim.Millisecond, 0)
@@ -195,10 +199,11 @@ func CompareTFMCCvsPGMCC(seed int64) *Result {
 // CompareTFMCCvsTFRC verifies that TFMCC with a single receiver behaves
 // like unicast TFRC on the same lossy path (the degenerate-case sanity
 // check for the multicast extension).
-func CompareTFMCCvsTFRC(seed int64) *Result {
+func CompareTFMCCvsTFRC(c *RunCtx, seed int64) *Result {
+	defer c.begin("compareTFMCCvsTFRC")()
 	res := &Result{Figure: "A5", Title: "TFMCC (1 receiver) vs unicast TFRC"}
 	runOne := func(useTFRC bool) *stats.Meter {
-		e := newEnv(seed)
+		e := c.newEnv(seed)
 		a := e.net.AddNode("a")
 		b := e.net.AddNode("b")
 		down, _ := e.net.AddDuplex(a, b, 0, 30*sim.Millisecond, 0)
@@ -230,7 +235,7 @@ func CompareTFMCCvsTFRC(seed int64) *Result {
 // AblationFeedbackBias is the mechanism-level ablation behind Figures 5/6
 // exposed as a single comparable number: quality of the reported rate at
 // n = 1000 for each bias method.
-func AblationFeedbackBias(seed int64) *Result {
+func AblationFeedbackBias(_ *RunCtx, seed int64) *Result {
 	res := &Result{Figure: "A6", Title: "Ablation: feedback bias method at n=1000"}
 	delay := 250 * sim.Millisecond
 	for _, b := range []feedback.BiasMethod{feedback.BiasNone, feedback.BiasOffset, feedback.BiasModifiedOffset, feedback.BiasModifyN} {
@@ -257,14 +262,15 @@ func AblationFeedbackBias(seed int64) *Result {
 // AblationLossInit toggles the Appendix B loss-history initialisation in
 // the late-join scenario and reports how far the post-join rate deviates
 // from the slow tail's capacity.
-func AblationLossInit(seed int64) *Result {
+func AblationLossInit(c *RunCtx, seed int64) *Result {
+	defer c.begin("ablationLossInit")()
 	res := &Result{Figure: "A7", Title: "Ablation: Appendix B loss history initialisation (late join)"}
 	// The initialisation lives in the receiver; emulate "off" by depth-1
 	// history which nullifies the synthetic interval's averaging effect.
 	// (A direct flag would touch the protocol; the depth-1 variant shows
 	// the same qualitative sensitivity.)
 	for _, depth := range []int{1, 8} {
-		e := newEnv(seed)
+		e := c.newEnv(seed)
 		r1 := e.net.AddNode("r1")
 		r2 := e.net.AddNode("r2")
 		e.net.AddDuplex(r1, r2, 8*mbit, 20*sim.Millisecond, 80)
@@ -306,7 +312,7 @@ func covAfter(s *stats.Series, from sim.Time) float64 {
 // the worst-case round: n simultaneously congested receivers. The tree
 // bounds both root load and delay deterministically, at the cost of
 // maintaining the overlay.
-func ExtensionFeedbackTree(seed int64) *Result {
+func ExtensionFeedbackTree(_ *RunCtx, seed int64) *Result {
 	res := &Result{Figure: "A8", Title: "Extension: feedback aggregation tree vs flat suppression"}
 	flat := &stats.Series{Name: "flat suppression (responses)"}
 	tree := &stats.Series{Name: "tree aggregation (root reports)"}
@@ -345,9 +351,18 @@ func ExtensionFeedbackTree(seed int64) *Result {
 
 // SessionThroughput is a benchmark helper: runs a session with n
 // receivers over a 1 Mbit/s bottleneck for the given number of simulated
-// seconds and returns the sender's final rate (bytes/s).
-func SessionThroughput(n int, seconds int) float64 {
-	e := newEnv(1)
+// seconds and returns the sender's final rate (bytes/s). Repeated calls
+// on the same context rewind and reuse the cached scenario instead of
+// rebuilding it.
+func (c *RunCtx) SessionThroughput(n int, seconds int) float64 {
+	return c.SessionThroughputSeed(1, n, seconds)
+}
+
+// SessionThroughputSeed is SessionThroughput with an explicit seed, for
+// cross-seed sweeps of the benchmark scenario.
+func (c *RunCtx) SessionThroughputSeed(seed int64, n, seconds int) float64 {
+	defer c.begin("session")()
+	e := c.newEnv(seed)
 	r1 := e.net.AddNode("r1")
 	r2 := e.net.AddNode("r2")
 	e.net.AddDuplex(r1, r2, 1*mbit, 20*sim.Millisecond, 30)
@@ -364,16 +379,23 @@ func SessionThroughput(n int, seconds int) float64 {
 	return sess.Sender.Rate()
 }
 
+// SessionThroughput runs the session benchmark scenario on a fresh
+// context.
+func SessionThroughput(n int, seconds int) float64 {
+	return NewRunCtx().SessionThroughput(n, seconds)
+}
+
 // ExtensionCorrelatedLoss verifies section 3's claim at the full protocol
 // level: losses on a shared link high in the multicast tree are
 // correlated across receivers and cause no minimum-tracking degradation,
 // while the same per-receiver loss probability applied independently at
 // the leaves drags the rate down.
-func ExtensionCorrelatedLoss(seed int64) *Result {
+func ExtensionCorrelatedLoss(c *RunCtx, seed int64) *Result {
+	defer c.begin("extensionCorrelatedLoss")()
 	res := &Result{Figure: "A9", Title: "Extension: correlated (shared-link) vs independent (leaf) loss"}
 	const p = 0.04
 	run := func(correlated bool) float64 {
-		e := newEnv(seed)
+		e := c.newEnv(seed)
 		src := e.net.AddNode("src")
 		tr := simnet.NewTreeTopology(e.net, 4, 2, 0, 10*sim.Millisecond, 0)
 		e.net.AddDuplex(src, tr.Root, 0, sim.Millisecond, 0)

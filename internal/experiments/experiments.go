@@ -2,6 +2,13 @@
 // TFMCC paper's evaluation. Each builder returns a Result whose series
 // reproduce the corresponding plot; cmd/tfmccsim prints them as TSV and
 // the root bench_test.go wraps each in a testing.B benchmark.
+//
+// Runners execute against a RunCtx, which owns an arena of reusable
+// simulation environments: rerunning the same scenario (another seed of a
+// sweep, another benchmark iteration) rewinds the cached scheduler,
+// network topology and pooled protocol state instead of rebuilding them.
+// A RunCtx is single-goroutine; seed sweeps hand one RunCtx to each
+// worker (see Sweep).
 package experiments
 
 import (
@@ -12,6 +19,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/tcpsim"
 	"repro/internal/tfmcc"
 )
@@ -51,13 +59,17 @@ func (r *Result) TSV() string {
 }
 
 // Runner produces a figure's Result. seed selects the deterministic
-// random stream.
-type Runner func(seed int64) *Result
+// random stream; the RunCtx supplies (and recycles) the simulation
+// environments.
+type Runner func(c *RunCtx, seed int64) *Result
 
-// Entry is a registered figure reproduction.
+// Entry is a registered figure reproduction. Analytic marks figures that
+// never drive the discrete-event engine (closed-form or Monte-Carlo
+// plots), for which engine counters are meaningless.
 type Entry struct {
-	Title string
-	Run   Runner
+	Title    string
+	Run      Runner
+	Analytic bool
 }
 
 // Registry maps figure identifiers to their runners.
@@ -65,8 +77,17 @@ var Registry = map[string]Entry{}
 
 func register(id, title string, r Runner) { Registry[id] = Entry{Title: title, Run: r} }
 
+// registerAnalytic registers a figure that does not use the simulation
+// engine.
+func registerAnalytic(id, title string, r Runner) {
+	Registry[id] = Entry{Title: title, Run: r, Analytic: true}
+}
+
 // Title returns the registered title for a figure id.
 func Title(id string) string { return Registry[id].Title }
+
+// Analytic reports whether a figure is registered as analytic.
+func Analytic(id string) bool { return Registry[id].Analytic }
 
 // Figures returns the registered figure identifiers in order.
 func Figures() []string {
@@ -86,31 +107,115 @@ func Figures() []string {
 	return out
 }
 
-// Run executes the runner for a figure id.
+// Run executes the runner for a figure id on a fresh context.
 func Run(id string, seed int64) (*Result, error) {
+	return RunWith(NewRunCtx(), id, seed)
+}
+
+// RunWith executes the runner for a figure id on c, reusing whatever
+// simulation state c has cached from earlier runs of the same scenario.
+func RunWith(c *RunCtx, id string, seed int64) (*Result, error) {
 	r, ok := Registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown figure %q (have %v)", id, Figures())
 	}
-	return r.Run(seed), nil
+	defer c.begin("figure" + id)()
+	return r.Run(c, seed), nil
 }
 
-// --- shared topology helpers -------------------------------------------
+// --- run context and environment arena ---------------------------------
+
+// RunCtx carries the per-worker state behind figure runs: an arena of
+// reusable simulation environments keyed by scenario, plus the engine
+// counters accumulated across runs. It must be used from one goroutine at
+// a time; parallel sweeps give each worker its own RunCtx.
+type RunCtx struct {
+	key   string
+	envs  map[string][]*env
+	next  int
+	reuse bool
+	stats EngineStats
+}
+
+// NewRunCtx returns a context with environment reuse enabled.
+func NewRunCtx() *RunCtx { return &RunCtx{envs: map[string][]*env{}, reuse: true} }
+
+// begin starts a run of the named scenario and returns the harvest
+// function to defer: it folds the run's engine counters into the context
+// totals and restores the enclosing scenario, so a runner invoked from
+// within another run (e.g. a begin-calling helper registered as a
+// figure) neither corrupts the outer arena cursor nor double-harvests.
+func (c *RunCtx) begin(key string) func() {
+	prevKey, prevNext := c.key, c.next
+	c.key = key
+	c.next = 0
+	return func() {
+		c.endRun()
+		c.key, c.next = prevKey, prevNext
+	}
+}
+
+func (c *RunCtx) endRun() {
+	for _, e := range c.envs[c.key][:c.next] {
+		c.stats.Events += e.sch.Processed()
+		for _, l := range e.net.Links() {
+			c.stats.PacketsSent += l.Stats.Sent
+			c.stats.PacketsDelivered += l.Stats.Deliver
+		}
+	}
+}
+
+// Stats returns the engine counters accumulated over every run executed
+// with this context since the last ResetStats.
+func (c *RunCtx) Stats() EngineStats { return c.stats }
+
+// ResetStats zeroes the accumulated engine counters.
+func (c *RunCtx) ResetStats() { c.stats = EngineStats{} }
 
 // env bundles the per-scenario simulation plumbing.
 type env struct {
-	sch *sim.Scheduler
-	net *simnet.Network
-	rng *sim.Rand
+	sch    *sim.Scheduler
+	net    *simnet.Network
+	rng    *sim.Rand
+	netRng *sim.Rand
 }
 
-func newEnv(seed int64) *env {
-	sch := sim.NewScheduler()
-	e := &env{sch: sch, net: simnet.New(sch, sim.NewRand(seed)), rng: sim.NewRand(seed + 7)}
-	if collecting != nil {
-		collecting = append(collecting, e)
+// newEnv returns the next simulation environment of the current run:
+// either the environment built at the same point of a previous run of
+// this scenario — rewound to a pristine state for the new seed — or a
+// freshly built one that joins the arena.
+func (c *RunCtx) newEnv(seed int64) *env {
+	list := c.envs[c.key]
+	if c.next < len(list) {
+		e := list[c.next]
+		c.next++
+		e.rewind(seed)
+		return e
 	}
+	sch := sim.NewScheduler()
+	netRng := sim.NewRand(seed)
+	e := &env{sch: sch, net: simnet.New(sch, netRng), rng: sim.NewRand(seed + 7), netRng: netRng}
+	if c.reuse {
+		e.net.EnableReuse()
+	}
+	c.envs[c.key] = append(list, e)
+	c.next++
 	return e
+}
+
+// rewind restores the environment to the state newEnv would have built
+// fresh for seed. When the network cannot be rewound (reuse disabled or a
+// replay-incompatible construction), it is rebuilt from scratch — always
+// correct, just without the reuse speedup.
+func (e *env) rewind(seed int64) {
+	e.sch.Reset()
+	if !e.net.Reset() {
+		e.netRng = sim.NewRand(seed)
+		e.net = simnet.New(e.sch, e.netRng)
+		e.net.EnableReuse()
+	}
+	e.netRng.Reseed(seed)
+	e.rng.Reseed(seed + 7)
 }
 
 // addTCP wires a TCP flow from a fresh source node through `in` to a
@@ -140,6 +245,97 @@ const (
 	kbit = 125.0    // bytes/s per Kbit/s
 )
 
+// --- seed sweeps -------------------------------------------------------
+
+// SweepResult is a figure reproduced as the merged behaviour of many
+// independent seeds.
+type SweepResult struct {
+	Figure  string
+	Title   string
+	Bands   []*stats.Band
+	Notes   []string // notes of the first seed's run, for orientation
+	Seeds   int
+	Workers int
+	CI      float64
+	Engine  EngineStats // accumulated across all seeds and workers
+}
+
+// Summary returns a per-band digest of the sweep.
+func (r *SweepResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s: %s (%d seeds, %d workers, %.0f%% CI)\n",
+		r.Figure, r.Title, r.Seeds, r.Workers, r.CI*100)
+	for _, bd := range r.Bands {
+		var mean stats.Welford
+		for _, p := range bd.Points {
+			mean.Add(p.Mean)
+		}
+		fmt.Fprintf(&b, "  %-28s mean=%10.3f points=%d\n", bd.Name, mean.Mean(), len(bd.Points))
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "  note (first seed): %s\n", n)
+	}
+	return b.String()
+}
+
+// TSV renders the merged bands as a long-format table with band columns.
+func (r *SweepResult) TSV() string {
+	var b strings.Builder
+	b.WriteString("series\tx\tmean\tci_lo\tci_hi\tmin\tmax\tn\n")
+	for _, bd := range r.Bands {
+		for _, p := range bd.Points {
+			fmt.Fprintf(&b, "%s\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%d\n",
+				bd.Name, p.T.Seconds(), p.Mean, p.Lo, p.Hi, p.Min, p.Max, p.N)
+		}
+	}
+	return b.String()
+}
+
+// Sweep runs a registered figure across cfg.Seeds independent seeds on
+// cfg.Workers workers and merges the per-seed series into bands. Each
+// worker owns one RunCtx, so consecutive seeds on a worker reuse the
+// scenario's cached topology and pooled protocol state; the merged output
+// is bit-for-bit independent of the worker count.
+func Sweep(id string, cfg sweep.Config) (*SweepResult, error) {
+	entry, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown figure %q (have %v)", id, Figures())
+	}
+	cfg = cfg.Normalized()
+	ctxs := make([]*RunCtx, cfg.Workers)
+	for i := range ctxs {
+		ctxs[i] = NewRunCtx()
+	}
+	notes := make([][]string, cfg.Seeds)
+	merged := sweep.Run(cfg, func(worker int, seed int64) []*stats.Series {
+		res, err := RunWith(ctxs[worker], id, seed)
+		if err != nil {
+			panic(err) // unreachable: id was validated above
+		}
+		notes[indexOfSeed(cfg, seed)] = res.Notes
+		return res.Series
+	})
+	out := &SweepResult{
+		Figure:  id,
+		Title:   entry.Title,
+		Bands:   merged.Bands,
+		Seeds:   merged.Seeds,
+		Workers: merged.Workers,
+		CI:      merged.CI,
+	}
+	if len(notes) > 0 {
+		out.Notes = notes[0]
+	}
+	for _, c := range ctxs {
+		out.Engine.Add(c.Stats())
+	}
+	return out, nil
+}
+
+func indexOfSeed(cfg sweep.Config, seed int64) int {
+	return int((seed - cfg.Base) / cfg.Step)
+}
+
 // --- engine benchmarking hooks -----------------------------------------
 
 // EngineStats aggregates raw simulation-engine counters over one or more
@@ -150,24 +346,9 @@ type EngineStats struct {
 	PacketsDelivered int64  // packets delivered by links
 }
 
-// collecting, when non-nil, receives every env created by scenario
-// builders so CollectEngineStats can read their counters afterwards. The
-// engine is single-threaded; no locking.
-var collecting []*env
-
-// CollectEngineStats runs fn and returns the engine counters of every
-// simulation environment fn created (a figure runner may create many).
-func CollectEngineStats(fn func()) EngineStats {
-	collecting = []*env{}
-	defer func() { collecting = nil }()
-	fn()
-	var st EngineStats
-	for _, e := range collecting {
-		st.Events += e.sch.Processed()
-		for _, l := range e.net.Links() {
-			st.PacketsSent += l.Stats.Sent
-			st.PacketsDelivered += l.Stats.Deliver
-		}
-	}
-	return st
+// Add folds another stats sample into s.
+func (s *EngineStats) Add(o EngineStats) {
+	s.Events += o.Events
+	s.PacketsSent += o.PacketsSent
+	s.PacketsDelivered += o.PacketsDelivered
 }

@@ -255,7 +255,7 @@ func TestSessionThroughputHelper(t *testing.T) {
 }
 
 func TestAblationFeedbackBiasOrdering(t *testing.T) {
-	res := AblationFeedbackBias(1)
+	res := AblationFeedbackBias(NewRunCtx(), 1)
 	var unbiased, modOffset float64
 	for _, s := range res.Series {
 		switch s.Name {
@@ -271,7 +271,7 @@ func TestAblationFeedbackBiasOrdering(t *testing.T) {
 }
 
 func TestExtensionFeedbackTreeQuality(t *testing.T) {
-	res := ExtensionFeedbackTree(1)
+	res := ExtensionFeedbackTree(NewRunCtx(), 1)
 	// The tree's best report always carries the exact minimum.
 	for _, s := range res.Series {
 		if s.Name == "tree quality" {

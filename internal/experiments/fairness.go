@@ -18,8 +18,8 @@ func init() {
 // Figure9 runs one TFMCC flow against 15 TCP flows over a single 8 Mbit/s
 // bottleneck and reports the TFMCC rate plus two sample TCP rates over
 // time. Paper shape: matching means, smoother TFMCC.
-func Figure9(seed int64) *Result {
-	e := newEnv(seed)
+func Figure9(c *RunCtx, seed int64) *Result {
+	e := c.newEnv(seed)
 	r1 := e.net.AddNode("r1")
 	r2 := e.net.AddNode("r2")
 	e.net.AddDuplex(r1, r2, 8*mbit, 20*sim.Millisecond, 80)
@@ -59,8 +59,8 @@ func Figure9(seed int64) *Result {
 // Figure10 gives each of 16 receivers its own 1 Mbit/s tail circuit shared
 // with one TCP flow. The loss-path-multiplicity effect limits TFMCC to
 // roughly 70% of TCP's throughput.
-func Figure10(seed int64) *Result {
-	e := newEnv(seed)
+func Figure10(c *RunCtx, seed int64) *Result {
+	e := c.newEnv(seed)
 	hub := e.net.AddNode("hub")
 	snd := e.net.AddNode("tfmcc-src")
 	e.net.AddDuplex(snd, hub, 0, sim.Millisecond, 0)
@@ -101,8 +101,8 @@ func Figure10(seed int64) *Result {
 // Figure21 starts one TFMCC flow on a 16 Mbit/s link and doubles the
 // number of competing TCP flows every 50 s (+1, +2, +4, +8). Both should
 // settle at roughly half the bandwidth of the previous interval.
-func Figure21(seed int64) *Result {
-	e := newEnv(seed)
+func Figure21(c *RunCtx, seed int64) *Result {
+	e := c.newEnv(seed)
 	r1 := e.net.AddNode("r1")
 	r2 := e.net.AddNode("r2")
 	e.net.AddDuplex(r1, r2, 16*mbit, 20*sim.Millisecond, 120)

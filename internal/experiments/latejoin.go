@@ -19,19 +19,19 @@ func init() {
 // From t=50s to t=100s an extra receiver joins behind a 200 Kbit/s
 // bottleneck; TFMCC must adopt it as CLR within a few seconds and recover
 // after it leaves.
-func Figure15(seed int64) *Result {
-	return lateJoin("15", "Late-join of low-rate receiver", false, seed)
+func Figure15(c *RunCtx, seed int64) *Result {
+	return lateJoin(c, "15", "Late-join of low-rate receiver", false, seed)
 }
 
 // Figure16 is Figure15 with an additional TCP flow sharing the 200 Kbit/s
 // tail for the whole run: the TCP flow inevitably times out when the link
 // floods at join time, but both recover and share the tail fairly.
-func Figure16(seed int64) *Result {
-	return lateJoin("16", "Additional TCP flow on the slow link", true, seed)
+func Figure16(c *RunCtx, seed int64) *Result {
+	return lateJoin(c, "16", "Additional TCP flow on the slow link", true, seed)
 }
 
-func lateJoin(fig, title string, tcpOnSlowLink bool, seed int64) *Result {
-	e := newEnv(seed)
+func lateJoin(c *RunCtx, fig, title string, tcpOnSlowLink bool, seed int64) *Result {
+	e := c.newEnv(seed)
 	r1 := e.net.AddNode("r1")
 	r2 := e.net.AddNode("r2")
 	e.net.AddDuplex(r1, r2, 8*mbit, 20*sim.Millisecond, 80)

@@ -44,8 +44,8 @@ func buildStar(e *env, loss []float64, delay []sim.Time, bw float64, qlen int) *
 // rates 0.1%, 0.5%, 2.5% and 12.5% (RTT 60 ms) join the session 50 s
 // apart and later leave in reverse order. A TCP flow to each receiver
 // runs throughout as the fairness reference.
-func Figure11(seed int64) *Result {
-	return joinLeaveExperiment("11",
+func Figure11(c *RunCtx, seed int64) *Result {
+	return joinLeaveExperiment(c, "11",
 		"Responsiveness to changes in the loss rate",
 		[]float64{0.001, 0.005, 0.025, 0.125},
 		[]sim.Time{28 * sim.Millisecond, 28 * sim.Millisecond, 28 * sim.Millisecond, 28 * sim.Millisecond},
@@ -55,16 +55,16 @@ func Figure11(seed int64) *Result {
 // Figure20 is the same experiment with the loss rate held at 0.5% and the
 // one-way tail delays set to 30/60/120/240 ms-equivalent RTTs, receivers
 // joining in RTT order.
-func Figure20(seed int64) *Result {
-	return joinLeaveExperiment("20",
+func Figure20(c *RunCtx, seed int64) *Result {
+	return joinLeaveExperiment(c, "20",
 		"Responsiveness to network delay",
 		[]float64{0.005, 0.005, 0.005, 0.005},
 		[]sim.Time{13 * sim.Millisecond, 28 * sim.Millisecond, 58 * sim.Millisecond, 118 * sim.Millisecond},
 		seed)
 }
 
-func joinLeaveExperiment(fig, title string, loss []float64, delay []sim.Time, seed int64) *Result {
-	e := newEnv(seed)
+func joinLeaveExperiment(c *RunCtx, fig, title string, loss []float64, delay []sim.Time, seed int64) *Result {
+	e := c.newEnv(seed)
 	st := buildStar(e, loss, delay, 0, 0)
 
 	// Reference TCP flows, one through each lossy tail, all active for

@@ -19,8 +19,8 @@ func init() {
 // TCP flows, with 0, 1, 2 and 4 additional TCP flows on the *return*
 // paths from the receivers. TFMCC (and, thanks to cumulative ACKs, TCP)
 // should be essentially unaffected by moderate reverse congestion.
-func Figure18(seed int64) *Result {
-	e := newEnv(seed)
+func Figure18(c *RunCtx, seed int64) *Result {
+	e := c.newEnv(seed)
 	r1 := e.net.AddNode("r1")
 	r2 := e.net.AddNode("r2")
 	e.net.AddDuplex(r1, r2, 4*mbit, 20*sim.Millisecond, 60)
@@ -83,8 +83,8 @@ func Figure18(seed int64) *Result {
 // return paths. TCP ACKs survive moderate loss (cumulative), but heavy
 // reverse loss degrades TCP, while TFMCC is insensitive to lost receiver
 // reports.
-func Figure19(seed int64) *Result {
-	e := newEnv(seed)
+func Figure19(c *RunCtx, seed int64) *Result {
+	e := c.newEnv(seed)
 	r1 := e.net.AddNode("r1")
 	r2 := e.net.AddNode("r2")
 	e.net.AddDuplex(r1, r2, 8*mbit, 20*sim.Millisecond, 80)

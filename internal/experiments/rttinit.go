@@ -18,9 +18,9 @@ func init() {
 // because every receiver keeps wanting to report) have obtained a valid
 // RTT measurement over time. Link RTTs vary between 60 and 140 ms; the
 // initial RTT is 500 ms.
-func Figure12(seed int64) *Result {
+func Figure12(c *RunCtx, seed int64) *Result {
 	const n = 1000
-	e := newEnv(seed)
+	e := c.newEnv(seed)
 	r1 := e.net.AddNode("r1")
 	r2 := e.net.AddNode("r2")
 	// A modest bottleneck keeps correlated loss present throughout.
@@ -61,7 +61,7 @@ func Figure12(seed int64) *Result {
 // suddenly increases, among n receivers with independent equal loss. The
 // x axis is the instant of the RTT change; the y value the delay until
 // that receiver becomes CLR.
-func Figure13(seed int64) *Result {
+func Figure13(c *RunCtx, seed int64) *Result {
 	res := &Result{Figure: "13", Title: "Responsiveness to changes in the RTT"}
 	changeTimes := []sim.Time{0, 10 * sim.Second, 20 * sim.Second, 40 * sim.Second, 80 * sim.Second}
 	for _, n := range []int{40, 200} {
@@ -72,7 +72,7 @@ func Figure13(seed int64) *Result {
 			var sum float64
 			const seeds = 3
 			for k := int64(0); k < seeds; k++ {
-				sum += rttChangeReaction(n, tc, seed+1000*k).Seconds()
+				sum += rttChangeReaction(c, n, tc, seed+1000*k).Seconds()
 			}
 			s.Add(tc, sum/seeds)
 		}
@@ -87,8 +87,8 @@ func Figure13(seed int64) *Result {
 // rttChangeReaction builds a star of n receivers with equal independent
 // loss, raises receiver 0's tail delay from 30 ms to 150 ms (one way) at
 // changeAt, and returns how long until it is selected CLR.
-func rttChangeReaction(n int, changeAt sim.Time, seed int64) sim.Time {
-	e := newEnv(seed + int64(n))
+func rttChangeReaction(c *RunCtx, n int, changeAt sim.Time, seed int64) sim.Time {
+	e := c.newEnv(seed + int64(n))
 	loss := constantLoss(n, 0.02)
 	delay := make([]sim.Time, n)
 	for i := range delay {

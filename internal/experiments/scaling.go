@@ -9,7 +9,9 @@ import (
 	"repro/internal/tcpmodel"
 )
 
-func init() { register("7", "Scaling: throughput vs number of receivers", Figure7) }
+// Figure 7 operates at the estimator level (no discrete-event engine),
+// so it is registered as analytic.
+func init() { registerAnalytic("7", "Scaling: throughput vs number of receivers", Figure7) }
 
 // Figure7 reproduces the throughput-degradation analysis of section 3:
 // with n receivers seeing independent loss, TFMCC tracks the minimum of
@@ -23,7 +25,7 @@ func init() { register("7", "Scaling: throughput vs number of receivers", Figure
 // analysis: each receiver maintains a TFMCC loss-interval history fed by
 // geometric inter-loss gaps, and each "round" the sender adopts the
 // minimum calculated rate.
-func Figure7(seed int64) *Result {
+func Figure7(_ *RunCtx, seed int64) *Result {
 	res := &Result{Figure: "7", Title: "Scaling: throughput vs number of receivers"}
 	model := tcpmodel.Default()
 	const rtt = 0.050

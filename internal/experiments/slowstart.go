@@ -6,6 +6,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/tfmcc"
 )
 
@@ -17,7 +18,7 @@ func init() { register("14", "Maximum slowstart rate vs number of receivers", Fi
 // TCP on 2 Mbit/s, and high statistical multiplexing (7 TCPs on
 // 8 Mbit/s). Paper shape: alone ≈ 2× bottleneck, decreasing with
 // receiver count and competition.
-func Figure14(seed int64) *Result {
+func Figure14(c *RunCtx, seed int64) *Result {
 	res := &Result{Figure: "14", Title: "Maximum slowstart rate vs number of receivers"}
 	counts := []int{2, 8, 32, 128}
 	settings := []struct {
@@ -34,13 +35,14 @@ func Figure14(seed int64) *Result {
 		s := &stats.Series{Name: cfg.name}
 		for _, n := range counts {
 			// Average the peak over a few seeds: a single unlucky early
-			// loss otherwise dominates the competing-TCP settings.
-			var sum float64
-			const seeds = 3
-			for k := int64(0); k < seeds; k++ {
-				sum += maxSlowstartRate(n, cfg.linkBW, cfg.numTCP, cfg.queue, seed+100*k)
-			}
-			s.Add(sim.FromSeconds(float64(n)), sum/seeds*8/1000) // Kbit/s
+			// loss otherwise dominates the competing-TCP settings. The
+			// sweep runs inline (one worker) so it can share this runner's
+			// environment arena.
+			mean := sweep.Mean(sweep.Config{Seeds: 3, Base: seed, Step: 100},
+				func(_ int, s int64) float64 {
+					return maxSlowstartRate(c, n, cfg.linkBW, cfg.numTCP, cfg.queue, s)
+				})
+			s.Add(sim.FromSeconds(float64(n)), mean*8/1000) // Kbit/s
 		}
 		res.Series = append(res.Series, s)
 	}
@@ -53,8 +55,8 @@ func Figure14(seed int64) *Result {
 	return res
 }
 
-func maxSlowstartRate(nRecv int, bw float64, numTCP, qlen int, seed int64) float64 {
-	e := newEnv(seed + int64(nRecv))
+func maxSlowstartRate(c *RunCtx, nRecv int, bw float64, numTCP, qlen int, seed int64) float64 {
+	e := c.newEnv(seed + int64(nRecv))
 	r1 := e.net.AddNode("r1")
 	r2 := e.net.AddNode("r2")
 	e.net.AddDuplex(r1, r2, bw, 20*sim.Millisecond, qlen)

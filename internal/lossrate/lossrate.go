@@ -10,6 +10,7 @@ package lossrate
 
 import (
 	"math"
+	"slices"
 
 	"repro/internal/sim"
 )
@@ -84,6 +85,32 @@ func NewEstimator(weights []float64) *Estimator {
 		maxRecent: 4 * len(w),
 		initIdx:   -1,
 	}
+}
+
+// Reset rewinds the estimator to the state NewEstimator(weights) returns,
+// keeping the interval and loss-record storage allocated (and the weight
+// vector too, when it is unchanged).
+func (e *Estimator) Reset(weights []float64) {
+	if len(weights) == 0 {
+		weights = DefaultWeights
+	}
+	if !slices.Equal(e.weights, weights) {
+		e.weights = append(e.weights[:0], weights...)
+		e.maxRecent = 4 * len(e.weights)
+	}
+	e.ResetKeepWeights()
+}
+
+// ResetKeepWeights rewinds the estimator state under the current weight
+// vector without touching it — the allocation-free path for pooled
+// receivers whose configuration did not change.
+func (e *Estimator) ResetKeepWeights() {
+	e.intervals = append(e.intervals[:0], 0)
+	e.haveLoss = false
+	e.lastEventTime = 0
+	e.packetsSinceEv = 0
+	e.recentLosses = e.recentLosses[:0]
+	e.initIdx = -1
 }
 
 // HaveLoss reports whether a loss event has been registered yet.

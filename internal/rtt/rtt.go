@@ -46,6 +46,14 @@ func NewEstimator(cfg Config) *Estimator {
 	return &Estimator{cfg: cfg}
 }
 
+// Reset rewinds the estimator to the state NewEstimator(cfg) returns.
+func (e *Estimator) Reset(cfg Config) {
+	if cfg.InitialRTT == 0 {
+		cfg = DefaultConfig()
+	}
+	*e = Estimator{cfg: cfg}
+}
+
 // Valid reports whether a real RTT measurement has been made.
 func (e *Estimator) Valid() bool { return e.valid }
 

@@ -14,6 +14,12 @@ func NewRand(seed int64) *Rand {
 	return &Rand{r: rand.New(rand.NewSource(seed))}
 }
 
+// Reseed rewinds the generator to the start of the stream for seed,
+// in place: every value drawn afterwards matches NewRand(seed). Holders
+// of the *Rand (links, protocol agents) keep their pointer valid, which
+// is what lets a rewound scenario reproduce a fresh one bit-for-bit.
+func (r *Rand) Reseed(seed int64) { r.r.Seed(seed) }
+
 // Float64 returns a uniform value in [0,1).
 func (r *Rand) Float64() float64 { return r.r.Float64() }
 

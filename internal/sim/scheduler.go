@@ -76,6 +76,27 @@ type Scheduler struct {
 // NewScheduler returns a scheduler with the clock at zero.
 func NewScheduler() *Scheduler { return &Scheduler{free: -1} }
 
+// Reset rewinds the scheduler to its initial state — clock at zero, no
+// pending events — while keeping the heap and slot storage allocated.
+// Every outstanding Timer handle is invalidated (stopping one later is a
+// no-op), and event closures/arguments are dropped so the GC can reclaim
+// what they reference. A reset scheduler behaves bit-for-bit like a fresh
+// one: event ordering depends only on (time, schedule order), never on
+// slot identity.
+func (s *Scheduler) Reset() {
+	s.now, s.seq, s.nRun, s.nStopped = 0, 0, 0, 0
+	clear(s.heap)
+	s.heap = s.heap[:0]
+	s.free = -1
+	for i := range s.slots {
+		sl := &s.slots[i]
+		sl.gen++
+		sl.fn, sl.fnArg, sl.arg = nil, nil, nil
+		sl.next = s.free
+		s.free = int32(i)
+	}
+}
+
 // Now returns the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
 

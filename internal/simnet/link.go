@@ -33,6 +33,24 @@ type Link struct {
 	txDoneFn  func(any)
 }
 
+// resetForReuse rewinds the link to the state AddLink would have produced
+// fresh: counters zeroed, loss module off, queue emptied. The DropTail
+// ring is kept when the link still has one; a queue the scenario swapped
+// in (e.g. RED) is replaced so the rewound run starts from AddLink
+// semantics again.
+func (l *Link) resetForReuse(bandwidth float64, delay sim.Time, queueLimit int) {
+	l.Bandwidth = bandwidth
+	l.Delay = delay
+	l.Stats = LinkStats{}
+	l.LossProb = 0
+	l.busy = false
+	if dt, ok := l.Q.(*DropTail); ok {
+		dt.reset(queueLimit)
+	} else {
+		l.Q = NewDropTail(queueLimit)
+	}
+}
+
 // send places a packet on the link, applying the loss module and queue.
 // It consumes one packet reference on every path that ends here (drops).
 func (l *Link) send(pkt *Packet) {

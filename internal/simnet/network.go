@@ -45,8 +45,29 @@ type Network struct {
 
 	freePkts []*Packet
 
+	// Arena reuse (EnableReuse/Reset): the construction op log lets a
+	// rewound network hand the same nodes and links back to a scenario
+	// builder that repeats the same calls, skipping reconstruction and —
+	// when the topology is unchanged — route recomputation.
+	reuse        bool
+	ops          []topoOp
+	replay       int // next op to match when >= 0; -1 = recording
+	hadOverwrite bool
+	arena        *sim.Arena
+
 	// DropHook, when set, observes every congestion (queue) drop.
 	DropHook func(l *Link, pkt *Packet)
+}
+
+// topoOp records one construction call for replay on Reset.
+type topoOp struct {
+	isLink    bool
+	name      string // AddNode
+	bandwidth float64
+	delay     sim.Time
+	qlim      int
+	node      NodeID // AddNode result
+	l         *Link  // AddLink result
 }
 
 type linkKey struct{ from, to NodeID }
@@ -86,7 +107,109 @@ func New(sched *sim.Scheduler, rng *sim.Rand) *Network {
 		linkIdx:    map[linkKey]int32{},
 		groups:     map[GroupID]*group{},
 		mcastTrees: map[mcastKey]*mcastTree{},
+		replay:     -1,
 	}
+}
+
+// EnableReuse turns on construction recording so Reset can rewind the
+// network for a repeated run of the same scenario. It must be called on
+// an empty network, before any AddNode/AddLink.
+func (n *Network) EnableReuse() {
+	if n.reuse {
+		return
+	}
+	if len(n.nodes) > 0 || len(n.linkList) > 0 {
+		panic("simnet: EnableReuse on a non-empty network")
+	}
+	n.reuse = true
+	n.arena = sim.NewArena()
+}
+
+// Arena returns the network's protocol-object arena, or nil when reuse is
+// not enabled. Protocol constructors (e.g. tfmcc receivers) use it to
+// recycle their allocation-heavy state across rewound runs.
+func (n *Network) Arena() *sim.Arena { return n.arena }
+
+// Reset rewinds a reuse-enabled network to a pristine pre-run state while
+// keeping the topology: handlers, group memberships, multicast trees,
+// link counters/queues and the packet pool are cleared, and subsequent
+// AddNode/AddLink calls that repeat the recorded construction sequence
+// return the existing nodes and links without reallocating or recomputing
+// routes. A construction call that diverges from the record falls back to
+// a fresh build from that point on, so Reset is always safe.
+//
+// Reset reports false when the network cannot be rewound (reuse not
+// enabled, or the scenario overwrote a link in a way replay cannot
+// reproduce); the caller must then build a fresh network instead.
+func (n *Network) Reset() bool {
+	if !n.reuse || n.hadOverwrite {
+		return false
+	}
+	// If the previous run replayed only a prefix of the record, the unused
+	// topology tail must not leak into the next run: truncate it now.
+	if n.replay >= 0 && n.replay < len(n.ops) {
+		n.divergeAt(n.replay)
+	}
+	n.replay = 0
+	for i := range n.nodes {
+		hs := n.nodes[i].handlers
+		clear(hs)
+		n.nodes[i].handlers = hs[:0]
+	}
+	for _, gr := range n.groups {
+		clear(gr.member)
+		gr.count = 0
+	}
+	clear(n.mcastTrees)
+	n.topoVer++
+	n.DropHook = nil
+	n.arena.Rewind()
+	// Eagerly clear per-run link state (the replaying AddLink call resets
+	// again with that run's parameters): counters must not leak into the
+	// next run's harvest, and a queued packet or busy serialiser from the
+	// old run must not black-hole traffic.
+	for _, l := range n.linkList {
+		l.Stats = LinkStats{}
+		l.LossProb = 0
+		l.busy = false
+		if dt, ok := l.Q.(*DropTail); ok {
+			dt.reset(dt.Limit)
+		} else if l.Q != nil {
+			for l.Q.Dequeue(0) != nil {
+			}
+		}
+	}
+	return true
+}
+
+// divergeAt truncates the topology to the first pos construction ops —
+// exactly what the current run has (re)built so far — and switches to
+// recording. Node and link identity for the kept prefix is preserved, so
+// pointers the scenario builder already holds stay valid.
+func (n *Network) divergeAt(pos int) {
+	n.replay = -1
+	n.ops = n.ops[:pos]
+	nodeCnt := 0
+	newList := make([]*Link, 0, len(n.linkList))
+	clear(n.linkIdx)
+	for _, op := range n.ops {
+		if !op.isLink {
+			nodeCnt++
+			continue
+		}
+		key := linkKey{op.l.From, op.l.To}
+		if i, ok := n.linkIdx[key]; ok {
+			newList[i] = op.l
+		} else {
+			n.linkIdx[key] = int32(len(newList))
+			newList = append(newList, op.l)
+		}
+	}
+	n.linkList = newList
+	n.nodes = n.nodes[:nodeCnt]
+	n.routesOK, n.adjOK = false, false
+	clear(n.mcastTrees)
+	n.topoVer++
 }
 
 // Scheduler returns the scheduler the network runs on.
@@ -95,13 +218,29 @@ func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
 // Rand returns the network's random source.
 func (n *Network) Rand() *sim.Rand { return n.rng }
 
-// AddNode creates a node and returns its ID.
+// AddNode creates a node and returns its ID. On a rewound network a call
+// matching the recorded construction sequence returns the existing node.
 func (n *Network) AddNode(name string) NodeID {
+	if n.replay >= 0 {
+		if n.replay < len(n.ops) {
+			op := &n.ops[n.replay]
+			if !op.isLink && op.name == name {
+				n.replay++
+				return op.node
+			}
+			n.divergeAt(n.replay)
+		} else {
+			n.replay = -1
+		}
+	}
 	id := NodeID(len(n.nodes))
 	n.nodes = append(n.nodes, node{id: id, name: name})
 	n.routesOK = false
 	n.adjOK = false
 	n.topoVer++
+	if n.reuse {
+		n.ops = append(n.ops, topoOp{name: name, node: id})
+	}
 	return id
 }
 
@@ -123,7 +262,31 @@ func (n *Network) Bind(addr Addr, h Handler) {
 
 // AddLink creates a unidirectional link. bandwidth is in bytes/second
 // (0 = infinite), queueLimit in packets (ignored for infinite links).
+// On a rewound network a call matching the recorded construction sequence
+// rewinds and returns the existing link; routes survive untouched unless
+// the propagation delay changed.
 func (n *Network) AddLink(from, to NodeID, bandwidth float64, delay sim.Time, queueLimit int) *Link {
+	if n.replay >= 0 {
+		if n.replay < len(n.ops) {
+			op := &n.ops[n.replay]
+			if op.isLink && op.l.From == from && op.l.To == to {
+				n.replay++
+				if op.delay != delay {
+					// Routes and trees depend on delay; recompute them.
+					op.delay = delay
+					n.routesOK = false
+					clear(n.mcastTrees)
+					n.topoVer++
+				}
+				op.bandwidth, op.qlim = bandwidth, queueLimit
+				op.l.resetForReuse(bandwidth, delay, queueLimit)
+				return op.l
+			}
+			n.divergeAt(n.replay)
+		} else {
+			n.replay = -1
+		}
+	}
 	l := &Link{
 		From: from, To: to,
 		Bandwidth: bandwidth,
@@ -136,6 +299,7 @@ func (n *Network) AddLink(from, to NodeID, bandwidth float64, delay sim.Time, qu
 	key := linkKey{from, to}
 	if i, ok := n.linkIdx[key]; ok {
 		n.linkList[i] = l // replace, matching the old map-overwrite semantics
+		n.hadOverwrite = true
 	} else {
 		n.linkIdx[key] = int32(len(n.linkList))
 		n.linkList = append(n.linkList, l)
@@ -144,6 +308,9 @@ func (n *Network) AddLink(from, to NodeID, bandwidth float64, delay sim.Time, qu
 	n.adjOK = false
 	clear(n.mcastTrees)
 	n.topoVer++
+	if n.reuse {
+		n.ops = append(n.ops, topoOp{isLink: true, bandwidth: bandwidth, delay: delay, qlim: queueLimit, l: l})
+	}
 	return l
 }
 
@@ -241,7 +408,15 @@ func (n *Network) releasePkt(p *Packet) {
 // Send injects a packet at its source node. Unicast packets follow
 // shortest-path (by propagation delay) routes; multicast packets follow
 // the source-rooted shortest-path tree over current group members.
+//
+// On a rewound network, the first Send marks the end of construction: if
+// the run replayed only a prefix of the recorded topology, the unused
+// tail is truncated now so traffic never sees nodes or links this run
+// did not (re)build.
 func (n *Network) Send(pkt *Packet) {
+	if n.replay >= 0 && n.replay < len(n.ops) {
+		n.divergeAt(n.replay)
+	}
 	pkt.SentAt = n.sched.Now()
 	pkt.refs = 1
 	pkt.tree = nil // a reused packet must not forward along a stale tree

@@ -52,6 +52,16 @@ func (d *DropTail) grow() {
 	d.head = 0
 }
 
+// reset empties the queue and re-arms it for limit packets, keeping the
+// ring storage when it is already large enough.
+func (d *DropTail) reset(limit int) {
+	if limit <= 0 {
+		limit = 50
+	}
+	clear(d.buf)
+	d.Limit, d.head, d.n = limit, 0, 0
+}
+
 // Dequeue implements Queue.
 func (d *DropTail) Dequeue(_ sim.Time) *Packet {
 	if d.n == 0 {

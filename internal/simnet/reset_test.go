@@ -1,0 +1,201 @@
+package simnet
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// runScenario builds a small lossy multi-hop topology on net, pushes a
+// deterministic traffic mix through it (unicast and multicast, enough to
+// queue, drop and fan out), and returns a transcript of every delivery
+// and the final per-link counters. Identical transcripts mean identical
+// runs, event for event.
+func runScenario(sch *sim.Scheduler, net *Network, extraLeaf bool) string {
+	a := net.AddNode("a")
+	r := net.AddNode("r")
+	b := net.AddNode("b")
+	l1, _ := net.AddDuplex(a, r, 1e5, 5*sim.Millisecond, 4)
+	net.AddDuplex(r, b, 1e5, 5*sim.Millisecond, 4)
+	leaves := []NodeID{b}
+	if extraLeaf {
+		c := net.AddNode("c")
+		net.AddDuplex(r, c, 0, 2*sim.Millisecond, 0)
+		leaves = append(leaves, c)
+	}
+	l1.LossProb = 0.2
+
+	var out []string
+	for i, leaf := range leaves {
+		leaf := leaf
+		i := i
+		net.Bind(Addr{leaf, 1}, HandlerFunc(func(pkt *Packet) {
+			out = append(out, fmt.Sprintf("leaf%d %v size=%d", i, sch.Now(), pkt.Size))
+		}))
+		net.Join(1, leaf)
+	}
+	for i := 0; i < 40; i++ {
+		i := i
+		sch.At(sim.Time(i)*sim.Millisecond, func() {
+			pkt := net.AllocPacket()
+			pkt.Size = 500 + 10*i
+			pkt.Src = Addr{a, 1}
+			if i%3 == 0 {
+				pkt.IsMcast = true
+				pkt.Group = 1
+			} else {
+				pkt.Dst = Addr{leaves[i%len(leaves)], 1}
+			}
+			net.Send(pkt)
+		})
+	}
+	sch.Run()
+	for _, l := range net.Links() {
+		out = append(out, fmt.Sprintf("link %d->%d %+v", l.From, l.To, l.Stats))
+	}
+	return fmt.Sprint(out)
+}
+
+// TestResetReproducesFreshRun is the arena-reuse determinism contract:
+// Reset + identical rebuild must reproduce the fresh-build run bit for
+// bit, including loss-module draws, queue drops and multicast fan-out.
+func TestResetReproducesFreshRun(t *testing.T) {
+	sch := sim.NewScheduler()
+	rng := sim.NewRand(7)
+	net := New(sch, rng)
+	net.EnableReuse()
+	fresh := runScenario(sch, net, false)
+
+	for rerun := 0; rerun < 3; rerun++ {
+		sch.Reset()
+		if !net.Reset() {
+			t.Fatal("Reset refused on a replayable network")
+		}
+		rng.Reseed(7)
+		if got := runScenario(sch, net, false); got != fresh {
+			t.Fatalf("rerun %d diverged from fresh run:\n%s\nvs\n%s", rerun, got, fresh)
+		}
+	}
+}
+
+// TestResetDivergentRebuild changes the topology after a Reset: replay
+// must fall back to a fresh build and still behave exactly like a network
+// that never saw the first scenario.
+func TestResetDivergentRebuild(t *testing.T) {
+	sch := sim.NewScheduler()
+	rng := sim.NewRand(7)
+	net := New(sch, rng)
+	net.EnableReuse()
+	runScenario(sch, net, false)
+
+	sch.Reset()
+	if !net.Reset() {
+		t.Fatal("Reset refused")
+	}
+	rng.Reseed(7)
+	got := runScenario(sch, net, true) // diverges: one extra leaf
+
+	sch2 := sim.NewScheduler()
+	net2 := New(sch2, sim.NewRand(7))
+	want := runScenario(sch2, net2, true)
+	if got != want {
+		t.Fatalf("divergent rebuild differs from fresh network:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestResetPrefixTruncation reruns a *smaller* scenario on a rewound
+// network: the unused topology tail must not influence routing or stats.
+func TestResetPrefixTruncation(t *testing.T) {
+	sch := sim.NewScheduler()
+	rng := sim.NewRand(7)
+	net := New(sch, rng)
+	net.EnableReuse()
+	runScenario(sch, net, true) // big run first
+
+	// Two rewinds: the first replays a strict prefix (small scenario), the
+	// second must see the tail truncated away.
+	for rerun := 0; rerun < 2; rerun++ {
+		sch.Reset()
+		if !net.Reset() {
+			t.Fatal("Reset refused")
+		}
+		rng.Reseed(7)
+		got := runScenario(sch, net, false)
+		sch2 := sim.NewScheduler()
+		net2 := New(sch2, sim.NewRand(7))
+		want := runScenario(sch2, net2, false)
+		if got != want {
+			t.Fatalf("rerun %d with prefix topology differs from fresh:\n%s\nvs\n%s", rerun, got, want)
+		}
+	}
+}
+
+// TestResetRefusedOnOverwrite: replacing a link (same endpoints twice) is
+// the one construction replay cannot reproduce; Reset must refuse so the
+// caller rebuilds fresh.
+func TestResetRefusedOnOverwrite(t *testing.T) {
+	sch := sim.NewScheduler()
+	net := New(sch, sim.NewRand(1))
+	net.EnableReuse()
+	a, b := net.AddNode("a"), net.AddNode("b")
+	net.AddLink(a, b, 0, sim.Millisecond, 0)
+	net.AddLink(a, b, 0, 2*sim.Millisecond, 0)
+	if net.Reset() {
+		t.Fatal("Reset must refuse after a link overwrite")
+	}
+}
+
+// TestResetWithoutReuse: Reset on a plain network reports false and
+// leaves it usable.
+func TestResetWithoutReuse(t *testing.T) {
+	sch, net := newNet()
+	a, b := net.AddNode("a"), net.AddNode("b")
+	net.AddDuplex(a, b, 0, sim.Millisecond, 0)
+	if net.Reset() {
+		t.Fatal("Reset must report false without EnableReuse")
+	}
+	c := &collector{sch: sch}
+	net.Bind(Addr{b, 1}, c)
+	net.Send(&Packet{Size: 100, Src: Addr{a, 1}, Dst: Addr{b, 1}})
+	sch.Run()
+	if len(c.got) != 1 {
+		t.Fatal("network unusable after refused Reset")
+	}
+}
+
+// TestReplayAddLinkNewDelay: a rewound AddLink with a different delay must
+// invalidate routes so forwarding follows the new shortest paths.
+func TestReplayAddLinkNewDelay(t *testing.T) {
+	sch := sim.NewScheduler()
+	net := New(sch, sim.NewRand(1))
+	net.EnableReuse()
+	build := func(direct sim.Time) (NodeID, NodeID) {
+		a, r, b := net.AddNode("a"), net.AddNode("r"), net.AddNode("b")
+		net.AddLink(a, b, 0, direct, 0)
+		net.AddLink(a, r, 0, 5*sim.Millisecond, 0)
+		net.AddLink(r, b, 0, 5*sim.Millisecond, 0)
+		return a, b
+	}
+	a, b := build(20 * sim.Millisecond)
+	c := &collector{sch: sch}
+	net.Bind(Addr{b, 1}, c)
+	net.Send(&Packet{Size: 100, Src: Addr{a, 1}, Dst: Addr{b, 1}})
+	sch.Run()
+	if c.at[0] != 10*sim.Millisecond {
+		t.Fatalf("fresh build took %v, want relay path 10ms", c.at[0])
+	}
+
+	sch.Reset()
+	if !net.Reset() {
+		t.Fatal("Reset refused")
+	}
+	a, b = build(2 * sim.Millisecond) // direct link now fastest
+	c2 := &collector{sch: sch}
+	net.Bind(Addr{b, 1}, c2)
+	net.Send(&Packet{Size: 100, Src: Addr{a, 1}, Dst: Addr{b, 1}})
+	sch.Run()
+	if len(c2.got) != 1 || c2.at[0] != 2*sim.Millisecond {
+		t.Fatalf("rewound build ignored new delay: arrivals %v", c2.at)
+	}
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// BandPoint is one x-position of a series merged across independent runs:
+// the cross-run mean, extremes and a confidence interval for the mean.
+type BandPoint struct {
+	T    sim.Time
+	Mean float64
+	Min  float64
+	Max  float64
+	Lo   float64 // lower confidence bound
+	Hi   float64 // upper confidence bound
+	N    int     // number of runs contributing to this point
+}
+
+// Band is a merged multi-run series.
+type Band struct {
+	Name   string
+	Points []BandPoint
+}
+
+// TSV renders the band as "x mean lo hi min max n" lines.
+func (b *Band) TSV() string {
+	var s strings.Builder
+	for _, p := range b.Points {
+		fmt.Fprintf(&s, "%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%d\n",
+			p.T.Seconds(), p.Mean, p.Lo, p.Hi, p.Min, p.Max, p.N)
+	}
+	return s.String()
+}
+
+// CIZ returns the two-sided normal critical value for confidence level ci
+// (e.g. 1.96 for ci = 0.95). Levels outside (0,1) yield 0, disabling the
+// interval.
+func CIZ(ci float64) float64 {
+	if ci <= 0 || ci >= 1 {
+		return 0
+	}
+	return math.Sqrt2 * math.Erfinv(ci)
+}
+
+// MergeSeries merges the same logical series observed in several
+// independent runs into a band. runs[i] is run i's series; points are
+// aligned by index (figure series sample at identical positions across
+// seeds), with x taken from the first run that has the point. The
+// confidence interval is the normal approximation mean ± z·s/√n at level
+// ci. Iteration is in run order, so the result is bit-for-bit independent
+// of how runs were scheduled across workers.
+func MergeSeries(runs []*Series, ci float64) *Band {
+	b := &Band{}
+	maxLen := 0
+	for _, s := range runs {
+		if s == nil {
+			continue
+		}
+		if b.Name == "" {
+			b.Name = s.Name
+		}
+		if len(s.Points) > maxLen {
+			maxLen = len(s.Points)
+		}
+	}
+	z := CIZ(ci)
+	b.Points = make([]BandPoint, 0, maxLen)
+	for j := 0; j < maxLen; j++ {
+		p := BandPoint{Min: math.Inf(1), Max: math.Inf(-1)}
+		var w Welford
+		haveT := false
+		for _, s := range runs {
+			if s == nil || j >= len(s.Points) {
+				continue
+			}
+			pt := s.Points[j]
+			if !haveT {
+				p.T = pt.T
+				haveT = true
+			}
+			w.Add(pt.V)
+			if pt.V < p.Min {
+				p.Min = pt.V
+			}
+			if pt.V > p.Max {
+				p.Max = pt.V
+			}
+		}
+		p.N = w.N()
+		if p.N == 0 {
+			p.Min, p.Max = 0, 0
+			b.Points = append(b.Points, p)
+			continue
+		}
+		p.Mean = w.Mean()
+		half := 0.0
+		if p.N > 1 {
+			half = z * w.Std() / math.Sqrt(float64(p.N))
+		}
+		p.Lo, p.Hi = p.Mean-half, p.Mean+half
+		b.Points = append(b.Points, p)
+	}
+	return b
+}
+
+// MergeRuns merges per-run series sets (runs[i] is the ordered series
+// list run i produced) into one band per series name. Band order follows
+// the first run that mentions each name, so merged output is stable.
+func MergeRuns(runs [][]*Series, ci float64) []*Band {
+	type slot struct {
+		name   string
+		series []*Series
+	}
+	var order []*slot
+	index := map[string]*slot{}
+	for i, run := range runs {
+		for _, s := range run {
+			if s == nil {
+				continue
+			}
+			sl := index[s.Name]
+			if sl == nil {
+				sl = &slot{name: s.Name, series: make([]*Series, len(runs))}
+				index[s.Name] = sl
+				order = append(order, sl)
+			}
+			if sl.series[i] == nil {
+				sl.series[i] = s
+			}
+		}
+	}
+	out := make([]*Band, 0, len(order))
+	for _, sl := range order {
+		b := MergeSeries(sl.series, ci)
+		b.Name = sl.name
+		out = append(out, b)
+	}
+	return out
+}

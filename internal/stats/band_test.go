@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func seriesOf(name string, vals ...float64) *Series {
+	s := &Series{Name: name}
+	for i, v := range vals {
+		s.Add(sim.Time(i)*sim.Second, v)
+	}
+	return s
+}
+
+func TestMergeSeriesBands(t *testing.T) {
+	runs := []*Series{
+		seriesOf("a", 1, 10),
+		seriesOf("a", 3, 20),
+		seriesOf("a", 5, 30),
+	}
+	b := MergeSeries(runs, 0.95)
+	if b.Name != "a" || len(b.Points) != 2 {
+		t.Fatalf("band %q with %d points", b.Name, len(b.Points))
+	}
+	p := b.Points[0]
+	if p.Mean != 3 || p.Min != 1 || p.Max != 5 || p.N != 3 {
+		t.Fatalf("point 0 = %+v", p)
+	}
+	// s = 2, z(0.95) ≈ 1.96: half-width ≈ 1.96*2/√3 ≈ 2.263.
+	half := p.Hi - p.Mean
+	if math.Abs(half-2.263) > 0.01 {
+		t.Fatalf("CI half-width = %v, want ≈2.263", half)
+	}
+	if math.Abs((p.Mean-p.Lo)-half) > 1e-12 {
+		t.Fatal("CI not symmetric")
+	}
+	if b.Points[1].Mean != 20 || b.Points[1].T != sim.Second {
+		t.Fatalf("point 1 = %+v", b.Points[1])
+	}
+}
+
+func TestMergeSeriesRaggedLengths(t *testing.T) {
+	runs := []*Series{seriesOf("a", 1, 2, 3), seriesOf("a", 5), nil}
+	b := MergeSeries(runs, 0.95)
+	if len(b.Points) != 3 {
+		t.Fatalf("want max length 3, got %d", len(b.Points))
+	}
+	if b.Points[0].N != 2 || b.Points[1].N != 1 || b.Points[2].N != 1 {
+		t.Fatalf("contribution counts wrong: %+v", b.Points)
+	}
+	if b.Points[1].Mean != 2 || b.Points[1].Lo != 2 || b.Points[1].Hi != 2 {
+		t.Fatalf("single-run point should have degenerate CI: %+v", b.Points[1])
+	}
+}
+
+func TestMergeRunsNameAlignment(t *testing.T) {
+	runs := [][]*Series{
+		{seriesOf("x", 1), seriesOf("y", 10)},
+		{seriesOf("y", 20), seriesOf("x", 3)}, // different order: align by name
+	}
+	bands := MergeRuns(runs, 0.9)
+	if len(bands) != 2 || bands[0].Name != "x" || bands[1].Name != "y" {
+		t.Fatalf("band order/names wrong: %v, %v", bands[0].Name, bands[1].Name)
+	}
+	if bands[0].Points[0].Mean != 2 || bands[1].Points[0].Mean != 15 {
+		t.Fatalf("merged means wrong: %+v %+v", bands[0].Points[0], bands[1].Points[0])
+	}
+}
+
+func TestCIZ(t *testing.T) {
+	if z := CIZ(0.95); math.Abs(z-1.95996) > 1e-4 {
+		t.Fatalf("z(0.95) = %v", z)
+	}
+	if z := CIZ(0.99); math.Abs(z-2.57583) > 1e-4 {
+		t.Fatalf("z(0.99) = %v", z)
+	}
+	if CIZ(0) != 0 || CIZ(1) != 0 || CIZ(-1) != 0 {
+		t.Fatal("out-of-range CI levels must disable the interval")
+	}
+}

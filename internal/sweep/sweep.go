@@ -1,0 +1,125 @@
+// Package sweep fans independent seeds of a stochastic scenario across
+// worker goroutines and merges the per-seed results into mean/min/max and
+// confidence-interval bands. Each simulation stays single-threaded by
+// design; the parallelism is entirely across seeds, and per-worker state
+// (a simulation arena) is reused from seed to seed so repeated runs skip
+// scenario reconstruction.
+//
+// The merge iterates seeds in seed order regardless of which worker ran
+// them, so the merged output is bit-for-bit independent of the worker
+// count — the property the determinism tests pin down.
+package sweep
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// Config controls a seed sweep.
+type Config struct {
+	Seeds   int     // number of independent seeds; < 1 means 1
+	Workers int     // worker goroutines; < 1 means 1, capped at Seeds
+	CI      float64 // confidence level for the merged bands; 0 means 0.95
+	Base    int64   // first seed
+	Step    int64   // seed stride; 0 means 1
+}
+
+// Normalized returns the config with defaults applied.
+func (c Config) Normalized() Config {
+	if c.Seeds < 1 {
+		c.Seeds = 1
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.Workers > c.Seeds {
+		c.Workers = c.Seeds
+	}
+	if c.CI == 0 {
+		c.CI = 0.95
+	}
+	if c.Step == 0 {
+		c.Step = 1
+	}
+	return c
+}
+
+// Seed returns the i-th seed of the sweep.
+func (c Config) Seed(i int) int64 { return c.Base + int64(i)*c.Step }
+
+// RunFunc produces one seed's series. worker identifies the executing
+// worker (0..Workers-1) so implementations can reuse per-worker arenas; a
+// RunFunc must be callable concurrently for distinct worker values.
+type RunFunc func(worker int, seed int64) []*stats.Series
+
+// Result is a merged sweep.
+type Result struct {
+	Bands   []*stats.Band
+	Seeds   int
+	Workers int
+	CI      float64
+}
+
+// Run executes fn for every seed across the configured workers and merges
+// the per-seed series into bands.
+func Run(cfg Config, fn RunFunc) *Result {
+	cfg = cfg.Normalized()
+	runs := make([][]*stats.Series, cfg.Seeds)
+	forEach(cfg, func(worker, i int) { runs[i] = fn(worker, cfg.Seed(i)) })
+	return &Result{
+		Bands:   stats.MergeRuns(runs, cfg.CI),
+		Seeds:   cfg.Seeds,
+		Workers: cfg.Workers,
+		CI:      cfg.CI,
+	}
+}
+
+// Scalars evaluates a scalar metric for every seed and returns the values
+// in seed order.
+func Scalars(cfg Config, fn func(worker int, seed int64) float64) []float64 {
+	cfg = cfg.Normalized()
+	out := make([]float64, cfg.Seeds)
+	forEach(cfg, func(worker, i int) { out[i] = fn(worker, cfg.Seed(i)) })
+	return out
+}
+
+// Mean averages a scalar metric over the sweep's seeds. Summation is in
+// seed order, so the value is independent of worker scheduling.
+func Mean(cfg Config, fn func(worker int, seed int64) float64) float64 {
+	vals := Scalars(cfg, fn)
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// forEach dispatches seed indices to workers. With one worker everything
+// runs inline on the calling goroutine, which lets callers close over
+// non-thread-safe state (e.g. a figure runner's own arena).
+func forEach(cfg Config, do func(worker, i int)) {
+	if cfg.Workers == 1 {
+		for i := 0; i < cfg.Seeds; i++ {
+			do(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Seeds {
+					return
+				}
+				do(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -59,9 +59,32 @@ type Receiver struct {
 	lastSuppress    float64
 }
 
+// receiverArenaKey pools receivers on reuse-enabled networks: the
+// receiver is by far the heaviest per-scenario allocation (the receive
+// window ring alone is 16 KB), so rewound runs take it back from the
+// network's arena instead of rebuilding it.
+const receiverArenaKey = "tfmcc.Receiver"
+
 // NewReceiver creates a receiver on the given node and joins the group.
-// sender is the sender's unicast address for reports.
+// sender is the sender's unicast address for reports. On a reuse-enabled
+// network the receiver built at the same point of a previous run is
+// rewound and returned instead of allocating a new one.
 func NewReceiver(id ReceiverID, net *simnet.Network, node simnet.NodeID, port simnet.Port,
+	sender simnet.Addr, group simnet.GroupID, cfg Config, rng *sim.Rand) *Receiver {
+	if a := net.Arena(); a != nil {
+		if old := a.Take(receiverArenaKey); old != nil {
+			r := old.(*Receiver)
+			r.rewind(id, net, node, port, sender, group, cfg, rng)
+			return r
+		}
+		r := newReceiver(id, net, node, port, sender, group, cfg, rng)
+		a.Put(receiverArenaKey, r)
+		return r
+	}
+	return newReceiver(id, net, node, port, sender, group, cfg, rng)
+}
+
+func newReceiver(id ReceiverID, net *simnet.Network, node simnet.NodeID, port simnet.Port,
 	sender simnet.Addr, group simnet.GroupID, cfg Config, rng *sim.Rand) *Receiver {
 	r := &Receiver{
 		cfg:    cfg,
@@ -79,6 +102,53 @@ func NewReceiver(id ReceiverID, net *simnet.Network, node simnet.NodeID, port si
 	net.Bind(r.addr, simnet.HandlerFunc(r.recv))
 	net.Join(group, node)
 	return r
+}
+
+// rewind restores a pooled receiver to the state newReceiver would have
+// produced, reusing the loss/RTT estimator storage and the receive-window
+// ring (whose stale contents are unreachable once the cursors are
+// zeroed). Bit-for-bit equivalence with a fresh receiver is what keeps
+// rewound sweep runs deterministic.
+func (r *Receiver) rewind(id ReceiverID, net *simnet.Network, node simnet.NodeID, port simnet.Port,
+	sender simnet.Addr, group simnet.GroupID, cfg Config, rng *sim.Rand) {
+	if cfg.NumLossIntervals == r.cfg.NumLossIntervals {
+		r.est.ResetKeepWeights()
+	} else {
+		r.est.Reset(lossrate.Weights(cfg.NumLossIntervals))
+	}
+	r.cfg = cfg
+	r.id = id
+	r.net = net
+	r.sch = net.Scheduler()
+	r.rng = rng
+	r.addr = simnet.Addr{Node: node, Port: port}
+	r.sender = sender
+	r.group = group
+	r.rtte.Reset(cfg.RTT)
+	r.haveSeq = false
+	r.nextSeq = 0
+	r.lastArrival = 0
+	r.lastData = Data{}
+	r.rw.reset()
+	r.round = -1
+	r.fbTimer = sim.Timer{}
+	r.fbValue = 0
+	r.fbHasLoss = false
+	r.isCLR = false
+	r.clrNextAt = 0
+	r.left = false
+	r.firstLossWithInitRTT = false
+	r.ReportsSent = 0
+	r.SuppressCancels = 0
+	r.Losses = 0
+	r.LossEvents = 0
+	r.PacketsRecv = 0
+	r.OnFirstRTT = nil
+	r.Meter = nil
+	r.Trace = nil
+	r.lastSuppress = 0
+	net.Bind(r.addr, simnet.HandlerFunc(r.recv))
+	net.Join(group, node)
 }
 
 // ID returns the receiver's identifier.
@@ -191,7 +261,7 @@ func (r *Receiver) detectLosses(d Data, now sim.Time) {
 		tLost := r.lastArrival + span.Scale(float64(i+1)/float64(missing+1))
 		r.Losses++
 		if r.Trace != nil {
-			r.Trace.Add(tLost, trace.CatLoss, int(r.id), 1, "")
+			r.Trace.Add(tLost, trace.CatLoss, int(r.id), 1)
 		}
 		first := !r.est.HaveLoss()
 		if r.est.OnLoss(tLost, r.rtte.RTT()) {
@@ -414,7 +484,7 @@ func (r *Receiver) sendReport(now sim.Time) {
 	}
 	r.ReportsSent++
 	if r.Trace != nil {
-		r.Trace.Add(now, trace.CatFeedback, int(r.id), rate, "report")
+		r.Trace.AddNote(now, trace.CatFeedback, int(r.id), rate, trace.NoteReport)
 	}
 	pkt := r.net.AllocPacket()
 	pkt.Size = r.cfg.ReportSize
@@ -464,6 +534,11 @@ type recvWindow struct {
 }
 
 const recvWindowCap = 1024 // must exceed 513, power of two for masking
+
+// reset empties the window. The sample arrays keep their contents — with
+// n == 0 nothing can read them — so rewinding costs three stores instead
+// of a 16 KB clear.
+func (w *recvWindow) reset() { w.head, w.n, w.total = 0, 0, 0 }
 
 func (w *recvWindow) add(now sim.Time, bytes int) {
 	w.t[(w.head+w.n)&(recvWindowCap-1)] = now

@@ -210,7 +210,7 @@ func (s *Sender) recv(pkt *simnet.Packet) {
 	now := s.sch.Now()
 	s.ReportsRecv++
 	if s.Trace != nil {
-		s.Trace.Add(now, trace.CatFeedback, int(rep.From), rep.Rate, "")
+		s.Trace.Add(now, trace.CatFeedback, int(rep.From), rep.Rate)
 	}
 
 	if rep.Leave {
@@ -346,7 +346,7 @@ func (s *Sender) setCLR(id ReceiverID, rate float64, rttEst sim.Time, now sim.Ti
 		s.CLRChanges++
 		s.newCLREcho = true
 		if s.Trace != nil {
-			s.Trace.Add(now, trace.CatCLR, int(id), rate, "clr change")
+			s.Trace.AddNote(now, trace.CatCLR, int(id), rate, trace.NoteCLRChange)
 		}
 	}
 	s.clr = id
@@ -442,7 +442,7 @@ func (s *Sender) setRate(r float64) {
 		r = s.cfg.MaxRate
 	}
 	if s.Trace != nil && r != s.rate {
-		s.Trace.Add(s.sch.Now(), trace.CatRate, -1, r, "")
+		s.Trace.Add(s.sch.Now(), trace.CatRate, -1, r)
 	}
 	s.rate = r
 }
@@ -537,7 +537,7 @@ func (s *Sender) advanceRound() {
 	s.suppressLoss = false
 	s.roundT = s.cfg.feedbackConfig(s.maxRTT, s.rate).T
 	if s.Trace != nil {
-		s.Trace.Add(now, trace.CatRound, s.round, s.roundT.Seconds(), "")
+		s.Trace.Add(now, trace.CatRound, s.round, s.roundT.Seconds())
 	}
 	s.roundTimer = s.sch.After(s.roundT, s.advanceRound)
 }

@@ -1,7 +1,10 @@
 // Package trace provides a lightweight, allocation-conscious event log
 // for protocol debugging and experiment post-processing — the equivalent
-// of ns-2's trace files. Events are kept in a bounded ring buffer;
-// writers tag them with a category so analyses can filter cheaply.
+// of ns-2's trace files. Events are fixed-width records in a preallocated
+// ring buffer: Add never formats, boxes or retains strings, so tracing a
+// hot path costs a few stores. Annotations are an enum rendered lazily by
+// the String/Dump paths; writers tag events with a category so analyses
+// can filter cheaply.
 package trace
 
 import (
@@ -47,13 +50,36 @@ func (c Category) String() string {
 	return "?"
 }
 
-// Event is one trace record.
+// Note is a static annotation attached to an event. Notes are recorded as
+// an enum so the trace record stays fixed-width; the text is produced
+// only when a trace is rendered.
+type Note uint8
+
+// Known annotations.
+const (
+	NoteNone Note = iota
+	NoteCLRChange
+	NoteReport
+)
+
+// String implements fmt.Stringer (empty for NoteNone).
+func (n Note) String() string {
+	switch n {
+	case NoteCLRChange:
+		return "clr change"
+	case NoteReport:
+		return "report"
+	}
+	return ""
+}
+
+// Event is one fixed-width trace record (24 bytes, no pointers).
 type Event struct {
 	At    sim.Time
-	Cat   Category
-	Actor int     // receiver/sender/flow id; -1 = n/a
 	Value float64 // category-specific numeric payload
-	Note  string
+	Actor int32   // receiver/sender/flow id; -1 = n/a
+	Cat   Category
+	Note  Note
 }
 
 // Log is a bounded ring of events. The zero value is unusable; use New.
@@ -76,15 +102,28 @@ func New(capacity int) *Log {
 // SetEnabled toggles recording; counting continues regardless.
 func (l *Log) SetEnabled(on bool) { l.enabled = on }
 
-// Add appends an event.
-func (l *Log) Add(at sim.Time, cat Category, actor int, value float64, note string) {
+// Reset empties the log and zeroes the category counters, keeping the
+// ring storage.
+func (l *Log) Reset() {
+	l.next = 0
+	l.full = false
+	l.counts = [numCategories]int64{}
+}
+
+// Add appends an unannotated event.
+func (l *Log) Add(at sim.Time, cat Category, actor int, value float64) {
+	l.AddNote(at, cat, actor, value, NoteNone)
+}
+
+// AddNote appends an event carrying a static annotation.
+func (l *Log) AddNote(at sim.Time, cat Category, actor int, value float64, note Note) {
 	if cat < numCategories {
 		l.counts[cat]++
 	}
 	if !l.enabled {
 		return
 	}
-	l.buf[l.next] = Event{At: at, Cat: cat, Actor: actor, Value: value, Note: note}
+	l.buf[l.next] = Event{At: at, Cat: cat, Actor: int32(actor), Value: value, Note: note}
 	l.next++
 	if l.next == len(l.buf) {
 		l.next = 0
@@ -130,12 +169,18 @@ func (l *Log) Filter(cat Category) []Event {
 	return out
 }
 
+// String renders one event as an ns-2-like trace line (no newline).
+func (e Event) String() string {
+	return fmt.Sprintf("%.6f %-5s actor=%d v=%.3f %s",
+		e.At.Seconds(), e.Cat, e.Actor, e.Value, e.Note)
+}
+
 // Dump renders the retained events as an ns-2-like text trace.
 func (l *Log) Dump() string {
 	var b strings.Builder
 	for _, e := range l.Events() {
-		fmt.Fprintf(&b, "%.6f %-5s actor=%d v=%.3f %s\n",
-			e.At.Seconds(), e.Cat, e.Actor, e.Value, e.Note)
+		b.WriteString(e.String())
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

@@ -10,8 +10,8 @@ import (
 
 func TestAddAndRetrieve(t *testing.T) {
 	l := New(100)
-	l.Add(sim.Second, CatSend, 1, 42, "pkt 0")
-	l.Add(2*sim.Second, CatLoss, 2, 1, "gap")
+	l.Add(sim.Second, CatSend, 1, 42)
+	l.Add(2*sim.Second, CatLoss, 2, 1)
 	if l.Len() != 2 {
 		t.Fatalf("len = %d", l.Len())
 	}
@@ -27,7 +27,7 @@ func TestAddAndRetrieve(t *testing.T) {
 func TestRingRotation(t *testing.T) {
 	l := New(16)
 	for i := 0; i < 40; i++ {
-		l.Add(sim.Time(i), CatSend, i, 0, "")
+		l.Add(sim.Time(i), CatSend, i, 0)
 	}
 	if l.Len() != 16 {
 		t.Fatalf("len = %d, want 16", l.Len())
@@ -49,7 +49,7 @@ func TestFilter(t *testing.T) {
 		if i%2 == 0 {
 			cat = CatRecv
 		}
-		l.Add(sim.Time(i), cat, i, 0, "")
+		l.Add(sim.Time(i), cat, i, 0)
 	}
 	recvs := l.Filter(CatRecv)
 	if len(recvs) != 5 {
@@ -65,7 +65,7 @@ func TestFilter(t *testing.T) {
 func TestDisabledStillCounts(t *testing.T) {
 	l := New(16)
 	l.SetEnabled(false)
-	l.Add(0, CatCLR, 1, 0, "")
+	l.Add(0, CatCLR, 1, 0)
 	if l.Len() != 0 {
 		t.Fatal("disabled log retained an event")
 	}
@@ -76,10 +76,46 @@ func TestDisabledStillCounts(t *testing.T) {
 
 func TestDumpFormat(t *testing.T) {
 	l := New(16)
-	l.Add(1500*sim.Millisecond, CatRate, 3, 125000, "increase")
+	l.AddNote(1500*sim.Millisecond, CatRate, 3, 125000, NoteCLRChange)
 	out := l.Dump()
 	if !strings.Contains(out, "1.500000 rate  actor=3") {
 		t.Fatalf("dump = %q", out)
+	}
+	if !strings.Contains(out, "clr change") {
+		t.Fatalf("note not rendered lazily: %q", out)
+	}
+}
+
+func TestNoteStrings(t *testing.T) {
+	if NoteNone.String() != "" || NoteCLRChange.String() != "clr change" || NoteReport.String() != "report" {
+		t.Fatal("note rendering wrong")
+	}
+}
+
+func TestReset(t *testing.T) {
+	l := New(16)
+	for i := 0; i < 20; i++ {
+		l.Add(sim.Time(i), CatSend, i, 0)
+	}
+	l.Reset()
+	if l.Len() != 0 || l.Count(CatSend) != 0 {
+		t.Fatalf("reset left len=%d count=%d", l.Len(), l.Count(CatSend))
+	}
+	l.Add(sim.Second, CatRecv, 1, 2)
+	if l.Len() != 1 || l.Events()[0].Cat != CatRecv {
+		t.Fatal("log unusable after reset")
+	}
+}
+
+// Adding to an enabled log must not allocate: records are fixed-width and
+// notes are enum-tagged, never formatted at Add time.
+func TestAddDoesNotAllocate(t *testing.T) {
+	l := New(64)
+	n := testing.AllocsPerRun(100, func() {
+		l.AddNote(sim.Second, CatFeedback, 7, 1.5, NoteReport)
+	})
+	if n != 0 {
+		t.Fatalf("Add allocates %.1f times per call", n)
 	}
 }
 
@@ -98,7 +134,7 @@ func TestCategoryStrings(t *testing.T) {
 func TestMinimumCapacity(t *testing.T) {
 	l := New(1)
 	for i := 0; i < 20; i++ {
-		l.Add(sim.Time(i), CatSend, i, 0, "")
+		l.Add(sim.Time(i), CatSend, i, 0)
 	}
 	if l.Len() != 16 {
 		t.Fatalf("minimum capacity not enforced: %d", l.Len())
@@ -112,7 +148,7 @@ func TestRingInvariants(t *testing.T) {
 		capacity := int(capRaw)%100 + 1
 		l := New(capacity)
 		for i := 0; i < int(n)%500; i++ {
-			l.Add(sim.Time(i), CatSend, i, 0, "")
+			l.Add(sim.Time(i), CatSend, i, 0)
 		}
 		if l.Len() > len(l.buf) {
 			return false
@@ -133,6 +169,6 @@ func TestRingInvariants(t *testing.T) {
 func BenchmarkAdd(b *testing.B) {
 	l := New(4096)
 	for i := 0; i < b.N; i++ {
-		l.Add(sim.Time(i), CatSend, 1, 0, "")
+		l.Add(sim.Time(i), CatSend, 1, 0)
 	}
 }
