@@ -1,0 +1,68 @@
+// Command benchdiff is the CI bench-regression gate: it compares a fresh
+// BENCH_engine.json against the committed baseline and fails when an
+// engine (non-analytic) scenario's ns/event or allocs/event regressed by
+// more than the tolerance.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_engine.json -new BENCH_engine.new.json [-max-regress 0.15]
+//
+// Analytic figures never drive the engine, so they carry no per-event
+// rates and are exempt. Exit status is 1 when any gated metric regressed
+// beyond -max-regress, 0 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchreport"
+)
+
+func main() {
+	basePath := flag.String("baseline", "BENCH_engine.json", "committed baseline report")
+	newPath := flag.String("new", "", "freshly measured report to gate")
+	tol := flag.Float64("max-regress", 0.15, "maximum allowed relative regression (0.15 = 15%)")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		os.Exit(2)
+	}
+
+	base, err := benchreport.Load(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	fresh, err := benchreport.Load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	regs, notes := benchreport.Compare(base, fresh, *tol)
+	for _, n := range notes {
+		fmt.Fprintf(os.Stderr, "benchdiff: note: %s\n", n)
+	}
+	if len(regs) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no regressions beyond %.0f%% (%d scenarios gated)\n",
+			*tol*100, gated(fresh))
+		return
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed beyond %.0f%%:\n", len(regs), *tol*100)
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "  %s\n", r)
+	}
+	os.Exit(1)
+}
+
+func gated(r *benchreport.Report) int {
+	n := 0
+	for _, m := range r.Scenarios {
+		if !m.Analytic {
+			n++
+		}
+	}
+	return n
+}

@@ -5,7 +5,20 @@
 //
 // Usage:
 //
-//	tfmccbench [-seeds n] [-workers m] [-figures 1,7,15|all] [-session] [-o BENCH_engine.json]
+//	tfmccbench [-seeds n] [-workers m] [-only 1,7,15] [-o BENCH_engine.json]
+//	tfmccbench -list
+//	tfmccbench -shard 2/3 [-o BENCH_engine.shard-2-of-3.json]
+//	tfmccbench -merge BENCH_engine.shard-*-of-3.json [-o BENCH_engine.json]
+//
+// The measured plan is the figure registry in enumeration order plus the
+// 100-receiver session micro-scenario. -list prints it with tags and
+// cost weights; -only selects a subset; -shard i/N runs the i-th of N
+// cost-balanced partitions and (by default) writes a shard fragment
+// named after the split. -merge recombines a complete fragment set into
+// the report an unsharded run would have produced: with -deterministic
+// (which strips wall-clock, rate and allocation fields from any output)
+// the merged file is byte-identical to an unsharded run, which CI
+// md5-checks.
 //
 // Each scenario is swept across -seeds independent seeds fanned out over
 // -workers goroutines; every worker owns a reusable simulation arena, so
@@ -20,191 +33,127 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strings"
-	"time"
 
-	"repro/internal/experiments"
-	"repro/internal/sweep"
+	"repro/internal/benchreport"
 )
-
-// SetupAmort quantifies how Network.Reset arena reuse amortises scenario
-// construction: cold is the first run on a fresh arena, warm the mean of
-// the rewound reruns.
-type SetupAmort struct {
-	ColdAllocs     uint64  `json:"cold_allocs"`
-	WarmAllocs     float64 `json:"warm_allocs_per_run"`
-	AllocReduction float64 `json:"alloc_reduction"`
-}
-
-// Metrics is one scenario's aggregate engine measurement.
-type Metrics struct {
-	ID            string      `json:"id"`
-	Title         string      `json:"title"`
-	Runs          int         `json:"runs"` // seeds swept
-	Analytic      bool        `json:"analytic,omitempty"`
-	WallNS        int64       `json:"wall_ns"`
-	Events        uint64      `json:"events"`
-	PacketsSent   int64       `json:"packets_sent"`
-	PacketsDeliv  int64       `json:"packets_delivered"`
-	Allocs        uint64      `json:"allocs"`
-	EventsPerSec  float64     `json:"events_per_sec"`
-	PacketsPerSec float64     `json:"packets_per_sec"`
-	NSPerEvent    float64     `json:"ns_per_event"`
-	AllocsPerEvt  float64     `json:"allocs_per_event"`
-	Setup         *SetupAmort `json:"setup_amortization,omitempty"`
-}
-
-// Report is the BENCH_engine.json document.
-type Report struct {
-	Generated string    `json:"generated"`
-	GoVersion string    `json:"go_version"`
-	GOOS      string    `json:"goos"`
-	GOARCH    string    `json:"goarch"`
-	Seeds     int       `json:"seeds"`
-	Workers   int       `json:"workers"`
-	Scenarios []Metrics `json:"scenarios"`
-}
-
-func allocsNow() uint64 {
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	return ms.Mallocs
-}
-
-func (m *Metrics) finish(wall time.Duration, st experiments.EngineStats, allocs uint64) {
-	m.WallNS = wall.Nanoseconds()
-	m.Events = st.Events
-	m.PacketsSent = st.PacketsSent
-	m.PacketsDeliv = st.PacketsDelivered
-	m.Allocs = allocs
-	if sec := wall.Seconds(); sec > 0 {
-		m.EventsPerSec = float64(st.Events) / sec
-		m.PacketsPerSec = float64(st.PacketsDelivered) / sec
-	}
-	if st.Events > 0 {
-		m.NSPerEvent = float64(m.WallNS) / float64(st.Events)
-		m.AllocsPerEvt = float64(m.Allocs) / float64(st.Events)
-	}
-}
-
-// measureFigure sweeps one registered figure across seeds in parallel.
-func measureFigure(id string, seeds, workers int) Metrics {
-	m := Metrics{
-		ID: "figure" + id, Title: experiments.Title(id), Runs: seeds,
-		Analytic: experiments.Analytic(id),
-	}
-	runtime.GC()
-	a0 := allocsNow()
-	start := time.Now()
-	res, err := experiments.Sweep(id, sweep.Config{Seeds: seeds, Workers: workers, Base: 1})
-	if err != nil {
-		panic(err) // ids are validated before measuring
-	}
-	m.finish(time.Since(start), res.Engine, allocsNow()-a0)
-	return m
-}
-
-// measureSession runs the 100-receiver session scenario seeds times on
-// one reusable arena, recording cold-vs-warm setup allocations. The setup
-// probes run the scenario for zero simulated seconds — construction only —
-// so the amortisation ratio isolates what Network.Reset reuse saves,
-// undiluted by run-phase allocations.
-func measureSession(seeds int) Metrics {
-	m := Metrics{ID: "session100x10", Title: "100 receivers, 1 Mbit/s bottleneck, 10 s", Runs: seeds}
-	ctx := experiments.NewRunCtx()
-	runtime.GC()
-	a0 := allocsNow()
-	ctx.SessionThroughput(100, 0) // cold: builds the arena
-	cold := allocsNow() - a0
-	a0 = allocsNow()
-	ctx.SessionThroughput(100, 0) // warm: rewinds it
-	warm := float64(allocsNow() - a0)
-	amort := &SetupAmort{ColdAllocs: cold, WarmAllocs: warm}
-	if warm > 0 {
-		amort.AllocReduction = float64(cold) / warm
-	}
-	m.Setup = amort
-
-	ctx.ResetStats()
-	runtime.GC()
-	a0 = allocsNow()
-	start := time.Now()
-	for seed := int64(1); seed <= int64(seeds); seed++ {
-		ctx.SessionThroughputSeed(seed, 100, 10)
-	}
-	m.finish(time.Since(start), ctx.Stats(), allocsNow()-a0)
-	return m
-}
 
 func main() {
 	seeds := flag.Int("seeds", 3, "independent seeds per scenario")
 	workers := flag.Int("workers", min(4, runtime.NumCPU()), "parallel sweep workers")
 	nOld := flag.Int("n", 0, "deprecated alias for -seeds")
-	figures := flag.String("figures", "all", "comma-separated figure ids, or 'all'")
+	list := flag.Bool("list", false, "list the bench plan (ids, tags, cost weights) and exit")
+	only := flag.String("only", "", "comma-separated scenario ids to run (default: all)")
+	figures := flag.String("figures", "", "deprecated alias for -only")
 	session := flag.Bool("session", true, "include the 100-receiver session micro-scenario")
-	out := flag.String("o", "BENCH_engine.json", "output file ('-' for stdout)")
+	shard := flag.String("shard", "", "run shard i/N of the plan (e.g. 2/3)")
+	merge := flag.Bool("merge", false, "merge the fragment files given as arguments instead of measuring")
+	det := flag.Bool("deterministic", false, "strip timing-dependent fields so output is byte-comparable across runs")
+	out := flag.String("o", "", "output file ('-' for stdout; default BENCH_engine.json, or the shard fragment name)")
 	flag.Parse()
 	if *nOld > 0 {
 		*seeds = *nOld
 	}
-
-	var ids []string
-	if *figures == "all" {
-		ids = experiments.Figures()
-	} else if *figures != "" {
-		ids = strings.Split(*figures, ",")
+	if *only == "" {
+		*only = *figures
 	}
 
-	rep := Report{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		Seeds:     *seeds,
-		Workers:   *workers,
-	}
-	for _, id := range ids {
-		id := strings.TrimSpace(id)
-		if _, ok := experiments.Registry[id]; !ok {
-			fmt.Fprintf(os.Stderr, "tfmccbench: unknown figure %q (have %v)\n", id, experiments.Figures())
-			os.Exit(1)
-		}
-		m := measureFigure(id, *seeds, *workers)
-		rep.Scenarios = append(rep.Scenarios, m)
-		if m.Analytic {
-			fmt.Fprintf(os.Stderr, "figure %-3s analytic (no engine events), %d seeds in %.0f ms\n",
-				id, m.Runs, float64(m.WallNS)/1e6)
-			continue
-		}
-		fmt.Fprintf(os.Stderr, "figure %-3s %8.0f events/sec %8.0f packets/sec %6.1f ns/event %.3f allocs/event\n",
-			id, m.EventsPerSec, m.PacketsPerSec, m.NSPerEvent, m.AllocsPerEvt)
-	}
-	if *session {
-		m := measureSession(*seeds)
-		rep.Scenarios = append(rep.Scenarios, m)
-		fmt.Fprintf(os.Stderr, "session    %8.0f events/sec %8.0f packets/sec %6.1f ns/event %.3f allocs/event (setup: %d cold / %.0f warm allocs, %.1fx)\n",
-			m.EventsPerSec, m.PacketsPerSec, m.NSPerEvent, m.AllocsPerEvt,
-			m.Setup.ColdAllocs, m.Setup.WarmAllocs, m.Setup.AllocReduction)
-	}
-
-	enc, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tfmccbench: %v\n", err)
-		os.Exit(1)
-	}
-	enc = append(enc, '\n')
-	if *out == "-" {
-		os.Stdout.Write(enc)
+	if *merge {
+		runMerge(flag.Args(), *det, *out)
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "tfmccbench: %v\n", err)
-		os.Exit(1)
+	if flag.NArg() > 0 {
+		fatalf("unexpected arguments %v (fragment files are only valid with -merge)", flag.Args())
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (%d scenarios)\n", *out, len(rep.Scenarios))
+
+	var onlyIDs []string
+	if *only != "" && *only != "all" {
+		onlyIDs = strings.Split(*only, ",")
+	}
+	plan, err := benchreport.NewPlan(onlyIDs, *session)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *list {
+		for _, it := range plan {
+			fmt.Printf("%-14s cost=%-6.2f %-24s %s\n",
+				it.ID, it.Cost, "["+strings.Join(it.Tags, ",")+"]", it.Title)
+		}
+		return
+	}
+
+	items := plan
+	outPath := *out
+	var shardSpec string
+	if *shard != "" {
+		i, n, err := benchreport.ParseShardSpec(*shard)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		items, err = benchreport.Shard(plan, i, n)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		shardSpec = fmt.Sprintf("%d/%d", i, n)
+		if outPath == "" {
+			outPath = fmt.Sprintf("BENCH_engine.shard-%d-of-%d.json", i, n)
+		}
+	}
+	if outPath == "" {
+		outPath = "BENCH_engine.json"
+	}
+
+	rep := benchreport.Measure(items, plan, *seeds, *workers, os.Stderr)
+	rep.Shard = shardSpec
+	if *det {
+		rep = rep.Strip()
+	}
+	if err := rep.WriteFile(outPath); err != nil {
+		fatalf("%v", err)
+	}
+	if outPath != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d scenarios)\n", outPath, len(rep.Scenarios))
+	}
+}
+
+// runMerge recombines shard fragments into one report.
+func runMerge(paths []string, det bool, out string) {
+	if len(paths) == 0 {
+		fatalf("-merge needs fragment files as arguments")
+	}
+	frags := make([]*benchreport.Report, len(paths))
+	for i, p := range paths {
+		f, err := benchreport.Load(p)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		frags[i] = f
+	}
+	rep, err := benchreport.Merge(frags)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if det {
+		rep = rep.Strip()
+	}
+	if out == "" {
+		out = "BENCH_engine.json"
+	}
+	if err := rep.WriteFile(out); err != nil {
+		fatalf("%v", err)
+	}
+	if out != "-" {
+		fmt.Fprintf(os.Stderr, "merged %d fragments into %s (%d scenarios)\n",
+			len(paths), out, len(rep.Scenarios))
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tfmccbench: "+format+"\n", args...)
+	os.Exit(1)
 }

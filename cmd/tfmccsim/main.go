@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/sweep"
@@ -45,8 +46,9 @@ func main() {
 
 	switch {
 	case *list:
-		for _, id := range experiments.Figures() {
-			fmt.Printf("%-4s %s\n", id, experiments.Title(id))
+		for _, e := range experiments.Entries() {
+			fmt.Printf("%-4s %-20s cost=%-6.2f %s\n",
+				e.ID, "["+strings.Join(e.Tags, ",")+"]", e.Cost, e.Title)
 		}
 	case *all:
 		for _, id := range experiments.Figures() {

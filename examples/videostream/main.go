@@ -67,10 +67,10 @@ func main() {
 		}
 		return trimmed.Mean(), trimmed.CoV()
 	}
-	vMean, vCov := steady(&viewer.Series)
+	vMean, vCov := steady(viewer.Series)
 	var tSum, tCovSum float64
 	for _, m := range tcpMeters {
-		mm, cc := steady(&m.Series)
+		mm, cc := steady(m.Series)
 		tSum += mm
 		tCovSum += cc
 	}

@@ -1,0 +1,353 @@
+package benchreport
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// cheapOnly is a selection that exercises analytic figures, one real
+// engine figure and the session scenario while staying fast enough to
+// measure repeatedly in a unit test.
+var cheapOnly = []string{"1", "2", "14", "17", "session100x10"}
+
+func TestPlanEnumeration(t *testing.T) {
+	plan, err := NewPlan(nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 21 { // 20 figures + session
+		t.Fatalf("full plan has %d items, want 21", len(plan))
+	}
+	for i, it := range plan {
+		if it.Seq != i {
+			t.Fatalf("item %d (%s) has seq %d", i, it.ID, it.Seq)
+		}
+		if it.Cost <= 0 {
+			t.Fatalf("item %s has no cost weight", it.ID)
+		}
+	}
+	if plan[len(plan)-1].ID != SessionID {
+		t.Fatalf("session not last: %s", plan[len(plan)-1].ID)
+	}
+	noSess, err := NewPlan(nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(noSess) != 20 {
+		t.Fatalf("figure-only plan has %d items, want 20", len(noSess))
+	}
+}
+
+func TestPlanOnlySelection(t *testing.T) {
+	// Bare figure ids, report ids and the session alias all resolve, and
+	// selection keeps enumeration order regardless of argument order.
+	plan, err := NewPlan([]string{"session", "figure9", "1"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []string{plan[0].ID, plan[1].ID, plan[2].ID}
+	want := []string{"figure1", "figure9", SessionID}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("selection order %v, want %v", got, want)
+	}
+}
+
+func TestPlanOnlyErrors(t *testing.T) {
+	if _, err := NewPlan([]string{"999"}, true); err == nil {
+		t.Fatal("unknown id must error")
+	}
+	if _, err := NewPlan([]string{"9", "9"}, true); err == nil {
+		t.Fatal("duplicate id must error")
+	}
+	if _, err := NewPlan([]string{"9", "figure9"}, true); err == nil {
+		t.Fatal("duplicate id via alias must error")
+	}
+	// The session id is not selectable when the session is excluded.
+	if _, err := NewPlan([]string{"session100x10"}, false); err == nil {
+		t.Fatal("session id without session must error")
+	}
+}
+
+func TestShardPartitionsDisjointAndComplete(t *testing.T) {
+	plan, err := NewPlan(nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 3, 4, 5, 7, len(plan), len(plan) + 3} {
+		seen := map[int]string{}
+		for i := 1; i <= n; i++ {
+			items, err := Shard(plan, i, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			last := -1
+			for _, it := range items {
+				if prev, dup := seen[it.Seq]; dup {
+					t.Fatalf("n=%d: %s in shards %s and %d", n, it.ID, prev, i)
+				}
+				seen[it.Seq] = fmt.Sprint(i)
+				if it.Seq <= last {
+					t.Fatalf("n=%d shard %d not in plan order", n, i)
+				}
+				last = it.Seq
+			}
+		}
+		if len(seen) != len(plan) {
+			t.Fatalf("n=%d: %d of %d items covered", n, len(seen), len(plan))
+		}
+	}
+}
+
+func TestShardBalancesCost(t *testing.T) {
+	plan, err := NewPlan(nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	maxCost := 0.0
+	for _, it := range plan {
+		total += it.Cost
+		if it.Cost > maxCost {
+			maxCost = it.Cost
+		}
+	}
+	const n = 3
+	for i := 1; i <= n; i++ {
+		items, err := Shard(plan, i, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		load := 0.0
+		for _, it := range items {
+			load += it.Cost
+		}
+		// Greedy LPT keeps every shard within one max-item of the mean.
+		if load > total/n+maxCost {
+			t.Fatalf("shard %d/%d load %.1f exceeds mean %.1f + max item %.1f",
+				i, n, load, total/n, maxCost)
+		}
+	}
+}
+
+func TestShardErrors(t *testing.T) {
+	plan, _ := NewPlan(nil, true)
+	for _, bad := range [][2]int{{0, 3}, {4, 3}, {1, 0}} {
+		if _, err := Shard(plan, bad[0], bad[1]); err == nil {
+			t.Fatalf("Shard(%d, %d) must error", bad[0], bad[1])
+		}
+	}
+	for _, spec := range []string{"", "x", "3", "0/2", "3/2", "-1/2", "2/3junk", "2/3/5", "1 /2"} {
+		if _, _, err := ParseShardSpec(spec); err == nil {
+			t.Fatalf("ParseShardSpec(%q) must error", spec)
+		}
+	}
+}
+
+// measure runs a real (small) measurement of the cheap selection,
+// optionally as one shard of n.
+func measure(t *testing.T, shard, n int) *Report {
+	t.Helper()
+	plan, err := NewPlan(cheapOnly, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := plan
+	if n > 0 {
+		items, err = Shard(plan, shard, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := Measure(items, plan, 2, 1, io.Discard)
+	if n > 0 {
+		rep.Shard = fmt.Sprintf("%d/%d", shard, n)
+	}
+	return rep
+}
+
+// TestMergeByteIdentical is the acceptance property: for any shard count,
+// merging the (shuffled) fragments reproduces the unsharded report
+// byte-for-byte once timing-dependent fields are stripped.
+func TestMergeByteIdentical(t *testing.T) {
+	unsharded, err := measure(t, 0, 0).Strip().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 3, 5} {
+		frags := make([]*Report, n)
+		for i := 1; i <= n; i++ {
+			frags[i-1] = measure(t, i, n)
+		}
+		// Shuffle deterministically: merge order must not matter.
+		for i := range frags {
+			j := (i*7 + 3) % len(frags)
+			frags[i], frags[j] = frags[j], frags[i]
+		}
+		merged, err := Merge(frags)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got, err := merged.Strip().Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(unsharded) {
+			t.Fatalf("n=%d: merged report differs from unsharded run:\n%s\nvs\n%s",
+				n, got, unsharded)
+		}
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	a := measure(t, 1, 2)
+	b := measure(t, 2, 2)
+
+	if _, err := Merge(nil); err == nil {
+		t.Fatal("empty fragment set must error")
+	}
+	if _, err := Merge([]*Report{a}); err == nil {
+		t.Fatal("incomplete fragment set must error")
+	}
+	if _, err := Merge([]*Report{a, a}); err == nil {
+		t.Fatal("duplicate shard must error")
+	}
+	full := measure(t, 0, 0)
+	if _, err := Merge([]*Report{full, b}); err == nil {
+		t.Fatal("fragment without shard spec must error")
+	}
+	seeds := *a
+	seeds.Seeds++
+	if _, err := Merge([]*Report{&seeds, b}); err == nil {
+		t.Fatal("header mismatch must error")
+	}
+	// Fragments of two different -only selections must not recombine,
+	// even when their sizes and seq coverage happen to line up.
+	other := *a
+	other.PlanIDs = append([]string{"figureX"}, a.PlanIDs[1:]...)
+	if _, err := Merge([]*Report{&other, b}); err == nil {
+		t.Fatal("differing plan selections must error")
+	}
+	if len(a.Scenarios) == 0 {
+		t.Fatal("shard 1/2 unexpectedly empty")
+	}
+	tampered := *a
+	tampered.Scenarios = a.Scenarios[1:]
+	if _, err := Merge([]*Report{&tampered, b}); err == nil {
+		t.Fatal("missing scenario must error")
+	}
+
+	merged, err := Merge([]*Report{b, a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Shard != "" {
+		t.Fatalf("merged report still carries shard %q", merged.Shard)
+	}
+	if len(merged.Scenarios) != merged.PlanSize {
+		t.Fatalf("merged %d scenarios, plan %d", len(merged.Scenarios), merged.PlanSize)
+	}
+}
+
+func TestCompareGatesRegressions(t *testing.T) {
+	mk := func(ns, allocs float64) *Report {
+		return &Report{Scenarios: []Metrics{
+			{ID: "figure9", NSPerEvent: ns, AllocsPerEvt: allocs},
+			{ID: "figure1", Analytic: true, WallNS: 1},
+		}}
+	}
+	base := mk(100, 0.010)
+	if regs, _ := Compare(base, mk(110, 0.011), 0.15); len(regs) != 0 {
+		t.Fatalf("10%% drift gated: %v", regs)
+	}
+	regs, _ := Compare(base, mk(120, 0.012), 0.15)
+	if len(regs) != 2 {
+		t.Fatalf("20%% regression not gated on both metrics: %v", regs)
+	}
+	// Analytic figures are exempt however much their wall time moves.
+	slow := mk(100, 0.010)
+	slow.Scenarios[1].WallNS = 1e12
+	if regs, _ := Compare(base, slow, 0.15); len(regs) != 0 {
+		t.Fatalf("analytic figure gated: %v", regs)
+	}
+	// A scenario missing on either side is a note, not a silent pass.
+	missing := &Report{Scenarios: []Metrics{{ID: "figure9", NSPerEvent: 100, AllocsPerEvt: 0.01}}}
+	if _, notes := Compare(base, missing, 0.15); len(notes) == 0 {
+		t.Fatal("missing scenario must be noted")
+	}
+}
+
+// TestCompareNormalizesMachineSpeed: with enough scenarios the ns gate is
+// relative to the suite-wide median ratio, so a uniformly slower CI
+// runner does not fail the build, while one scenario regressing against
+// the rest still does. allocs/event stays an absolute gate.
+func TestCompareNormalizesMachineSpeed(t *testing.T) {
+	mk := func(scale float64, slowOne bool) *Report {
+		r := &Report{}
+		for i := 0; i < 5; i++ {
+			ns := 100.0 * scale
+			if slowOne && i == 0 {
+				ns *= 1.4
+			}
+			r.Scenarios = append(r.Scenarios, Metrics{
+				ID: fmt.Sprintf("figure%d", 9+i), NSPerEvent: ns, AllocsPerEvt: 0.01,
+			})
+		}
+		return r
+	}
+	base := mk(1, false)
+	// Whole suite 2x slower (different machine): no ns regression gated.
+	if regs, _ := Compare(base, mk(2, false), 0.15); len(regs) != 0 {
+		t.Fatalf("uniform machine slowdown gated: %v", regs)
+	}
+	// Same slow machine, but one scenario regressed 40% beyond the rest.
+	regs, _ := Compare(base, mk(2, true), 0.15)
+	if len(regs) != 1 || regs[0].ID != "figure9" || regs[0].Metric != "ns/event" {
+		t.Fatalf("relative ns regression not gated: %v", regs)
+	}
+	// allocs/event is machine-independent: raw 20% regression gates even
+	// though ns is uniform.
+	worse := mk(1, false)
+	for i := range worse.Scenarios {
+		worse.Scenarios[i].AllocsPerEvt = 0.012
+	}
+	if regs, _ := Compare(base, worse, 0.15); len(regs) != 5 {
+		t.Fatalf("allocs regression not gated absolutely: %v", regs)
+	}
+}
+
+func TestStripDropsTimingFields(t *testing.T) {
+	rep := measure(t, 0, 0)
+	s := rep.Strip()
+	if !s.Deterministic || s.Generated != "" {
+		t.Fatalf("strip left header fields: %+v", s)
+	}
+	for _, m := range s.Scenarios {
+		if m.WallNS != 0 || m.Allocs != 0 || m.NSPerEvent != 0 || m.Setup != nil {
+			t.Fatalf("strip left timing fields on %s: %+v", m.ID, m)
+		}
+	}
+	// The original is untouched and engine scenarios kept their counters.
+	hasEvents := false
+	for _, m := range rep.Scenarios {
+		if m.Events > 0 {
+			hasEvents = true
+		}
+	}
+	if !hasEvents {
+		t.Fatal("measurement produced no engine events at all")
+	}
+	if strings.Contains(string(mustEncode(t, s)), "wall_ns") {
+		t.Fatal("stripped encoding still mentions wall_ns")
+	}
+}
+
+func mustEncode(t *testing.T, r *Report) []byte {
+	t.Helper()
+	enc, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}

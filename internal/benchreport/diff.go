@@ -1,0 +1,97 @@
+package benchreport
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Regression is one gated metric that got worse than the baseline by
+// more than the tolerance.
+type Regression struct {
+	ID     string
+	Metric string
+	Base   float64
+	New    float64
+	Ratio  float64 // New / Base
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%-13s %-16s %12.3f -> %12.3f (%+.1f%%)",
+		r.ID, r.Metric, r.Base, r.New, (r.Ratio-1)*100)
+}
+
+// Compare gates fresh against base: for every non-analytic scenario
+// present in both reports, ns/event and allocs/event may not regress by
+// more than tol (0.15 = 15%). Analytic figures have no engine events, so
+// their per-event rates are meaningless and exempt. Scenarios missing on
+// either side are reported as notes, never silently dropped.
+//
+// allocs/event is machine-independent and gated on the raw ratio. The
+// baseline's ns/event, however, was measured on whatever machine
+// regenerated it, which CI runners can out- or under-pace by far more
+// than any sane tolerance; with enough scenarios the median fresh/base
+// ns ratio estimates that machine-speed factor, and ns/event is gated
+// *relative* to it — a scenario fails only when it got slower than the
+// rest of the suite did. The trade-off: a perfectly uniform slowdown
+// cancels out of the normalised ns gate (allocs/event remains the exact
+// line of defence); with fewer than four comparable scenarios there is
+// no robust median and the raw ratio is gated instead.
+func Compare(base, fresh *Report, tol float64) (regs []Regression, notes []string) {
+	baseByID := map[string]Metrics{}
+	for _, m := range base.Scenarios {
+		baseByID[m.ID] = m
+	}
+	var nsRatios []float64
+	for _, m := range fresh.Scenarios {
+		if b, ok := baseByID[m.ID]; ok && !m.Analytic && !b.Analytic && b.NSPerEvent > 0 {
+			nsRatios = append(nsRatios, m.NSPerEvent/b.NSPerEvent)
+		}
+	}
+	speed := 1.0
+	if len(nsRatios) >= 4 {
+		speed = median(nsRatios)
+		notes = append(notes, fmt.Sprintf(
+			"machine-speed factor %.3f (median ns/event ratio over %d scenarios); ns gate is relative to it",
+			speed, len(nsRatios)))
+	}
+	seen := map[string]bool{}
+	for _, m := range fresh.Scenarios {
+		seen[m.ID] = true
+		b, ok := baseByID[m.ID]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("%s: new scenario, no baseline", m.ID))
+			continue
+		}
+		if m.Analytic || b.Analytic {
+			continue
+		}
+		regs = append(regs, gate(m.ID, "ns/event", b.NSPerEvent*speed, m.NSPerEvent, tol)...)
+		regs = append(regs, gate(m.ID, "allocs/event", b.AllocsPerEvt, m.AllocsPerEvt, tol)...)
+	}
+	for _, m := range base.Scenarios {
+		if !seen[m.ID] {
+			notes = append(notes, fmt.Sprintf("%s: in baseline but not measured", m.ID))
+		}
+	}
+	return regs, notes
+}
+
+func gate(id, metric string, base, fresh, tol float64) []Regression {
+	if base <= 0 {
+		return nil // no meaningful baseline rate to gate against
+	}
+	if fresh <= base*(1+tol) {
+		return nil
+	}
+	return []Regression{{ID: id, Metric: metric, Base: base, New: fresh, Ratio: fresh / base}}
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}

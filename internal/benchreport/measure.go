@@ -1,0 +1,127 @@
+package benchreport
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sweep"
+)
+
+func allocsNow() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+func (m *Metrics) finish(wall time.Duration, st experiments.EngineStats, allocs uint64) {
+	m.WallNS = wall.Nanoseconds()
+	m.Events = st.Events
+	m.PacketsSent = st.PacketsSent
+	m.PacketsDeliv = st.PacketsDelivered
+	m.Allocs = allocs
+	if sec := wall.Seconds(); sec > 0 {
+		m.EventsPerSec = float64(st.Events) / sec
+		m.PacketsPerSec = float64(st.PacketsDelivered) / sec
+	}
+	if st.Events > 0 {
+		m.NSPerEvent = float64(m.WallNS) / float64(st.Events)
+		m.AllocsPerEvt = float64(m.Allocs) / float64(st.Events)
+	}
+}
+
+// Measure runs every item of items (typically one shard of plan) and
+// returns the report. Progress lines go to progress (pass io.Discard to
+// silence). The header records the full plan — size and scenario ids —
+// so fragments from sibling shards can be merged and checked for
+// completeness against the same selection.
+func Measure(items, plan []Item, seeds, workers int, progress io.Writer) *Report {
+	planIDs := make([]string, len(plan))
+	for i, it := range plan {
+		planIDs[i] = it.ID
+	}
+	rep := &Report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Seeds:     seeds,
+		Workers:   workers,
+		PlanSize:  len(plan),
+		PlanIDs:   planIDs,
+		Scenarios: []Metrics{},
+	}
+	for _, it := range items {
+		var m Metrics
+		if it.ID == SessionID {
+			m = measureSession(it, seeds)
+		} else {
+			m = measureFigure(it, seeds, workers)
+		}
+		rep.Scenarios = append(rep.Scenarios, m)
+		switch {
+		case m.Analytic:
+			fmt.Fprintf(progress, "%-13s analytic (no engine events), %d seeds in %.0f ms\n",
+				m.ID, m.Runs, float64(m.WallNS)/1e6)
+		case m.Setup != nil:
+			fmt.Fprintf(progress, "%-13s %8.0f events/sec %8.0f packets/sec %6.1f ns/event %.3f allocs/event (setup: %d cold / %.0f warm allocs, %.1fx)\n",
+				m.ID, m.EventsPerSec, m.PacketsPerSec, m.NSPerEvent, m.AllocsPerEvt,
+				m.Setup.ColdAllocs, m.Setup.WarmAllocs, m.Setup.AllocReduction)
+		default:
+			fmt.Fprintf(progress, "%-13s %8.0f events/sec %8.0f packets/sec %6.1f ns/event %.3f allocs/event\n",
+				m.ID, m.EventsPerSec, m.PacketsPerSec, m.NSPerEvent, m.AllocsPerEvt)
+		}
+	}
+	return rep
+}
+
+// measureFigure sweeps one registered figure across seeds in parallel.
+func measureFigure(it Item, seeds, workers int) Metrics {
+	m := Metrics{
+		ID: it.ID, Seq: it.Seq, Title: it.Title, Tags: it.Tags,
+		Runs: seeds, Analytic: it.Analytic,
+	}
+	runtime.GC()
+	a0 := allocsNow()
+	start := time.Now()
+	res, err := experiments.Sweep(it.FigureID, sweep.Config{Seeds: seeds, Workers: workers, Base: 1})
+	if err != nil {
+		panic(err) // unreachable: the plan only holds registered figures
+	}
+	m.finish(time.Since(start), res.Engine, allocsNow()-a0)
+	return m
+}
+
+// measureSession runs the 100-receiver session scenario seeds times on
+// one reusable arena, recording cold-vs-warm setup allocations. The setup
+// probes run the scenario for zero simulated seconds — construction only —
+// so the amortisation ratio isolates what arena reuse saves, undiluted by
+// run-phase allocations.
+func measureSession(it Item, seeds int) Metrics {
+	m := Metrics{ID: it.ID, Seq: it.Seq, Title: it.Title, Tags: it.Tags, Runs: seeds}
+	ctx := experiments.NewRunCtx()
+	runtime.GC()
+	a0 := allocsNow()
+	ctx.SessionThroughput(100, 0) // cold: builds the arena
+	cold := allocsNow() - a0
+	a0 = allocsNow()
+	ctx.SessionThroughput(100, 0) // warm: rewinds it
+	warm := float64(allocsNow() - a0)
+	amort := &SetupAmort{ColdAllocs: cold, WarmAllocs: warm}
+	if warm > 0 {
+		amort.AllocReduction = float64(cold) / warm
+	}
+	m.Setup = amort
+
+	ctx.ResetStats()
+	runtime.GC()
+	a0 = allocsNow()
+	start := time.Now()
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		ctx.SessionThroughputSeed(seed, 100, 10)
+	}
+	m.finish(time.Since(start), ctx.Stats(), allocsNow()-a0)
+	return m
+}

@@ -1,0 +1,80 @@
+package benchreport
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
+
+// Merge recombines shard fragments into the report an unsharded run
+// would have produced. Scenarios are reassembled in plan order by
+// sequence number — the same index-driven discipline stats.MergeRuns
+// applies to seeds — so the result is independent of fragment order,
+// and the Deterministic form is byte-identical to an unsharded run of
+// the same plan and seeds. Fragments must agree on every header field,
+// carry distinct shards of one "i/N" split, and cover the plan exactly:
+// a missing or duplicated scenario is an error, not a silent gap.
+func Merge(frags []*Report) (*Report, error) {
+	if len(frags) == 0 {
+		return nil, fmt.Errorf("benchreport: no fragments to merge")
+	}
+	first := frags[0]
+	_, n, err := ParseShardSpec(first.Shard)
+	if err != nil {
+		return nil, fmt.Errorf("benchreport: fragment 0 has no shard spec: %w", err)
+	}
+	if len(frags) != n {
+		return nil, fmt.Errorf("benchreport: got %d fragments for a /%d split", len(frags), n)
+	}
+	seenShard := make([]bool, n)
+	out := &Report{
+		Generated:     first.Generated,
+		GoVersion:     first.GoVersion,
+		GOOS:          first.GOOS,
+		GOARCH:        first.GOARCH,
+		Seeds:         first.Seeds,
+		Workers:       first.Workers,
+		PlanSize:      first.PlanSize,
+		PlanIDs:       first.PlanIDs,
+		Deterministic: first.Deterministic,
+		Scenarios:     []Metrics{},
+	}
+	for i, f := range frags {
+		if f.GoVersion != out.GoVersion || f.GOOS != out.GOOS || f.GOARCH != out.GOARCH ||
+			f.Seeds != out.Seeds || f.Workers != out.Workers ||
+			f.PlanSize != out.PlanSize || f.Deterministic != out.Deterministic ||
+			!slices.Equal(f.PlanIDs, out.PlanIDs) {
+			return nil, fmt.Errorf("benchreport: fragment %d header mismatch (run all shards with identical flags and selection on one toolchain)", i)
+		}
+		shard, fn, err := ParseShardSpec(f.Shard)
+		if err != nil {
+			return nil, fmt.Errorf("benchreport: fragment %d: %w", i, err)
+		}
+		if fn != n {
+			return nil, fmt.Errorf("benchreport: fragment %d is shard %s, want a /%d split", i, f.Shard, n)
+		}
+		if seenShard[shard-1] {
+			return nil, fmt.Errorf("benchreport: shard %d/%d appears twice", shard, n)
+		}
+		seenShard[shard-1] = true
+		// The merged stamp is the latest fragment's, so the report dates
+		// from when the final shard finished.
+		if f.Generated > out.Generated {
+			out.Generated = f.Generated
+		}
+		out.Scenarios = append(out.Scenarios, f.Scenarios...)
+	}
+	sort.SliceStable(out.Scenarios, func(i, j int) bool {
+		return out.Scenarios[i].Seq < out.Scenarios[j].Seq
+	})
+	for i, m := range out.Scenarios {
+		if m.Seq != i {
+			return nil, fmt.Errorf("benchreport: plan position %d is %s (seq %d): shards are not a disjoint, complete cover of the %d-scenario plan",
+				i, m.ID, m.Seq, out.PlanSize)
+		}
+	}
+	if len(out.Scenarios) != out.PlanSize {
+		return nil, fmt.Errorf("benchreport: merged %d scenarios, plan has %d", len(out.Scenarios), out.PlanSize)
+	}
+	return out, nil
+}

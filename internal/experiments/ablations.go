@@ -39,7 +39,7 @@ func AblationLossHistoryDepth(c *RunCtx, seed int64) *Result {
 		e.sch.At(120*sim.Second, func() { down.LossProb = 0.04 })
 		sess.Start()
 		e.sch.RunUntil(240 * sim.Second)
-		res.Series = append(res.Series, &m.Series)
+		res.Series = append(res.Series, m.Series)
 		before := m.Series.MeanBetween(60*sim.Second, 120*sim.Second)
 		after := m.Series.MeanBetween(180*sim.Second, 240*sim.Second)
 		res.Notes = append(res.Notes, fmt.Sprintf(
@@ -135,7 +135,7 @@ func AblationQueueDiscipline(c *RunCtx, seed int64) *Result {
 			name = "RED"
 		}
 		mT.Series.Name = name
-		res.Series = append(res.Series, &mT.Series)
+		res.Series = append(res.Series, mT.Series)
 		res.Notes = append(res.Notes, fmt.Sprintf("%s: TFMCC/TCP = %.2f (TFMCC %.0f, TCP %.0f Kbit/s)",
 			name, tf/(sum/15), tf, sum/15))
 	}
@@ -164,9 +164,9 @@ func CompareTFMCCvsPGMCC(c *RunCtx, seed int64) *Result {
 		}
 		st.sess.Start()
 		e.sch.RunUntil(300 * sim.Second)
-		res.Series = append(res.Series, &m.Series)
+		res.Series = append(res.Series, m.Series)
 		res.Notes = append(res.Notes, fmt.Sprintf("TFMCC: mean %.0f Kbit/s, CoV %.3f (steady 60s+)",
-			m.Series.MeanBetween(60*sim.Second, 300*sim.Second), covAfter(&m.Series, 60*sim.Second)))
+			m.Series.MeanBetween(60*sim.Second, 300*sim.Second), covAfter(m.Series, 60*sim.Second)))
 	}
 	// PGMCC run on an identical topology.
 	{
@@ -182,16 +182,16 @@ func CompareTFMCCvsPGMCC(c *RunCtx, seed int64) *Result {
 			down.LossProb = loss[i]
 			r := sess.AddReceiver(leaf)
 			if i == 0 {
-				m = stats.NewMeter("PGMCC", e.sch, sim.Second)
+				m = e.newMeter("PGMCC")
 				r.Meter = m
 				m.Start()
 			}
 		}
 		sess.Start()
 		e.sch.RunUntil(300 * sim.Second)
-		res.Series = append(res.Series, &m.Series)
+		res.Series = append(res.Series, m.Series)
 		res.Notes = append(res.Notes, fmt.Sprintf("PGMCC: mean %.0f Kbit/s, CoV %.3f (steady 60s+)",
-			m.Series.MeanBetween(60*sim.Second, 300*sim.Second), covAfter(&m.Series, 60*sim.Second)))
+			m.Series.MeanBetween(60*sim.Second, 300*sim.Second), covAfter(m.Series, 60*sim.Second)))
 	}
 	return res
 }
@@ -210,7 +210,7 @@ func CompareTFMCCvsTFRC(c *RunCtx, seed int64) *Result {
 		down.LossProb = 0.02
 		if useTFRC {
 			snd, rcv := tfrc.NewFlow(e.net, a, b, 100, tfrc.DefaultConfig())
-			m := stats.NewMeter("TFRC", e.sch, sim.Second)
+			m := e.newMeter("TFRC")
 			rcv.Meter = m
 			m.Start()
 			snd.Start()
@@ -225,7 +225,7 @@ func CompareTFMCCvsTFRC(c *RunCtx, seed int64) *Result {
 	}
 	mT := runOne(false)
 	mF := runOne(true)
-	res.Series = append(res.Series, &mT.Series, &mF.Series)
+	res.Series = append(res.Series, mT.Series, mF.Series)
 	tf := mT.Series.MeanBetween(60*sim.Second, 300*sim.Second)
 	fr := mF.Series.MeanBetween(60*sim.Second, 300*sim.Second)
 	res.Notes = append(res.Notes, fmt.Sprintf("TFMCC %.0f vs TFRC %.0f Kbit/s (ratio %.2f)", tf, fr, tf/fr))
@@ -290,7 +290,7 @@ func AblationLossInit(c *RunCtx, seed int64) *Result {
 		sess.Start()
 		e.sch.RunUntil(100 * sim.Second)
 		during := m.Series.MeanBetween(60*sim.Second, 100*sim.Second)
-		res.Series = append(res.Series, &m.Series)
+		res.Series = append(res.Series, m.Series)
 		res.Notes = append(res.Notes, fmt.Sprintf("history depth %d: rate during slow join %.0f Kbit/s (tail 200)",
 			depth, during))
 	}

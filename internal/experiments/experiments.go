@@ -13,7 +13,6 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/sim"
@@ -63,50 +62,6 @@ func (r *Result) TSV() string {
 // environments.
 type Runner func(c *RunCtx, seed int64) *Result
 
-// Entry is a registered figure reproduction. Analytic marks figures that
-// never drive the discrete-event engine (closed-form or Monte-Carlo
-// plots), for which engine counters are meaningless.
-type Entry struct {
-	Title    string
-	Run      Runner
-	Analytic bool
-}
-
-// Registry maps figure identifiers to their runners.
-var Registry = map[string]Entry{}
-
-func register(id, title string, r Runner) { Registry[id] = Entry{Title: title, Run: r} }
-
-// registerAnalytic registers a figure that does not use the simulation
-// engine.
-func registerAnalytic(id, title string, r Runner) {
-	Registry[id] = Entry{Title: title, Run: r, Analytic: true}
-}
-
-// Title returns the registered title for a figure id.
-func Title(id string) string { return Registry[id].Title }
-
-// Analytic reports whether a figure is registered as analytic.
-func Analytic(id string) bool { return Registry[id].Analytic }
-
-// Figures returns the registered figure identifiers in order.
-func Figures() []string {
-	out := make([]string, 0, len(Registry))
-	for id := range Registry {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		var a, b int
-		fmt.Sscanf(out[i], "%d", &a)
-		fmt.Sscanf(out[j], "%d", &b)
-		if a != b {
-			return a < b
-		}
-		return out[i] < out[j]
-	})
-	return out
-}
-
 // Run executes the runner for a figure id on a fresh context.
 func Run(id string, seed int64) (*Result, error) {
 	return RunWith(NewRunCtx(), id, seed)
@@ -115,12 +70,12 @@ func Run(id string, seed int64) (*Result, error) {
 // RunWith executes the runner for a figure id on c, reusing whatever
 // simulation state c has cached from earlier runs of the same scenario.
 func RunWith(c *RunCtx, id string, seed int64) (*Result, error) {
-	r, ok := Registry[id]
+	e, ok := Lookup(id)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown figure %q (have %v)", id, Figures())
 	}
 	defer c.begin("figure" + id)()
-	return r.Run(c, seed), nil
+	return e.Run(c, seed), nil
 }
 
 // --- run context and environment arena ---------------------------------
@@ -218,6 +173,20 @@ func (e *env) rewind(seed int64) {
 	e.rng.Reseed(seed + 7)
 }
 
+// meterArenaKey pools stats.Meter structs on reuse-enabled networks. A
+// rewound meter gets a fresh Series (a previous run's Result may still
+// reference the old one) but reuses the struct and its closure-free
+// sampling timer.
+const meterArenaKey = "stats.Meter"
+
+// newMeter returns a per-second throughput meter, pooled through the
+// network arena when the environment is reusable.
+func (e *env) newMeter(name string) *stats.Meter {
+	return sim.Pooled(e.net.Arena(), meterArenaKey,
+		func() *stats.Meter { return stats.NewMeter(name, e.sch, sim.Second) },
+		func(m *stats.Meter) { m.Reset(name, e.sch, sim.Second) })
+}
+
 // addTCP wires a TCP flow from a fresh source node through `in` to a
 // fresh sink node hanging off `out`, metering goodput.
 func (e *env) addTCP(name string, in, out simnet.NodeID, port simnet.Port) (*tcpsim.Sender, *stats.Meter) {
@@ -226,7 +195,7 @@ func (e *env) addTCP(name string, in, out simnet.NodeID, port simnet.Port) (*tcp
 	e.net.AddDuplex(a, in, 0, sim.Millisecond, 0)
 	e.net.AddDuplex(out, b, 0, sim.Millisecond, 0)
 	snd, snk := tcpsim.NewFlow(name, e.net, a, b, port, tcpsim.DefaultConfig())
-	m := stats.NewMeter(name, e.sch, sim.Second)
+	m := e.newMeter(name)
 	snk.Meter = m
 	m.Start()
 	return snd, m
@@ -234,7 +203,7 @@ func (e *env) addTCP(name string, in, out simnet.NodeID, port simnet.Port) (*tcp
 
 // meterReceiver attaches a throughput meter to a TFMCC receiver.
 func (e *env) meterReceiver(name string, r *tfmcc.Receiver) *stats.Meter {
-	m := stats.NewMeter(name, e.sch, sim.Second)
+	m := e.newMeter(name)
 	r.Meter = m
 	m.Start()
 	return m
@@ -297,7 +266,7 @@ func (r *SweepResult) TSV() string {
 // scenario's cached topology and pooled protocol state; the merged output
 // is bit-for-bit independent of the worker count.
 func Sweep(id string, cfg sweep.Config) (*SweepResult, error) {
-	entry, ok := Registry[id]
+	entry, ok := Lookup(id)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown figure %q (have %v)", id, Figures())
 	}
@@ -312,7 +281,7 @@ func Sweep(id string, cfg sweep.Config) (*SweepResult, error) {
 		if err != nil {
 			panic(err) // unreachable: id was validated above
 		}
-		notes[indexOfSeed(cfg, seed)] = res.Notes
+		notes[cfg.Index(seed)] = res.Notes
 		return res.Series
 	})
 	out := &SweepResult{
@@ -330,10 +299,6 @@ func Sweep(id string, cfg sweep.Config) (*SweepResult, error) {
 		out.Engine.Add(c.Stats())
 	}
 	return out, nil
-}
-
-func indexOfSeed(cfg sweep.Config, seed int64) int {
-	return int((seed - cfg.Base) / cfg.Step)
 }
 
 // --- engine benchmarking hooks -----------------------------------------

@@ -9,11 +9,18 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"1", "2", "3", "4", "5", "6", "7", "9", "10", "11",
 		"12", "13", "14", "15", "16", "17", "18", "19", "20", "21"}
 	for _, id := range want {
-		if _, ok := Registry[id]; !ok {
+		e, ok := Lookup(id)
+		if !ok {
 			t.Fatalf("figure %s not registered", id)
 		}
-		if Title(id) == "" {
+		if e.Title == "" {
 			t.Fatalf("figure %s has no title", id)
+		}
+		if e.Cost <= 0 {
+			t.Fatalf("figure %s has no cost weight", id)
+		}
+		if e.HasTag(TagAnalytic) == e.HasTag(TagEngine) {
+			t.Fatalf("figure %s must carry exactly one of analytic/engine, got %v", id, e.Tags)
 		}
 	}
 	if len(Figures()) != len(want) {

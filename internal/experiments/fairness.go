@@ -10,9 +10,9 @@ import (
 )
 
 func init() {
-	register("9", "1 TFMCC and 15 TCP over one 8 Mbit/s bottleneck", Figure9)
-	register("10", "1 TFMCC vs 16 TCP on individual 1 Mbit/s bottlenecks", Figure10)
-	register("21", "Responsiveness to increased congestion", Figure21)
+	register("9", "1 TFMCC and 15 TCP over one 8 Mbit/s bottleneck", 2.0, Figure9)
+	register("10", "1 TFMCC vs 16 TCP on individual 1 Mbit/s bottlenecks", 1.8, Figure10)
+	register("21", "Responsiveness to increased congestion", 2.2, Figure21)
 }
 
 // Figure9 runs one TFMCC flow against 15 TCP flows over a single 8 Mbit/s
@@ -42,7 +42,7 @@ func Figure9(c *RunCtx, seed int64) *Result {
 	e.sch.RunUntil(200 * sim.Second)
 
 	res := &Result{Figure: "9", Title: "1 TFMCC and 15 TCP over one 8 Mbit/s bottleneck"}
-	res.Series = append(res.Series, &tcpMeters[0].Series, &tcpMeters[1].Series, &mT.Series)
+	res.Series = append(res.Series, tcpMeters[0].Series, tcpMeters[1].Series, mT.Series)
 	var tcpSum float64
 	for _, m := range tcpMeters {
 		tcpSum += m.Series.MeanBetween(60*sim.Second, 200*sim.Second)
@@ -85,7 +85,7 @@ func Figure10(c *RunCtx, seed int64) *Result {
 	e.sch.RunUntil(200 * sim.Second)
 
 	res := &Result{Figure: "10", Title: "1 TFMCC vs 16 TCP on sixteen individual 1 Mbit/s bottlenecks"}
-	res.Series = append(res.Series, &tcpMeters[0].Series, &tcpMeters[1].Series, &mT.Series)
+	res.Series = append(res.Series, tcpMeters[0].Series, tcpMeters[1].Series, mT.Series)
 	var tcpSum float64
 	for _, m := range tcpMeters {
 		tcpSum += m.Series.MeanBetween(60*sim.Second, 200*sim.Second)
@@ -151,7 +151,7 @@ func Figure21(c *RunCtx, seed int64) *Result {
 	e.sch.RunUntil(250 * sim.Second)
 
 	res := &Result{Figure: "21", Title: "Responsiveness to increased congestion (flow count doubles every 50s)"}
-	res.Series = append(res.Series, &mT.Series)
+	res.Series = append(res.Series, mT.Series)
 	res.Series = append(res.Series, agg...)
 	for i, win := range [][2]sim.Time{
 		{10 * sim.Second, 50 * sim.Second}, {60 * sim.Second, 100 * sim.Second},

@@ -10,8 +10,8 @@ import (
 )
 
 func init() {
-	register("15", "Late-join of low-rate receiver", Figure15)
-	register("16", "Additional TCP flow on the slow link", Figure16)
+	register("15", "Late-join of low-rate receiver", 0.8, Figure15)
+	register("16", "Additional TCP flow on the slow link", 0.8, Figure16)
 }
 
 // Figure15 reproduces the late-join experiment: an eight-member TFMCC
@@ -97,9 +97,9 @@ func lateJoin(c *RunCtx, fig, title string, tcpOnSlowLink bool, seed int64) *Res
 	e.sch.RunUntil(140 * sim.Second)
 
 	res := &Result{Figure: fig, Title: title}
-	res.Series = append(res.Series, tcpAgg, &mT.Series)
+	res.Series = append(res.Series, tcpAgg, mT.Series)
 	if slowTCP != nil {
-		res.Series = append(res.Series, &slowTCP.Series)
+		res.Series = append(res.Series, slowTCP.Series)
 	}
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("TFMCC before join (20-50s): %.0f Kbit/s (fair: 1000)",

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Registry tags classify figure reproductions for tooling (CI sharding,
+// bench reports, CLI listings).
+const (
+	// TagAnalytic marks figures that never drive the discrete-event
+	// engine: closed-form curves or Monte-Carlo plots over the feedback
+	// model. Engine counters are meaningless for them.
+	TagAnalytic = "analytic"
+	// TagEngine marks figures reproduced by full packet-level simulation.
+	TagEngine = "engine"
+	// TagSweep marks stochastic figures for which multi-seed sweeps are
+	// meaningful (the per-seed output depends on the random stream).
+	TagSweep = "sweep"
+)
+
+// Entry is a registered figure reproduction.
+type Entry struct {
+	ID    string   // stable figure identifier ("1" .. "21")
+	Title string   // paper caption
+	Run   Runner   // scenario builder
+	Tags  []string // TagAnalytic or TagEngine, plus TagSweep when stochastic
+	// Cost is the entry's relative wall-clock weight — roughly seconds
+	// per 4-seed sweep on the reference container — used to balance CI
+	// shards. Only ratios matter; the scale is arbitrary.
+	Cost float64
+}
+
+// Analytic reports whether the entry never uses the simulation engine.
+func (e Entry) Analytic() bool { return e.HasTag(TagAnalytic) }
+
+// HasTag reports whether the entry carries the given tag.
+func (e Entry) HasTag(tag string) bool {
+	for _, t := range e.Tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// The registry is append-only at init time and read-only afterwards.
+var (
+	entries  []Entry
+	entryIdx = map[string]int{}
+)
+
+func addEntry(e Entry) {
+	if _, dup := entryIdx[e.ID]; dup {
+		panic(fmt.Sprintf("experiments: duplicate figure id %q", e.ID))
+	}
+	entryIdx[e.ID] = len(entries)
+	entries = append(entries, e)
+}
+
+// register adds an engine-driven stochastic figure.
+func register(id, title string, cost float64, r Runner) {
+	addEntry(Entry{ID: id, Title: title, Run: r, Cost: cost,
+		Tags: []string{TagEngine, TagSweep}})
+}
+
+// registerAnalytic adds a figure that does not use the simulation engine.
+// sweep marks Monte-Carlo plots whose output depends on the seed.
+func registerAnalytic(id, title string, cost float64, sweep bool, r Runner) {
+	tags := []string{TagAnalytic}
+	if sweep {
+		tags = append(tags, TagSweep)
+	}
+	addEntry(Entry{ID: id, Title: title, Run: r, Cost: cost, Tags: tags})
+}
+
+// Lookup returns the entry registered for a figure id.
+func Lookup(id string) (Entry, bool) {
+	i, ok := entryIdx[id]
+	if !ok {
+		return Entry{}, false
+	}
+	return entries[i], true
+}
+
+// Entries returns all registered figures ordered by numeric id (the
+// enumeration order every tool shares: listings, bench reports, shard
+// partitions).
+func Entries() []Entry {
+	out := append([]Entry(nil), entries...)
+	sort.Slice(out, func(i, j int) bool {
+		var a, b int
+		fmt.Sscanf(out[i].ID, "%d", &a)
+		fmt.Sscanf(out[j].ID, "%d", &b)
+		if a != b {
+			return a < b
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Analytic reports whether a figure is registered as analytic.
+func Analytic(id string) bool {
+	e, _ := Lookup(id)
+	return e.Analytic()
+}
+
+// Figures returns the registered figure identifiers in enumeration order.
+func Figures() []string {
+	es := Entries()
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.ID
+	}
+	return out
+}

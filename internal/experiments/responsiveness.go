@@ -10,8 +10,8 @@ import (
 )
 
 func init() {
-	register("11", "Responsiveness to changes in the loss rate", Figure11)
-	register("20", "Responsiveness to network delay", Figure20)
+	register("11", "Responsiveness to changes in the loss rate", 2.4, Figure11)
+	register("20", "Responsiveness to network delay", 2.4, Figure20)
 }
 
 // starSession builds the star topology used by the responsiveness
@@ -102,10 +102,10 @@ func joinLeaveExperiment(c *RunCtx, fig, title string, loss []float64, delay []s
 
 	res := &Result{Figure: fig, Title: title}
 	for _, m := range tcpMeters {
-		res.Series = append(res.Series, &m.Series)
+		res.Series = append(res.Series, m.Series)
 	}
 	// The TFMCC rate as observed at the always-present receiver 0.
-	res.Series = append(res.Series, &meters[0].Series)
+	res.Series = append(res.Series, meters[0].Series)
 	// Shape notes: mean TFMCC vs mean of the worst-receiver TCP in each
 	// phase where that receiver is the CLR.
 	phases := []struct {

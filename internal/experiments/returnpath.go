@@ -11,8 +11,8 @@ import (
 )
 
 func init() {
-	register("18", "Competing TCP traffic on return paths", Figure18)
-	register("19", "Lossy return paths", Figure19)
+	register("18", "Competing TCP traffic on return paths", 1.0, Figure18)
+	register("19", "Lossy return paths", 0.9, Figure19)
 }
 
 // Figure18 runs a TFMCC session to four receivers alongside four forward
@@ -65,9 +65,9 @@ func Figure18(c *RunCtx, seed int64) *Result {
 	e.sch.RunUntil(120 * sim.Second)
 
 	res := &Result{Figure: "18", Title: "Competing TCP traffic on return paths"}
-	res.Series = append(res.Series, &mT.Series)
+	res.Series = append(res.Series, mT.Series)
 	for _, m := range fwdMeters {
-		res.Series = append(res.Series, &m.Series)
+		res.Series = append(res.Series, m.Series)
 	}
 	for i, m := range fwdMeters {
 		res.Notes = append(res.Notes, fmt.Sprintf(
@@ -115,9 +115,9 @@ func Figure19(c *RunCtx, seed int64) *Result {
 	e.sch.RunUntil(120 * sim.Second)
 
 	res := &Result{Figure: "19", Title: "Lossy return paths"}
-	res.Series = append(res.Series, &mT.Series)
+	res.Series = append(res.Series, mT.Series)
 	for _, m := range meters {
-		res.Series = append(res.Series, &m.Series)
+		res.Series = append(res.Series, m.Series)
 	}
 	for i, m := range meters {
 		res.Notes = append(res.Notes, fmt.Sprintf("TCP with %.0f%% reverse loss: %.0f Kbit/s",

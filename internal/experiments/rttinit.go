@@ -9,8 +9,8 @@ import (
 )
 
 func init() {
-	register("12", "Rate of initial RTT measurements (1000 receivers)", Figure12)
-	register("13", "Responsiveness to changes in the RTT", Figure13)
+	register("12", "Rate of initial RTT measurements (1000 receivers)", 35.6, Figure12)
+	register("13", "Responsiveness to changes in the RTT", 31.7, Figure13)
 }
 
 // Figure12 tracks how many of 1000 receivers behind a single bottleneck

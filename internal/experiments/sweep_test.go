@@ -38,7 +38,7 @@ func miniSession(c *RunCtx, seed int64) *Result {
 	e.sch.RunUntil(8 * sim.Second)
 
 	res := &Result{Figure: "mini", Title: "mini session"}
-	res.Series = append(res.Series, &m.Series)
+	res.Series = append(res.Series, m.Series)
 	cnt := &stats.Series{Name: "counters"}
 	cnt.Add(0, float64(sess.Sender.Rate()))
 	cnt.Add(0, float64(e.sch.Processed()))

@@ -43,6 +43,24 @@ func (a *Arena) Take(key string) any {
 	return x
 }
 
+// Pooled is the standard arena take-or-build pattern shared by every
+// pooled constructor: return the object built at the same point of a
+// previous run — rewound by the caller-supplied function — or build a
+// fresh one and record it. A nil arena (reuse disabled) always builds.
+func Pooled[T any](a *Arena, key string, build func() T, rewind func(T)) T {
+	if a == nil {
+		return build()
+	}
+	if old := a.Take(key); old != nil {
+		x := old.(T)
+		rewind(x)
+		return x
+	}
+	x := build()
+	a.Put(key, x)
+	return x
+}
+
 // Put records a freshly built object so later runs can reuse it.
 func (a *Arena) Put(key string, x any) {
 	p := a.pools[key]

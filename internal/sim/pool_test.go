@@ -13,7 +13,7 @@ func TestTimerReapOnStop(t *testing.T) {
 	s := NewScheduler()
 	timers := make([]Timer, 1000)
 	for i := range timers {
-		timers[i] = s.After(3600 * Second, func() {})
+		timers[i] = s.After(3600*Second, func() {})
 	}
 	if s.Pending() != 1000 {
 		t.Fatalf("Pending = %d, want 1000", s.Pending())
@@ -39,7 +39,7 @@ func TestTimerReapOnStop(t *testing.T) {
 // a workload that never drains: the queue must stay bounded.
 func TestTimerChurnBounded(t *testing.T) {
 	s := NewScheduler()
-	s.After(3600 * Second, func() {}) // one long-lived live event
+	s.After(3600*Second, func() {}) // one long-lived live event
 	var tm Timer
 	for i := 0; i < 100000; i++ {
 		tm.Stop()

@@ -386,6 +386,12 @@ func (n *Network) invalidateGroup(g GroupID) {
 // AllocPacket returns a packet from the network's free list. The network
 // reclaims it after the final delivery (or drop), so handlers must copy
 // anything they need to keep; senders must not touch it after Send.
+//
+// A recycled packet keeps its last Payload: protocols that box a pooled
+// header pointer (e.g. *tfmcc.Data) can reuse the box when the type
+// matches and overwrite the Payload otherwise, making their steady-state
+// send path allocation-free. The header box follows the packet's
+// lifetime, so it is never still referenced when handed out again.
 func (n *Network) AllocPacket() *Packet {
 	if k := len(n.freePkts); k > 0 {
 		p := n.freePkts[k-1]
@@ -396,11 +402,13 @@ func (n *Network) AllocPacket() *Packet {
 }
 
 // releasePkt drops one reference; the last reference of a pooled packet
-// recycles it onto the free list.
+// recycles it onto the free list. The Payload survives recycling (see
+// AllocPacket); everything else is zeroed.
 func (n *Network) releasePkt(p *Packet) {
 	p.refs--
 	if p.refs == 0 && p.pooled {
-		*p = Packet{pooled: true}
+		payload := p.Payload
+		*p = Packet{pooled: true, Payload: payload}
 		n.freePkts = append(n.freePkts, p)
 	}
 }

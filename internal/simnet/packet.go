@@ -30,7 +30,8 @@ type Addr struct {
 // recycled. Packets from Network.AllocPacket belong to the network once
 // sent: the network reference-counts the multicast fan-out and returns
 // them to a free list after the last delivery or drop, so handlers must
-// copy anything they keep.
+// copy anything they keep. A recycled packet retains its Payload so
+// protocols can reuse a pooled header box (see AllocPacket).
 type Packet struct {
 	Size    int  // bytes on the wire
 	Src     Addr // originating agent

@@ -101,8 +101,10 @@ func (s *Series) TSV() string {
 
 // Meter accumulates bytes and periodically emits throughput samples in
 // Kbit/s, like the ns-2 throughput monitors behind the paper's figures.
+// Series is a pointer so a pooled meter can be re-armed with a fresh
+// series while results that captured the previous run's series keep it.
 type Meter struct {
-	Series   Series
+	Series   *Series
 	Interval sim.Time
 
 	sched      *sim.Scheduler
@@ -114,7 +116,18 @@ type Meter struct {
 // NewMeter creates a meter that samples every interval once Start is
 // called.
 func NewMeter(name string, sched *sim.Scheduler, interval sim.Time) *Meter {
-	return &Meter{Series: Series{Name: name}, Interval: interval, sched: sched}
+	return &Meter{Series: &Series{Name: name}, Interval: interval, sched: sched}
+}
+
+// Reset re-arms a (possibly pooled) meter for a new run: counters
+// zeroed, sampling stopped until the next Start, and a fresh Series —
+// never the old one, which a previous run's results may still reference.
+func (m *Meter) Reset(name string, sched *sim.Scheduler, interval sim.Time) {
+	m.Series = &Series{Name: name}
+	m.Interval = interval
+	m.sched = sched
+	m.bytes, m.totalBytes = 0, 0
+	m.started = false
 }
 
 // Start begins periodic sampling.
@@ -126,13 +139,16 @@ func (m *Meter) Start() {
 	m.tick()
 }
 
-func (m *Meter) tick() {
-	m.sched.After(m.Interval, func() {
-		kbps := float64(m.bytes) * 8 / m.Interval.Seconds() / 1000
-		m.Series.Add(m.sched.Now(), kbps)
-		m.bytes = 0
-		m.tick()
-	})
+// tick arms the next sample without allocating: one package-level
+// callback, with the meter itself as the event argument.
+func (m *Meter) tick() { m.sched.AfterArg(m.Interval, meterSample, m) }
+
+func meterSample(a any) {
+	m := a.(*Meter)
+	kbps := float64(m.bytes) * 8 / m.Interval.Seconds() / 1000
+	m.Series.Add(m.sched.Now(), kbps)
+	m.bytes = 0
+	m.tick()
 }
 
 // Add records delivered bytes.

@@ -49,6 +49,11 @@ func (c Config) Normalized() Config {
 // Seed returns the i-th seed of the sweep.
 func (c Config) Seed(i int) int64 { return c.Base + int64(i)*c.Step }
 
+// Index returns the sweep index of a seed produced by Seed — the inverse
+// mapping callers use to file per-seed results in seed order. The config
+// must be normalized (Step != 0).
+func (c Config) Index(seed int64) int { return int((seed - c.Base) / c.Step) }
+
 // RunFunc produces one seed's series. worker identifies the executing
 // worker (0..Workers-1) so implementations can reuse per-worker arenas; a
 // RunFunc must be callable concurrently for distinct worker values.

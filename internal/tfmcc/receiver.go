@@ -36,6 +36,7 @@ type Receiver struct {
 
 	round     int
 	fbTimer   sim.Timer
+	fbData    Data    // round-start data snapshot the pending feedback fires with
 	fbValue   float64 // planned report rate (bytes/s) guarding cancellation
 	fbHasLoss bool
 	isCLR     bool
@@ -71,17 +72,9 @@ const receiverArenaKey = "tfmcc.Receiver"
 // rewound and returned instead of allocating a new one.
 func NewReceiver(id ReceiverID, net *simnet.Network, node simnet.NodeID, port simnet.Port,
 	sender simnet.Addr, group simnet.GroupID, cfg Config, rng *sim.Rand) *Receiver {
-	if a := net.Arena(); a != nil {
-		if old := a.Take(receiverArenaKey); old != nil {
-			r := old.(*Receiver)
-			r.rewind(id, net, node, port, sender, group, cfg, rng)
-			return r
-		}
-		r := newReceiver(id, net, node, port, sender, group, cfg, rng)
-		a.Put(receiverArenaKey, r)
-		return r
-	}
-	return newReceiver(id, net, node, port, sender, group, cfg, rng)
+	return sim.Pooled(net.Arena(), receiverArenaKey,
+		func() *Receiver { return newReceiver(id, net, node, port, sender, group, cfg, rng) },
+		func(r *Receiver) { r.rewind(id, net, node, port, sender, group, cfg, rng) })
 }
 
 func newReceiver(id ReceiverID, net *simnet.Network, node simnet.NodeID, port simnet.Port,
@@ -99,7 +92,7 @@ func newReceiver(id ReceiverID, net *simnet.Network, node simnet.NodeID, port si
 		rtte:   rtt.NewEstimator(cfg.RTT),
 		round:  -1,
 	}
-	net.Bind(r.addr, simnet.HandlerFunc(r.recv))
+	net.Bind(r.addr, r)
 	net.Join(group, node)
 	return r
 }
@@ -132,6 +125,7 @@ func (r *Receiver) rewind(id ReceiverID, net *simnet.Network, node simnet.NodeID
 	r.rw.reset()
 	r.round = -1
 	r.fbTimer = sim.Timer{}
+	r.fbData = Data{}
 	r.fbValue = 0
 	r.fbHasLoss = false
 	r.isCLR = false
@@ -147,7 +141,7 @@ func (r *Receiver) rewind(id ReceiverID, net *simnet.Network, node simnet.NodeID
 	r.Meter = nil
 	r.Trace = nil
 	r.lastSuppress = 0
-	net.Bind(r.addr, simnet.HandlerFunc(r.recv))
+	net.Bind(r.addr, r)
 	net.Join(group, node)
 }
 
@@ -195,7 +189,7 @@ func (r *Receiver) Leave() {
 	pkt.Size = r.cfg.ReportSize
 	pkt.Src = r.addr
 	pkt.Dst = r.sender
-	pkt.Payload = Report{
+	*reportBox(pkt) = Report{
 		From:      r.id,
 		Timestamp: r.sch.Now(),
 		Leave:     true,
@@ -204,11 +198,16 @@ func (r *Receiver) Leave() {
 	r.net.Leave(r.group, r.addr.Node)
 }
 
-func (r *Receiver) recv(pkt *simnet.Packet) {
-	d, ok := pkt.Payload.(Data)
+// Recv implements simnet.Handler (binding the receiver itself avoids the
+// per-run closure a HandlerFunc wrapper would allocate). Data headers are
+// pooled *Data boxes owned by the packet, so the header is copied out
+// before anything is kept.
+func (r *Receiver) Recv(pkt *simnet.Packet) {
+	dp, ok := pkt.Payload.(*Data)
 	if !ok || r.left {
 		return
 	}
+	d := *dp
 	now := r.sch.Now()
 	r.PacketsRecv++
 	if r.Meter != nil {
@@ -395,7 +394,16 @@ func (r *Receiver) startRound(d Data, now sim.Time) {
 	delay := fb.Delay(x, r.rng.Float64())
 	r.fbValue = value
 	r.fbHasLoss = hasLoss
-	r.fbTimer = r.sch.After(delay, func() { r.fireFeedback(d) })
+	r.fbData = d
+	r.fbTimer = r.sch.AfterArg(delay, receiverFireFeedback, r)
+}
+
+// receiverFireFeedback is the feedback timer's closure-free callback:
+// the round-start snapshot rides in r.fbData instead of a per-round
+// closure capture.
+func receiverFireFeedback(a any) {
+	r := a.(*Receiver)
+	r.fireFeedback(r.fbData)
 }
 
 func (r *Receiver) roundConfig(d Data) feedback.Config {
@@ -490,7 +498,7 @@ func (r *Receiver) sendReport(now sim.Time) {
 	pkt.Size = r.cfg.ReportSize
 	pkt.Src = r.addr
 	pkt.Dst = r.sender
-	pkt.Payload = Report{
+	*reportBox(pkt) = Report{
 		From:      r.id,
 		Timestamp: now,
 		EchoTS:    r.lastData.SendTime,
@@ -504,6 +512,18 @@ func (r *Receiver) sendReport(now sim.Time) {
 		Round:     r.round,
 	}
 	r.net.Send(pkt)
+}
+
+// reportBox returns the packet's pooled Report header, allocating one
+// only the first time a recycled packet carries a report (recycled
+// packets keep their header box; see Network.AllocPacket).
+func reportBox(pkt *simnet.Packet) *Report {
+	rp, ok := pkt.Payload.(*Report)
+	if !ok {
+		rp = new(Report)
+		pkt.Payload = rp
+	}
+	return rp
 }
 
 func (r *Receiver) cancelTimer() {

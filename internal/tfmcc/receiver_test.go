@@ -27,20 +27,21 @@ func newBareRig(cfg Config) *bareRig {
 	rig := &bareRig{sch: sch, net: net}
 	senderAddr := simnet.Addr{Node: snd, Port: 100}
 	net.Bind(senderAddr, simnet.HandlerFunc(func(p *simnet.Packet) {
-		if rep, ok := p.Payload.(Report); ok {
-			rig.reports = append(rig.reports, rep)
+		if rep, ok := p.Payload.(*Report); ok {
+			rig.reports = append(rig.reports, *rep)
 		}
 	}))
 	rig.rcv = NewReceiver(0, net, rn, 100, senderAddr, 1, cfg, sim.NewRand(2))
 	return rig
 }
 
-// inject delivers a Data packet to the receiver as if multicast.
+// inject delivers a Data packet to the receiver as if multicast. The
+// header is boxed as *Data, matching what Sender.transmit sends.
 func (r *bareRig) inject(d Data, size int) {
 	r.net.Send(&simnet.Packet{
 		Size: size, Src: simnet.Addr{Node: 0, Port: 100},
 		Dst: simnet.Addr{Port: 100}, Group: 1, IsMcast: true,
-		Payload: d,
+		Payload: &d,
 	})
 	r.sch.Run()
 }

@@ -2,7 +2,6 @@ package tfmcc
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -91,9 +90,23 @@ const (
 	echoClassCLR
 )
 
+// senderArenaKey pools senders on reuse-enabled networks, so rewound
+// runs recycle the sender struct, its report map and echo queue instead
+// of rebuilding them.
+const senderArenaKey = "tfmcc.Sender"
+
 // NewSender creates a sender on the given node sending to group. Reports
-// are received on addr.
+// are received on addr. On a reuse-enabled network the sender built at
+// the same point of a previous run is rewound and returned instead of
+// allocating a new one.
 func NewSender(net *simnet.Network, node simnet.NodeID, port simnet.Port,
+	group simnet.GroupID, cfg Config) *Sender {
+	return sim.Pooled(net.Arena(), senderArenaKey,
+		func() *Sender { return newSender(net, node, port, group, cfg) },
+		func(s *Sender) { s.rewind(net, node, port, group, cfg) })
+}
+
+func newSender(net *simnet.Network, node simnet.NodeID, port simnet.Port,
 	group simnet.GroupID, cfg Config) *Sender {
 	s := &Sender{
 		cfg:          cfg,
@@ -111,8 +124,53 @@ func NewSender(net *simnet.Network, node simnet.NodeID, port simnet.Port,
 		reports:      map[ReceiverID]reportInfo{},
 		minRecvRound: math.Inf(1),
 	}
-	net.Bind(s.addr, simnet.HandlerFunc(s.recv))
+	net.Bind(s.addr, s)
 	return s
+}
+
+// rewind restores a pooled sender to the state newSender would have
+// produced, reusing the report map, echo queue and RTT window storage.
+// Bit-for-bit equivalence with a fresh sender keeps rewound runs
+// deterministic.
+func (s *Sender) rewind(net *simnet.Network, node simnet.NodeID, port simnet.Port,
+	group simnet.GroupID, cfg Config) {
+	s.cfg = cfg
+	s.net = net
+	s.sch = net.Scheduler()
+	s.addr = simnet.Addr{Node: node, Port: port}
+	s.group = group
+	s.running = false
+	s.seq = 0
+	s.rate = cfg.InitialRate
+	s.target = cfg.InitialRate
+	s.slowstart = true
+	s.minRecvRound = math.Inf(1)
+	s.round = 0
+	s.roundT = 0
+	s.roundTimer = sim.Timer{}
+	s.suppressRate = math.Inf(1)
+	s.suppressLoss = false
+	s.maxRTT = cfg.RTT.InitialRTT
+	s.roundRTT = 0
+	s.roundNoRTT = false
+	s.rttWindow = s.rttWindow[:0]
+	s.clr = noReceiver
+	s.clrRate = 0
+	s.clrRTT = 0
+	s.lastCLRReport = 0
+	s.newCLREcho = false
+	s.prevCLR = noReceiver
+	s.prevCLRRate = 0
+	s.prevCLRExpires = 0
+	s.echoQ = s.echoQ[:0]
+	s.clrEcho = echoEntry{}
+	clear(s.reports)
+	s.rampTimer = sim.Timer{}
+	s.PacketsSent = 0
+	s.ReportsRecv = 0
+	s.CLRChanges = 0
+	s.Trace = nil
+	net.Bind(s.addr, s)
 }
 
 // Start begins transmission and the feedback round schedule.
@@ -144,18 +202,34 @@ func (s *Sender) Round() int { return s.round }
 // MaxRTT returns the sender's view of the maximum receiver RTT.
 func (s *Sender) MaxRTT() sim.Time { return s.maxRTT }
 
+// Closure-free scheduler callbacks: one package-level function per event
+// kind, with the sender as the argument, so the steady-state send loop
+// and round clock never allocate (sim.AfterArg boxes nothing for
+// pointers).
+func senderSendLoop(a any)     { a.(*Sender).sendLoop() }
+func senderAdvanceRound(a any) { a.(*Sender).advanceRound() }
+func senderRampTick(a any)     { a.(*Sender).rampTick() }
+
 func (s *Sender) sendLoop() {
 	if !s.running {
 		return
 	}
 	s.transmit()
 	gap := sim.FromSeconds(float64(s.cfg.PacketSize) / s.rate)
-	s.sch.After(gap, s.sendLoop)
+	s.sch.AfterArg(gap, senderSendLoop, s)
 }
 
 func (s *Sender) transmit() {
 	now := s.sch.Now()
-	d := Data{
+	pkt := s.net.AllocPacket()
+	// Recycled packets keep their header box: reusing it makes the
+	// steady-state data path allocation-free (see Network.AllocPacket).
+	d, ok := pkt.Payload.(*Data)
+	if !ok {
+		d = new(Data)
+		pkt.Payload = d
+	}
+	*d = Data{
 		Seq:          s.seq,
 		SendTime:     now,
 		Rate:         s.rate,
@@ -175,38 +249,61 @@ func (s *Sender) transmit() {
 	}
 	s.seq++
 	s.PacketsSent++
-	pkt := s.net.AllocPacket()
 	pkt.Size = s.cfg.PacketSize
 	pkt.Src = s.addr
 	pkt.Dst = simnet.Addr{Port: s.addr.Port}
 	pkt.Group = s.group
 	pkt.IsMcast = true
-	pkt.Payload = d
 	s.net.Send(pkt)
 }
 
 // popEcho picks the highest-priority pending echo, falling back to the
-// CLR's last report.
+// CLR's last report. The queue is kept sorted with a hand-rolled stable
+// insertion sort — identical ordering to the sort.SliceStable it
+// replaces, but allocation-free on the per-packet path — and popped by
+// copying down so the backing array never drifts.
 func (s *Sender) popEcho() echoEntry {
-	if len(s.echoQ) > 0 {
-		sort.SliceStable(s.echoQ, func(i, j int) bool {
-			if s.echoQ[i].class != s.echoQ[j].class {
-				return s.echoQ[i].class < s.echoQ[j].class
-			}
-			return s.echoQ[i].rate < s.echoQ[j].rate
-		})
-		e := s.echoQ[0]
-		s.echoQ = s.echoQ[1:]
-		return e
+	if len(s.echoQ) == 0 {
+		return s.clrEcho
 	}
-	return s.clrEcho
+	sortEchoes(s.echoQ)
+	e := s.echoQ[0]
+	copy(s.echoQ, s.echoQ[1:])
+	s.echoQ = s.echoQ[:len(s.echoQ)-1]
+	return e
 }
 
-func (s *Sender) recv(pkt *simnet.Packet) {
-	rep, ok := pkt.Payload.(Report)
+func echoLess(a, b echoEntry) bool {
+	if a.class != b.class {
+		return a.class < b.class
+	}
+	return a.rate < b.rate
+}
+
+// sortEchoes is a stable insertion sort (the queue is capped at 64
+// entries and usually nearly sorted already).
+func sortEchoes(q []echoEntry) {
+	for i := 1; i < len(q); i++ {
+		e := q[i]
+		j := i
+		for j > 0 && echoLess(e, q[j-1]) {
+			q[j] = q[j-1]
+			j--
+		}
+		q[j] = e
+	}
+}
+
+// Recv implements simnet.Handler (binding the sender itself avoids the
+// per-run closure a HandlerFunc wrapper would allocate). Reports are
+// carried as pooled *Report boxes owned by the packet; everything kept
+// past this call is copied.
+func (s *Sender) Recv(pkt *simnet.Packet) {
+	rp, ok := pkt.Payload.(*Report)
 	if !ok || !s.running {
 		return
 	}
+	rep := *rp
 	now := s.sch.Now()
 	s.ReportsRecv++
 	if s.Trace != nil {
@@ -454,7 +551,7 @@ func (s *Sender) ensureRamp() {
 		return
 	}
 	rtt := s.rampRTT()
-	s.rampTimer = s.sch.After(rtt, s.rampTick)
+	s.rampTimer = s.sch.AfterArg(rtt, senderRampTick, s)
 }
 
 func (s *Sender) rampRTT() sim.Time {
@@ -477,7 +574,7 @@ func (s *Sender) rampTick() {
 		s.setRate(math.Min(s.target, s.rate+step))
 	}
 	if s.target > s.rate {
-		s.rampTimer = s.sch.After(s.rampRTT(), s.rampTick)
+		s.rampTimer = s.sch.AfterArg(s.rampRTT(), senderRampTick, s)
 	}
 }
 
@@ -539,5 +636,5 @@ func (s *Sender) advanceRound() {
 	if s.Trace != nil {
 		s.Trace.Add(now, trace.CatRound, s.round, s.roundT.Seconds())
 	}
-	s.roundTimer = s.sch.After(s.roundT, s.advanceRound)
+	s.roundTimer = s.sch.AfterArg(s.roundT, senderAdvanceRound, s)
 }

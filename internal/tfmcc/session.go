@@ -18,8 +18,21 @@ type Session struct {
 	rng *sim.Rand
 }
 
-// NewSession creates a session with the sender on senderNode.
+// sessionArenaKey pools session shells (receiver slice included) on
+// reuse-enabled networks.
+const sessionArenaKey = "tfmcc.Session"
+
+// NewSession creates a session with the sender on senderNode. On a
+// reuse-enabled network the session (and its sender, via NewSender) is
+// recycled from the arena instead of allocated.
 func NewSession(net *simnet.Network, senderNode simnet.NodeID, group simnet.GroupID,
+	port simnet.Port, cfg Config, rng *sim.Rand) *Session {
+	return sim.Pooled(net.Arena(), sessionArenaKey,
+		func() *Session { return newSession(net, senderNode, group, port, cfg, rng) },
+		func(s *Session) { s.rewind(net, senderNode, group, port, cfg, rng) })
+}
+
+func newSession(net *simnet.Network, senderNode simnet.NodeID, group simnet.GroupID,
 	port simnet.Port, cfg Config, rng *sim.Rand) *Session {
 	return &Session{
 		Cfg:    cfg,
@@ -29,6 +42,19 @@ func NewSession(net *simnet.Network, senderNode simnet.NodeID, group simnet.Grou
 		Sender: NewSender(net, senderNode, port, group, cfg),
 		rng:    rng,
 	}
+}
+
+// rewind restores a pooled session to the state newSession would have
+// produced, reusing the receiver slice's backing array.
+func (s *Session) rewind(net *simnet.Network, senderNode simnet.NodeID, group simnet.GroupID,
+	port simnet.Port, cfg Config, rng *sim.Rand) {
+	s.Cfg = cfg
+	s.Net = net
+	s.Group = group
+	s.Port = port
+	s.Sender = NewSender(net, senderNode, port, group, cfg)
+	s.Receivers = s.Receivers[:0]
+	s.rng = rng
 }
 
 // AddReceiver joins a receiver on the given node and returns it.
