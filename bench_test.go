@@ -53,6 +53,15 @@ func BenchmarkFigure19(b *testing.B) { benchFigure(b, "19") }
 func BenchmarkFigure20(b *testing.B) { benchFigure(b, "20") }
 func BenchmarkFigure21(b *testing.B) { benchFigure(b, "21") }
 
+// Scenario presets ride the same harness as the figures.
+func BenchmarkScenarioDeeptree(b *testing.B)   { benchFigure(b, "deeptree") }
+func BenchmarkScenarioDegrade(b *testing.B)    { benchFigure(b, "degrade") }
+func BenchmarkScenarioFlashcrowd(b *testing.B) { benchFigure(b, "flashcrowd") }
+func BenchmarkScenarioMassleave(b *testing.B)  { benchFigure(b, "massleave") }
+func BenchmarkScenarioTCPBurst(b *testing.B)   { benchFigure(b, "tcpburst") }
+func BenchmarkScenarioWireless(b *testing.B)   { benchFigure(b, "wireless") }
+func BenchmarkScenarioChainloss(b *testing.B)  { benchFigure(b, "chainloss") }
+
 func benchAblation(b *testing.B, run func(*experiments.RunCtx, int64) *experiments.Result) {
 	b.Helper()
 	b.ReportAllocs()

@@ -8,17 +8,23 @@
 //	tfmccbench [-seeds n] [-workers m] [-only 1,7,15] [-o BENCH_engine.json]
 //	tfmccbench -list
 //	tfmccbench -shard 2/3 [-o BENCH_engine.shard-2-of-3.json]
+//	tfmccbench -seedshard 2/3 [-o BENCH_engine.seedshard-2-of-3.json]
 //	tfmccbench -merge BENCH_engine.shard-*-of-3.json [-o BENCH_engine.json]
 //
-// The measured plan is the figure registry in enumeration order plus the
-// 100-receiver session micro-scenario. -list prints it with tags and
-// cost weights; -only selects a subset; -shard i/N runs the i-th of N
-// cost-balanced partitions and (by default) writes a shard fragment
-// named after the split. -merge recombines a complete fragment set into
-// the report an unsharded run would have produced: with -deterministic
-// (which strips wall-clock, rate and allocation fields from any output)
-// the merged file is byte-identical to an unsharded run, which CI
-// md5-checks.
+// The measured plan is the figure registry in enumeration order (paper
+// figures plus scenario presets) and the 100-receiver session
+// micro-scenario. -list prints it with tags and cost weights; -only
+// selects a subset; -shard i/N runs the i-th of N cost-balanced
+// partitions and (by default) writes a shard fragment named after the
+// split. -seedshard i/N instead runs the WHOLE plan over the i-th
+// contiguous sub-range of the seeds — the split that keeps one expensive
+// figure (12, 13) from dominating a scenario shard. -merge recombines a
+// complete fragment set of either kind into the report an unsharded run
+// would have produced: with -deterministic (which strips wall-clock,
+// rate and allocation fields from any output) the merged file is
+// byte-identical to an unsharded run, which CI md5-checks. -summary
+// writes a per-fragment wall-clock markdown table (for the CI job
+// summary) when merging.
 //
 // Each scenario is swept across -seeds independent seeds fanned out over
 // -workers goroutines; every worker owns a reusable simulation arena, so
@@ -51,8 +57,10 @@ func main() {
 	figures := flag.String("figures", "", "deprecated alias for -only")
 	session := flag.Bool("session", true, "include the 100-receiver session micro-scenario")
 	shard := flag.String("shard", "", "run shard i/N of the plan (e.g. 2/3)")
+	seedshard := flag.String("seedshard", "", "run the whole plan over seed sub-range i/N (e.g. 2/3)")
 	merge := flag.Bool("merge", false, "merge the fragment files given as arguments instead of measuring")
 	det := flag.Bool("deterministic", false, "strip timing-dependent fields so output is byte-comparable across runs")
+	summary := flag.String("summary", "", "with -merge: append a per-fragment wall-clock markdown table to this file")
 	out := flag.String("o", "", "output file ('-' for stdout; default BENCH_engine.json, or the shard fragment name)")
 	flag.Parse()
 	if *nOld > 0 {
@@ -63,8 +71,11 @@ func main() {
 	}
 
 	if *merge {
-		runMerge(flag.Args(), *det, *out)
+		runMerge(flag.Args(), *det, *out, *summary)
 		return
+	}
+	if *shard != "" && *seedshard != "" {
+		fatalf("-shard and -seedshard are mutually exclusive")
 	}
 	if flag.NArg() > 0 {
 		fatalf("unexpected arguments %v (fragment files are only valid with -merge)", flag.Args())
@@ -89,6 +100,7 @@ func main() {
 
 	items := plan
 	outPath := *out
+	opt := benchreport.Options{Seeds: *seeds, Workers: *workers}
 	var shardSpec string
 	if *shard != "" {
 		i, n, err := benchreport.ParseShardSpec(*shard)
@@ -104,11 +116,26 @@ func main() {
 			outPath = fmt.Sprintf("BENCH_engine.shard-%d-of-%d.json", i, n)
 		}
 	}
+	if *seedshard != "" {
+		i, n, err := benchreport.ParseShardSpec(*seedshard)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		base, count, err := benchreport.SeedRange(*seeds, i, n)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opt.SeedBase, opt.TotalSeeds, opt.Seeds = base, *seeds, count
+		opt.SeedShard = fmt.Sprintf("%d/%d", i, n)
+		if outPath == "" {
+			outPath = fmt.Sprintf("BENCH_engine.seedshard-%d-of-%d.json", i, n)
+		}
+	}
 	if outPath == "" {
 		outPath = "BENCH_engine.json"
 	}
 
-	rep := benchreport.Measure(items, plan, *seeds, *workers, os.Stderr)
+	rep := benchreport.MeasureOpts(items, plan, opt, os.Stderr)
 	rep.Shard = shardSpec
 	if *det {
 		rep = rep.Strip()
@@ -122,7 +149,7 @@ func main() {
 }
 
 // runMerge recombines shard fragments into one report.
-func runMerge(paths []string, det bool, out string) {
+func runMerge(paths []string, det bool, out, summary string) {
 	if len(paths) == 0 {
 		fatalf("-merge needs fragment files as arguments")
 	}
@@ -138,7 +165,24 @@ func runMerge(paths []string, det bool, out string) {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	if det {
+	if summary != "" {
+		if err := appendSummary(summary, rep); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	for _, fr := range rep.Fragments {
+		id := fr.Shard
+		kind := "shard"
+		if id == "" {
+			id, kind = fr.SeedShard, "seedshard"
+		}
+		fmt.Fprintf(os.Stderr, "fragment %s %-5s %3d scenarios %8.1fs wall\n",
+			kind, id, fr.Scenarios, float64(fr.WallNS)/1e9)
+	}
+	if det || rep.Deterministic {
+		// Deterministic inputs promise byte-comparability of the output:
+		// re-strip so merge bookkeeping (fragment metadata, wall time)
+		// cannot leak in and break the identity with an unsharded run.
 		rep = rep.Strip()
 	}
 	if out == "" {
@@ -151,6 +195,26 @@ func runMerge(paths []string, det bool, out string) {
 		fmt.Fprintf(os.Stderr, "merged %d fragments into %s (%d scenarios)\n",
 			len(paths), out, len(rep.Scenarios))
 	}
+}
+
+// appendSummary appends the per-fragment wall-clock table (markdown, for
+// the CI fan-in job summary) to path.
+func appendSummary(path string, rep *benchreport.Report) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "### Bench shard wall-clock\n\n| fragment | scenarios | wall |\n|---|---:|---:|\n")
+	for _, fr := range rep.Fragments {
+		id := "shard " + fr.Shard
+		if fr.Shard == "" {
+			id = "seedshard " + fr.SeedShard
+		}
+		fmt.Fprintf(f, "| %s | %d | %.1fs |\n", id, fr.Scenarios, float64(fr.WallNS)/1e9)
+	}
+	fmt.Fprintf(f, "| **total** | %d | **%.1fs** |\n\n", len(rep.Scenarios), float64(rep.WallNS)/1e9)
+	return nil
 }
 
 func fatalf(format string, args ...any) {

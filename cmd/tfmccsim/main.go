@@ -1,5 +1,6 @@
 // Command tfmccsim regenerates the figures of the TFMCC paper
-// (Widmer & Handley, SIGCOMM 2001) from the Go reproduction.
+// (Widmer & Handley, SIGCOMM 2001) from the Go reproduction and runs
+// declarative scenarios from the preset registry.
 //
 // Usage:
 //
@@ -8,6 +9,14 @@
 //	tfmccsim -figure 9 -seeds 8 -workers 4   # 8-seed sweep, merged bands
 //	tfmccsim -all                            # run every figure
 //	tfmccsim -list                           # list available figures
+//	tfmccsim -scenario flashcrowd            # run a scenario preset
+//	tfmccsim -scenario 9 -duration 60 -coreloss 0.01   # overridden figure
+//
+// -scenario runs any Spec-backed registry entry — the named presets and
+// every single-scenario engine figure — through the generic scenario
+// executor, with the override flags (-duration, -corebw, -coredelay,
+// -coreloss, -corequeue, -edgeloss, -receivers, -fanout, -depth, -hops)
+// folded into the declarative spec before the run.
 //
 // With -seeds > 1 the figure is replicated across that many independent
 // seeds (fanned out over -workers goroutines, each reusing one simulation
@@ -28,27 +37,64 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/scenario"
+	"repro/internal/sim"
 	"repro/internal/sweep"
 )
 
 func main() {
 	var (
-		figure  = flag.String("figure", "", "figure id to reproduce (e.g. 9)")
+		figure  = flag.String("figure", "", "figure or preset id to reproduce (e.g. 9, flashcrowd)")
+		scen    = flag.String("scenario", "", "run a Spec-backed entry through the scenario executor (with overrides)")
 		all     = flag.Bool("all", false, "run every figure")
-		list    = flag.Bool("list", false, "list available figures")
+		list    = flag.Bool("list", false, "list available figures and presets")
 		tsv     = flag.Bool("tsv", false, "print full series as TSV instead of a summary")
 		seed    = flag.Int64("seed", 1, "random seed (first seed of a sweep)")
 		seeds   = flag.Int("seeds", 1, "number of independent seeds to sweep and merge")
 		workers = flag.Int("workers", runtime.NumCPU(), "parallel sweep workers (capped at -seeds)")
 		ci      = flag.Float64("ci", 0.95, "confidence level for the merged bands")
+
+		duration  = flag.Float64("duration", 0, "override: simulated seconds")
+		corebw    = flag.Float64("corebw", 0, "override: core link bandwidth in Mbit/s")
+		coredelay = flag.Float64("coredelay", 0, "override: core link delay in ms")
+		coreloss  = flag.Float64("coreloss", -1, "override: core link loss probability")
+		corequeue = flag.Int("corequeue", 0, "override: core queue limit in packets")
+		edgeloss  = flag.Float64("edgeloss", -1, "override: loss probability on each site's last (edge) hop, towards the receiver")
+		receivers = flag.Int("receivers", 0, "override: receiver population size")
+		fanout    = flag.Int("fanout", 0, "override: tree fan-out")
+		depth     = flag.Int("depth", 0, "override: tree depth")
+		hops      = flag.Int("hops", 0, "override: chain length")
 	)
 	flag.Parse()
 
 	switch {
 	case *list:
 		for _, e := range experiments.Entries() {
-			fmt.Printf("%-4s %-20s cost=%-6.2f %s\n",
+			fmt.Printf("%-10s %-26s cost=%-6.2f %s\n",
 				e.ID, "["+strings.Join(e.Tags, ",")+"]", e.Cost, e.Title)
+		}
+	case *scen != "":
+		ov := scenario.Overrides{
+			Duration:  sim.FromSeconds(*duration),
+			CoreBW:    *corebw * 125000,
+			CoreDelay: sim.Time(*coredelay * float64(sim.Millisecond)),
+			CoreLoss:  *coreloss,
+			CoreQueue: *corequeue,
+			EdgeLoss:  *edgeloss,
+			Receivers: *receivers,
+			Fanout:    *fanout,
+			Depth:     *depth,
+			Hops:      *hops,
+		}
+		res, err := experiments.RunOverridden(experiments.NewRunCtx(), *scen, ov, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *tsv {
+			fmt.Print(res.TSV())
+		} else {
+			fmt.Print(res.Summary())
 		}
 	case *all:
 		for _, id := range experiments.Figures() {

@@ -17,8 +17,8 @@ func TestPlanEnumeration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(plan) != 21 { // 20 figures + session
-		t.Fatalf("full plan has %d items, want 21", len(plan))
+	if len(plan) != 28 { // 20 figures + 7 scenario presets + session
+		t.Fatalf("full plan has %d items, want 28", len(plan))
 	}
 	for i, it := range plan {
 		if it.Seq != i {
@@ -35,8 +35,16 @@ func TestPlanEnumeration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(noSess) != 20 {
-		t.Fatalf("figure-only plan has %d items, want 20", len(noSess))
+	if len(noSess) != 27 {
+		t.Fatalf("sessionless plan has %d items, want 27", len(noSess))
+	}
+	// Scenario presets keep their names as report ids and are selectable.
+	sel, err := NewPlan([]string{"flashcrowd"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 1 || sel[0].ID != "flashcrowd" || sel[0].FigureID != "flashcrowd" {
+		t.Fatalf("preset selection wrong: %+v", sel)
 	}
 }
 
@@ -142,6 +150,121 @@ func TestShardErrors(t *testing.T) {
 		if _, _, err := ParseShardSpec(spec); err == nil {
 			t.Fatalf("ParseShardSpec(%q) must error", spec)
 		}
+	}
+}
+
+func TestSeedRange(t *testing.T) {
+	for _, c := range []struct {
+		total, n int
+		bases    []int64
+		counts   []int
+	}{
+		{4, 2, []int64{1, 3}, []int{2, 2}},
+		{5, 2, []int64{1, 4}, []int{3, 2}},
+		{7, 3, []int64{1, 4, 6}, []int{3, 2, 2}},
+		{3, 3, []int64{1, 2, 3}, []int{1, 1, 1}},
+	} {
+		for i := 1; i <= c.n; i++ {
+			base, count, err := SeedRange(c.total, i, c.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base != c.bases[i-1] || count != c.counts[i-1] {
+				t.Fatalf("SeedRange(%d, %d, %d) = (%d, %d), want (%d, %d)",
+					c.total, i, c.n, base, count, c.bases[i-1], c.counts[i-1])
+			}
+		}
+	}
+	if _, _, err := SeedRange(2, 1, 3); err == nil {
+		t.Fatal("more fragments than seeds must error")
+	}
+	if _, _, err := SeedRange(4, 0, 2); err == nil {
+		t.Fatal("shard 0 must error")
+	}
+}
+
+// measureSeedShard runs the cheap selection over one seed sub-range.
+func measureSeedShard(t *testing.T, shard, n, totalSeeds int) *Report {
+	t.Helper()
+	plan, err := NewPlan(cheapOnly, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, count, err := SeedRange(totalSeeds, shard, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := MeasureOpts(plan, plan, Options{
+		Seeds: count, SeedBase: base, TotalSeeds: totalSeeds, Workers: 1,
+		SeedShard: fmt.Sprintf("%d/%d", shard, n),
+	}, io.Discard)
+	return rep
+}
+
+// TestSeedMergeByteIdentical is the seed-sharding acceptance property:
+// merging the whole plan measured over disjoint seed sub-ranges
+// reproduces the full-range report byte-for-byte in deterministic form.
+func TestSeedMergeByteIdentical(t *testing.T) {
+	const totalSeeds = 4
+	plan, err := NewPlan(cheapOnly, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := MeasureOpts(plan, plan, Options{Seeds: totalSeeds, Workers: 1}, io.Discard)
+	want, err := full.Strip().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 3} {
+		frags := make([]*Report, n)
+		for i := 1; i <= n; i++ {
+			frags[i-1] = measureSeedShard(t, i, n, totalSeeds)
+		}
+		frags[0], frags[n-1] = frags[n-1], frags[0] // order must not matter
+		merged, err := Merge(frags)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(merged.Fragments) != n {
+			t.Fatalf("n=%d: merged report records %d fragments", n, len(merged.Fragments))
+		}
+		got, err := merged.Strip().Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("n=%d: seed-merged report differs from full-range run:\n%s\nvs\n%s", n, got, want)
+		}
+	}
+}
+
+func TestSeedMergeValidation(t *testing.T) {
+	a := measureSeedShard(t, 1, 2, 4)
+	b := measureSeedShard(t, 2, 2, 4)
+	if _, err := Merge([]*Report{a}); err == nil {
+		t.Fatal("incomplete seed fragment set must error")
+	}
+	if _, err := Merge([]*Report{a, a}); err == nil {
+		t.Fatal("duplicate seed shard must error")
+	}
+	scen := measure(t, 1, 2)
+	if _, err := Merge([]*Report{a, scen}); err == nil {
+		t.Fatal("mixing seed and scenario fragments must error")
+	}
+	gap := *b
+	gap.SeedBase = 4 // pretends to start one seed late
+	if _, err := Merge([]*Report{a, &gap}); err == nil {
+		t.Fatal("non-chaining seed ranges must error")
+	}
+	merged, err := Merge([]*Report{b, a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.SeedShard != "" || merged.SeedBase != 0 {
+		t.Fatalf("merged report still carries seed-shard identity: %q %d", merged.SeedShard, merged.SeedBase)
+	}
+	if merged.Seeds != 4 {
+		t.Fatalf("merged seeds = %d, want 4", merged.Seeds)
 	}
 }
 

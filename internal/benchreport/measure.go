@@ -32,12 +32,37 @@ func (m *Metrics) finish(wall time.Duration, st experiments.EngineStats, allocs 
 	}
 }
 
+// Options configure a measurement run.
+type Options struct {
+	Seeds    int   // seeds per scenario in this run
+	SeedBase int64 // first seed; 0 means 1
+	Workers  int
+	// TotalSeeds is the whole run's seed count when this is a seed-range
+	// fragment (recorded as the header Seeds so sibling fragments agree);
+	// 0 means Seeds.
+	TotalSeeds int
+	SeedShard  string // "i/N" stamped on seed-range fragments
+}
+
 // Measure runs every item of items (typically one shard of plan) and
-// returns the report. Progress lines go to progress (pass io.Discard to
-// silence). The header records the full plan — size and scenario ids —
-// so fragments from sibling shards can be merged and checked for
-// completeness against the same selection.
+// returns the report, like MeasureOpts with the default seed range.
 func Measure(items, plan []Item, seeds, workers int, progress io.Writer) *Report {
+	return MeasureOpts(items, plan, Options{Seeds: seeds, Workers: workers}, progress)
+}
+
+// MeasureOpts runs every item of items (typically one shard of plan, or
+// the whole plan over one seed sub-range) and returns the report.
+// Progress lines go to progress (pass io.Discard to silence). The header
+// records the full plan — size and scenario ids — so fragments from
+// sibling shards can be merged and checked for completeness against the
+// same selection.
+func MeasureOpts(items, plan []Item, opt Options, progress io.Writer) *Report {
+	if opt.SeedBase == 0 {
+		opt.SeedBase = 1
+	}
+	if opt.TotalSeeds == 0 {
+		opt.TotalSeeds = opt.Seeds
+	}
 	planIDs := make([]string, len(plan))
 	for i, it := range plan {
 		planIDs[i] = it.ID
@@ -47,18 +72,23 @@ func Measure(items, plan []Item, seeds, workers int, progress io.Writer) *Report
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
-		Seeds:     seeds,
-		Workers:   workers,
+		Seeds:     opt.TotalSeeds,
+		Workers:   opt.Workers,
 		PlanSize:  len(plan),
 		PlanIDs:   planIDs,
+		SeedShard: opt.SeedShard,
 		Scenarios: []Metrics{},
 	}
+	if opt.SeedBase != 1 {
+		rep.SeedBase = opt.SeedBase
+	}
+	start := time.Now()
 	for _, it := range items {
 		var m Metrics
 		if it.ID == SessionID {
-			m = measureSession(it, seeds)
+			m = measureSession(it, opt.SeedBase, opt.Seeds)
 		} else {
-			m = measureFigure(it, seeds, workers)
+			m = measureFigure(it, opt.SeedBase, opt.Seeds, opt.Workers)
 		}
 		rep.Scenarios = append(rep.Scenarios, m)
 		switch {
@@ -74,11 +104,12 @@ func Measure(items, plan []Item, seeds, workers int, progress io.Writer) *Report
 				m.ID, m.EventsPerSec, m.PacketsPerSec, m.NSPerEvent, m.AllocsPerEvt)
 		}
 	}
+	rep.WallNS = time.Since(start).Nanoseconds()
 	return rep
 }
 
 // measureFigure sweeps one registered figure across seeds in parallel.
-func measureFigure(it Item, seeds, workers int) Metrics {
+func measureFigure(it Item, base int64, seeds, workers int) Metrics {
 	m := Metrics{
 		ID: it.ID, Seq: it.Seq, Title: it.Title, Tags: it.Tags,
 		Runs: seeds, Analytic: it.Analytic,
@@ -86,7 +117,7 @@ func measureFigure(it Item, seeds, workers int) Metrics {
 	runtime.GC()
 	a0 := allocsNow()
 	start := time.Now()
-	res, err := experiments.Sweep(it.FigureID, sweep.Config{Seeds: seeds, Workers: workers, Base: 1})
+	res, err := experiments.Sweep(it.FigureID, sweep.Config{Seeds: seeds, Workers: workers, Base: base})
 	if err != nil {
 		panic(err) // unreachable: the plan only holds registered figures
 	}
@@ -99,7 +130,7 @@ func measureFigure(it Item, seeds, workers int) Metrics {
 // probes run the scenario for zero simulated seconds — construction only —
 // so the amortisation ratio isolates what arena reuse saves, undiluted by
 // run-phase allocations.
-func measureSession(it Item, seeds int) Metrics {
+func measureSession(it Item, base int64, seeds int) Metrics {
 	m := Metrics{ID: it.ID, Seq: it.Seq, Title: it.Title, Tags: it.Tags, Runs: seeds}
 	ctx := experiments.NewRunCtx()
 	runtime.GC()
@@ -119,7 +150,7 @@ func measureSession(it Item, seeds int) Metrics {
 	runtime.GC()
 	a0 = allocsNow()
 	start := time.Now()
-	for seed := int64(1); seed <= int64(seeds); seed++ {
+	for seed := base; seed < base+int64(seeds); seed++ {
 		ctx.SessionThroughputSeed(seed, 100, 10)
 	}
 	m.finish(time.Since(start), ctx.Stats(), allocsNow()-a0)

@@ -38,8 +38,12 @@ type Item struct {
 func NewPlan(only []string, includeSession bool) ([]Item, error) {
 	var all []Item
 	for _, e := range experiments.Entries() {
+		id := "figure" + e.ID
+		if e.HasTag(experiments.TagScenario) {
+			id = e.ID // presets keep their names in reports
+		}
 		all = append(all, Item{
-			ID:       "figure" + e.ID,
+			ID:       id,
 			FigureID: e.ID,
 			Title:    e.Title,
 			Analytic: e.Analytic(),
@@ -128,6 +132,35 @@ func Shard(items []Item, shard, n int) ([]Item, error) {
 		}
 	}
 	return out, nil
+}
+
+// SeedRange returns the contiguous seed sub-range shard i of n covers
+// when total seeds are split as evenly as possible (the first total%n
+// shards get one extra seed). Every scenario of the plan runs in every
+// seed fragment — the split is across the random streams, not the
+// scenarios — which is what lets one expensive figure's seeds spread
+// over machines instead of dominating a single shard.
+func SeedRange(total, shard, n int) (base int64, count int, err error) {
+	if n < 1 || shard < 1 || shard > n {
+		return 0, 0, fmt.Errorf("benchreport: invalid seed shard %d/%d", shard, n)
+	}
+	if n > total {
+		return 0, 0, fmt.Errorf("benchreport: cannot split %d seeds into %d fragments", total, n)
+	}
+	per, extra := total/n, total%n
+	base = 1
+	for i := 1; i < shard; i++ {
+		c := per
+		if i <= extra {
+			c++
+		}
+		base += int64(c)
+	}
+	count = per
+	if shard <= extra {
+		count++
+	}
+	return base, count, nil
 }
 
 // ParseShardSpec parses a "-shard i/N" flag value. The whole string must

@@ -69,10 +69,32 @@ type Report struct {
 	// Shard is "i/N" (1-based) on fragments, empty on full and merged
 	// reports.
 	Shard string `json:"shard,omitempty"`
+	// SeedShard is "i/N" on seed-range fragments: every scenario of the
+	// plan measured over a contiguous sub-range of the seeds (SeedBase
+	// up). Empty on full, scenario-sharded and merged reports.
+	SeedShard string `json:"seed_shard,omitempty"`
+	// SeedBase is the first seed this report measured (default 1).
+	SeedBase int64 `json:"seed_base,omitempty"`
+	// WallNS is the fragment's total measurement wall time — the number
+	// CI surfaces per shard to see how the matrix is balanced. Stripped
+	// in the deterministic form.
+	WallNS int64 `json:"wall_ns,omitempty"`
+	// Fragments, on a merged report, records each input fragment's
+	// identity and wall time for the fan-in job summary. Stripped in the
+	// deterministic form.
+	Fragments []FragmentMeta `json:"fragments,omitempty"`
 	// Deterministic marks a report stripped of timing-dependent fields,
 	// the form compared byte-for-byte across sharded and unsharded runs.
 	Deterministic bool      `json:"deterministic,omitempty"`
 	Scenarios     []Metrics `json:"scenarios"`
+}
+
+// FragmentMeta summarises one merged-in fragment for reporting.
+type FragmentMeta struct {
+	Shard     string `json:"shard,omitempty"`
+	SeedShard string `json:"seed_shard,omitempty"`
+	Scenarios int    `json:"scenarios"`
+	WallNS    int64  `json:"wall_ns"`
 }
 
 // Encode renders the report exactly as tfmccbench writes it to disk.
@@ -119,6 +141,8 @@ func (r *Report) Strip() *Report {
 	out := *r
 	out.Generated = ""
 	out.Deterministic = true
+	out.WallNS = 0
+	out.Fragments = nil
 	out.Scenarios = make([]Metrics, len(r.Scenarios))
 	for i, m := range r.Scenarios {
 		m.WallNS = 0

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/stats"
@@ -158,6 +159,15 @@ func (c *RunCtx) newEnv(seed int64) *env {
 	return e
 }
 
+// ScenarioEnv returns the next pooled simulation environment of the
+// current run, wrapped for the scenario executor. Scenario-spec runners
+// get the same arena reuse as hand-wired ones: rerunning the same figure
+// rewinds the cached topology and pooled protocol state.
+func (c *RunCtx) ScenarioEnv(seed int64) scenario.Env {
+	e := c.newEnv(seed)
+	return scenario.Env{Sch: e.sch, Net: e.net, Rng: e.rng}
+}
+
 // rewind restores the environment to the state newEnv would have built
 // fresh for seed. When the network cannot be rewound (reuse disabled or a
 // replay-incompatible construction), it is rebuilt from scratch — always
@@ -173,18 +183,12 @@ func (e *env) rewind(seed int64) {
 	e.rng.Reseed(seed + 7)
 }
 
-// meterArenaKey pools stats.Meter structs on reuse-enabled networks. A
-// rewound meter gets a fresh Series (a previous run's Result may still
-// reference the old one) but reuses the struct and its closure-free
-// sampling timer.
-const meterArenaKey = "stats.Meter"
-
 // newMeter returns a per-second throughput meter, pooled through the
-// network arena when the environment is reusable.
+// network arena when the environment is reusable. It delegates to the
+// scenario executor's helper so hand-wired runners and scenario-built
+// setups share one pool key and rewind recipe.
 func (e *env) newMeter(name string) *stats.Meter {
-	return sim.Pooled(e.net.Arena(), meterArenaKey,
-		func() *stats.Meter { return stats.NewMeter(name, e.sch, sim.Second) },
-		func(m *stats.Meter) { m.Reset(name, e.sch, sim.Second) })
+	return scenario.Env{Sch: e.sch, Net: e.net, Rng: e.rng}.NewMeter(name)
 }
 
 // addTCP wires a TCP flow from a fresh source node through `in` to a

@@ -7,31 +7,40 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"1", "2", "3", "4", "5", "6", "7", "9", "10", "11",
-		"12", "13", "14", "15", "16", "17", "18", "19", "20", "21"}
+		"12", "13", "14", "15", "16", "17", "18", "19", "20", "21",
+		"chainloss", "deeptree", "degrade", "flashcrowd", "massleave", "tcpburst", "wireless"}
 	for _, id := range want {
 		e, ok := Lookup(id)
 		if !ok {
-			t.Fatalf("figure %s not registered", id)
+			t.Fatalf("entry %s not registered", id)
 		}
 		if e.Title == "" {
-			t.Fatalf("figure %s has no title", id)
+			t.Fatalf("entry %s has no title", id)
 		}
 		if e.Cost <= 0 {
-			t.Fatalf("figure %s has no cost weight", id)
+			t.Fatalf("entry %s has no cost weight", id)
 		}
 		if e.HasTag(TagAnalytic) == e.HasTag(TagEngine) {
-			t.Fatalf("figure %s must carry exactly one of analytic/engine, got %v", id, e.Tags)
+			t.Fatalf("entry %s must carry exactly one of analytic/engine, got %v", id, e.Tags)
+		}
+		if e.HasTag(TagScenario) && e.Spec == nil {
+			t.Fatalf("scenario preset %s has no spec", id)
 		}
 	}
 	if len(Figures()) != len(want) {
-		t.Fatalf("registry has %d figures, want %d", len(Figures()), len(want))
+		t.Fatalf("registry has %d entries, want %d", len(Figures()), len(want))
 	}
 }
 
 func TestFiguresSortedNumerically(t *testing.T) {
 	ids := Figures()
-	if ids[0] != "1" || ids[len(ids)-1] != "21" {
-		t.Fatalf("figures not sorted numerically: %v", ids)
+	if ids[0] != "1" || ids[19] != "21" {
+		t.Fatalf("numeric figures must sort first, ascending: %v", ids)
+	}
+	for _, id := range ids[20:] {
+		if id[0] >= '0' && id[0] <= '9' {
+			t.Fatalf("numeric id %s after the named presets: %v", id, ids)
+		}
 	}
 }
 

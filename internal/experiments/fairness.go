@@ -3,92 +3,97 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/simnet"
-	"repro/internal/stats"
-	"repro/internal/tfmcc"
 )
 
 func init() {
-	register("9", "1 TFMCC and 15 TCP over one 8 Mbit/s bottleneck", 2.0, Figure9)
-	register("10", "1 TFMCC vs 16 TCP on individual 1 Mbit/s bottlenecks", 1.8, Figure10)
-	register("21", "Responsiveness to increased congestion", 2.2, Figure21)
+	registerSpec("9", "1 TFMCC and 15 TCP over one 8 Mbit/s bottleneck", 2.0, Figure9Spec, Figure9)
+	registerSpec("10", "1 TFMCC vs 16 TCP on individual 1 Mbit/s bottlenecks", 1.8, Figure10Spec, Figure10)
+	registerSpec("21", "Responsiveness to increased congestion", 2.2, Figure21Spec, Figure21)
+}
+
+// Figure9Spec declares the figure 9 scenario: one metered TFMCC receiver
+// behind the dumbbell plus 15 TCP flows across the bottleneck.
+func Figure9Spec() *scenario.Spec {
+	steps := []scenario.Step{
+		{Site: &scenario.SiteSpec{Parent: scenario.AttachPoint(0), Hops: []scenario.Hop{scenario.FastHop()}}},
+		{Recv: &scenario.RecvSpec{At: scenario.Site(0), Meter: "TFMCC"}},
+	}
+	for i := 0; i < 15; i++ {
+		steps = append(steps, scenario.Step{TCP: &scenario.TCPSpec{
+			Name: fmt.Sprintf("tcp%d", i), From: scenario.Core(0), To: scenario.Core(1),
+			Port: simnet.Port(10 + i), Meter: fmt.Sprintf("TCP %d", i+1)}})
+	}
+	return &scenario.Spec{
+		Name:  "figure9",
+		Title: "1 TFMCC and 15 TCP over one 8 Mbit/s bottleneck",
+		Topology: scenario.Topology{Kind: scenario.Dumbbell,
+			Core: scenario.LinkP{BW: 8 * mbit, Delay: 20 * sim.Millisecond, Queue: 80}},
+		Steps:    steps,
+		Duration: 200 * sim.Second,
+	}
 }
 
 // Figure9 runs one TFMCC flow against 15 TCP flows over a single 8 Mbit/s
 // bottleneck and reports the TFMCC rate plus two sample TCP rates over
 // time. Paper shape: matching means, smoother TFMCC.
 func Figure9(c *RunCtx, seed int64) *Result {
-	e := c.newEnv(seed)
-	r1 := e.net.AddNode("r1")
-	r2 := e.net.AddNode("r2")
-	e.net.AddDuplex(r1, r2, 8*mbit, 20*sim.Millisecond, 80)
-
-	snd := e.net.AddNode("tfmcc-src")
-	e.net.AddDuplex(snd, r1, 0, sim.Millisecond, 0)
-	sess := tfmcc.NewSession(e.net, snd, 1, 100, tfmcc.DefaultConfig(), e.rng)
-	rn := e.net.AddNode("tfmcc-rcv")
-	e.net.AddDuplex(r2, rn, 0, sim.Millisecond, 0)
-	rcv := sess.AddReceiver(rn)
-	mT := e.meterReceiver("TFMCC", rcv)
-
-	var tcpMeters []*stats.Meter
-	for i := 0; i < 15; i++ {
-		s, m := e.addTCP(fmt.Sprintf("TCP %d", i+1), r1, r2, simnet.Port(10+i))
-		s.Start()
-		tcpMeters = append(tcpMeters, m)
-	}
-	sess.Start()
-	e.sch.RunUntil(200 * sim.Second)
+	sc := scenario.Run(c.ScenarioEnv(seed), Figure9Spec())
+	mT := sc.Recvs[0].Meter
 
 	res := &Result{Figure: "9", Title: "1 TFMCC and 15 TCP over one 8 Mbit/s bottleneck"}
-	res.Series = append(res.Series, tcpMeters[0].Series, tcpMeters[1].Series, mT.Series)
+	res.Series = append(res.Series, sc.Flows[0].Meter.Series, sc.Flows[1].Meter.Series, mT.Series)
 	var tcpSum float64
-	for _, m := range tcpMeters {
-		tcpSum += m.Series.MeanBetween(60*sim.Second, 200*sim.Second)
+	for _, f := range sc.Flows {
+		tcpSum += f.Meter.Series.MeanBetween(60*sim.Second, 200*sim.Second)
 	}
 	tcpMean := tcpSum / 15
 	tf := mT.Series.MeanBetween(60*sim.Second, 200*sim.Second)
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("steady state (60-200s): TFMCC=%.0f Kbit/s, mean TCP=%.0f Kbit/s, ratio=%.2f", tf, tcpMean, tf/tcpMean),
 		fmt.Sprintf("smoothness: CoV TFMCC=%.2f vs CoV TCP1=%.2f (paper: TFMCC smoother)",
-			mT.Series.CoV(), tcpMeters[0].Series.CoV()))
+			mT.Series.CoV(), sc.Flows[0].Meter.Series.CoV()))
 	return res
+}
+
+// Figure10Spec declares sixteen two-hop tail circuits off a star hub:
+// per site one receiver and one TCP flow sharing the 1 Mbit/s tail.
+func Figure10Spec() *scenario.Spec {
+	var steps []scenario.Step
+	for i := 0; i < 16; i++ {
+		steps = append(steps,
+			scenario.Step{Site: &scenario.SiteSpec{Parent: scenario.AttachPoint(0), Hops: []scenario.Hop{
+				scenario.SymHop(scenario.LinkP{Delay: 4 * sim.Millisecond}),
+				scenario.SymHop(scenario.LinkP{BW: 1 * mbit, Delay: 16 * sim.Millisecond, Queue: 25}),
+			}}},
+			scenario.Step{Recv: &scenario.RecvSpec{At: scenario.Site(i), Meter: scenario.MeterFirst(i, "TFMCC")}},
+			scenario.Step{TCP: &scenario.TCPSpec{
+				Name: fmt.Sprintf("tcp%d", i), From: scenario.SiteMid(i), To: scenario.Site(i),
+				Port: simnet.Port(10 + i), Meter: fmt.Sprintf("TCP %d", i+1)}})
+	}
+	return &scenario.Spec{
+		Name:     "figure10",
+		Title:    "1 TFMCC vs 16 TCP on individual 1 Mbit/s bottlenecks",
+		Topology: scenario.Topology{Kind: scenario.Star},
+		Steps:    steps,
+		Duration: 200 * sim.Second,
+	}
 }
 
 // Figure10 gives each of 16 receivers its own 1 Mbit/s tail circuit shared
 // with one TCP flow. The loss-path-multiplicity effect limits TFMCC to
 // roughly 70% of TCP's throughput.
 func Figure10(c *RunCtx, seed int64) *Result {
-	e := c.newEnv(seed)
-	hub := e.net.AddNode("hub")
-	snd := e.net.AddNode("tfmcc-src")
-	e.net.AddDuplex(snd, hub, 0, sim.Millisecond, 0)
-	sess := tfmcc.NewSession(e.net, snd, 1, 100, tfmcc.DefaultConfig(), e.rng)
-
-	var tcpMeters []*stats.Meter
-	var mT *stats.Meter
-	for i := 0; i < 16; i++ {
-		tail := e.net.AddNode(fmt.Sprintf("tail%d", i))
-		leaf := e.net.AddNode(fmt.Sprintf("leaf%d", i))
-		e.net.AddDuplex(hub, tail, 0, 4*sim.Millisecond, 0)
-		e.net.AddDuplex(tail, leaf, 1*mbit, 16*sim.Millisecond, 25)
-		rcv := sess.AddReceiver(leaf)
-		if i == 0 {
-			mT = e.meterReceiver("TFMCC", rcv)
-		}
-		s, m := e.addTCP(fmt.Sprintf("TCP %d", i+1), tail, leaf, simnet.Port(10+i))
-		s.Start()
-		tcpMeters = append(tcpMeters, m)
-	}
-	sess.Start()
-	e.sch.RunUntil(200 * sim.Second)
+	sc := scenario.Run(c.ScenarioEnv(seed), Figure10Spec())
+	mT := sc.Recvs[0].Meter
 
 	res := &Result{Figure: "10", Title: "1 TFMCC vs 16 TCP on sixteen individual 1 Mbit/s bottlenecks"}
-	res.Series = append(res.Series, tcpMeters[0].Series, tcpMeters[1].Series, mT.Series)
+	res.Series = append(res.Series, sc.Flows[0].Meter.Series, sc.Flows[1].Meter.Series, mT.Series)
 	var tcpSum float64
-	for _, m := range tcpMeters {
-		tcpSum += m.Series.MeanBetween(60*sim.Second, 200*sim.Second)
+	for _, f := range sc.Flows {
+		tcpSum += f.Meter.Series.MeanBetween(60*sim.Second, 200*sim.Second)
 	}
 	tcpMean := tcpSum / 16
 	tf := mT.Series.MeanBetween(60*sim.Second, 200*sim.Second)
@@ -98,61 +103,52 @@ func Figure10(c *RunCtx, seed int64) *Result {
 	return res
 }
 
-// Figure21 starts one TFMCC flow on a 16 Mbit/s link and doubles the
-// number of competing TCP flows every 50 s (+1, +2, +4, +8). Both should
-// settle at roughly half the bandwidth of the previous interval.
-func Figure21(c *RunCtx, seed int64) *Result {
-	e := c.newEnv(seed)
-	r1 := e.net.AddNode("r1")
-	r2 := e.net.AddNode("r2")
-	e.net.AddDuplex(r1, r2, 16*mbit, 20*sim.Millisecond, 120)
-
-	snd := e.net.AddNode("tfmcc-src")
-	e.net.AddDuplex(snd, r1, 0, sim.Millisecond, 0)
-	sess := tfmcc.NewSession(e.net, snd, 1, 100, tfmcc.DefaultConfig(), e.rng)
-	rn := e.net.AddNode("tfmcc-rcv")
-	e.net.AddDuplex(r2, rn, 0, sim.Millisecond, 0)
-	mT := e.meterReceiver("TFMCC", sess.AddReceiver(rn))
-
+// Figure21Spec declares the staircase-congestion scenario: TCP groups of
+// 1, 2, 4 and 8 flows start at 50 s intervals, each group aggregated
+// into one series.
+func Figure21Spec() *scenario.Spec {
+	steps := []scenario.Step{
+		{Site: &scenario.SiteSpec{Parent: scenario.AttachPoint(0), Hops: []scenario.Hop{scenario.FastHop()}}},
+		{Recv: &scenario.RecvSpec{At: scenario.Site(0), Meter: "TFMCC"}},
+	}
 	groups := []struct {
 		at    sim.Time
 		count int
 	}{{50 * sim.Second, 1}, {100 * sim.Second, 2}, {150 * sim.Second, 4}, {200 * sim.Second, 8}}
-	agg := make([]*stats.Series, len(groups))
 	port := 10
 	for gi, g := range groups {
-		gi, g := gi, g
-		agg[gi] = &stats.Series{Name: fmt.Sprintf("TCP group %d (n=%d)", gi+1, g.count)}
-		var ms []*stats.Meter
+		var names []string
 		for i := 0; i < g.count; i++ {
-			s, m := e.addTCP(fmt.Sprintf("tcp%d-%d", gi, i), r1, r2, simnet.Port(port))
+			name := fmt.Sprintf("tcp%d-%d", gi, i)
+			steps = append(steps, scenario.Step{TCP: &scenario.TCPSpec{
+				Name: name, From: scenario.Core(0), To: scenario.Core(1),
+				Port: simnet.Port(port), StartAt: g.at, Meter: name}})
 			port++
-			ms = append(ms, m)
-			at := g.at
-			e.sch.At(at, s.Start)
+			names = append(names, name)
 		}
-		// Aggregate the group's meters once per second.
-		var tick func()
-		tick = func() {
-			e.sch.After(sim.Second, func() {
-				var sum float64
-				for _, m := range ms {
-					if n := len(m.Series.Points); n > 0 {
-						sum += m.Series.Points[n-1].V
-					}
-				}
-				agg[gi].Add(e.sch.Now(), sum)
-				tick()
-			})
-		}
-		tick()
+		steps = append(steps, scenario.Step{Agg: &scenario.AggSpec{
+			Name: fmt.Sprintf("TCP group %d (n=%d)", gi+1, g.count), Flows: names}})
 	}
-	sess.Start()
-	e.sch.RunUntil(250 * sim.Second)
+	return &scenario.Spec{
+		Name:  "figure21",
+		Title: "Responsiveness to increased congestion",
+		Topology: scenario.Topology{Kind: scenario.Dumbbell,
+			Core: scenario.LinkP{BW: 16 * mbit, Delay: 20 * sim.Millisecond, Queue: 120}},
+		Steps:    steps,
+		Duration: 250 * sim.Second,
+	}
+}
+
+// Figure21 starts one TFMCC flow on a 16 Mbit/s link and doubles the
+// number of competing TCP flows every 50 s (+1, +2, +4, +8). Both should
+// settle at roughly half the bandwidth of the previous interval.
+func Figure21(c *RunCtx, seed int64) *Result {
+	sc := scenario.Run(c.ScenarioEnv(seed), Figure21Spec())
+	mT := sc.Recvs[0].Meter
 
 	res := &Result{Figure: "21", Title: "Responsiveness to increased congestion (flow count doubles every 50s)"}
 	res.Series = append(res.Series, mT.Series)
-	res.Series = append(res.Series, agg...)
+	res.Series = append(res.Series, sc.Aggs...)
 	for i, win := range [][2]sim.Time{
 		{10 * sim.Second, 50 * sim.Second}, {60 * sim.Second, 100 * sim.Second},
 		{110 * sim.Second, 150 * sim.Second}, {160 * sim.Second, 200 * sim.Second},

@@ -3,15 +3,70 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/simnet"
-	"repro/internal/stats"
-	"repro/internal/tfmcc"
 )
 
 func init() {
-	register("15", "Late-join of low-rate receiver", 0.8, Figure15)
-	register("16", "Additional TCP flow on the slow link", 0.8, Figure16)
+	registerSpec("15", "Late-join of low-rate receiver", 0.8, Figure15Spec, Figure15)
+	registerSpec("16", "Additional TCP flow on the slow link", 0.8, Figure16Spec, Figure16)
+}
+
+// lateJoinSpec declares the figure 15/16 scenario: an eight-member
+// session plus 7 TCP flows on an 8 Mbit/s dumbbell, and a 200 Kbit/s
+// tail circuit whose receiver joins from t=50s to t=100s (with an
+// optional competing TCP flow on the tail for figure 16).
+func lateJoinSpec(name, title string, tcpOnSlowLink bool) *scenario.Spec {
+	var steps []scenario.Step
+	for i := 0; i < 8; i++ {
+		steps = append(steps,
+			scenario.Step{Site: &scenario.SiteSpec{Parent: scenario.AttachPoint(0), Hops: []scenario.Hop{scenario.FastHop()}}},
+			scenario.Step{Recv: &scenario.RecvSpec{At: scenario.Site(i), Meter: scenario.MeterFirst(i, "TFMCC flow")}})
+	}
+	var tcps []string
+	for i := 0; i < 7; i++ {
+		n := fmt.Sprintf("tcp%d", i)
+		steps = append(steps, scenario.Step{TCP: &scenario.TCPSpec{
+			Name: n, From: scenario.Core(0), To: scenario.Core(1),
+			Port: simnet.Port(10 + i), Meter: n}})
+		tcps = append(tcps, n)
+	}
+	steps = append(steps, scenario.Step{Agg: &scenario.AggSpec{Name: "aggregated TCP flows", Flows: tcps}})
+
+	// The slow tail: 200 Kbit/s behind the right router.
+	steps = append(steps, scenario.Step{Site: &scenario.SiteSpec{
+		Parent: scenario.AttachPoint(0),
+		Hops: []scenario.Hop{
+			scenario.FastHop(),
+			scenario.SymHop(scenario.LinkP{BW: 200 * kbit, Delay: 10 * sim.Millisecond, Queue: 12}),
+		}}})
+	if tcpOnSlowLink {
+		steps = append(steps, scenario.Step{TCP: &scenario.TCPSpec{
+			Name: "TCP on 200KBit/s link", From: scenario.SiteMid(8), To: scenario.Site(8),
+			Port: 50, Meter: "TCP on 200KBit/s link"}})
+	}
+	steps = append(steps, scenario.Step{Recv: &scenario.RecvSpec{
+		At: scenario.Site(8), JoinAt: 50 * sim.Second, LeaveAt: 100 * sim.Second}})
+
+	return &scenario.Spec{
+		Name:  name,
+		Title: title,
+		Topology: scenario.Topology{Kind: scenario.Dumbbell,
+			Core: scenario.LinkP{BW: 8 * mbit, Delay: 20 * sim.Millisecond, Queue: 80}},
+		Steps:    steps,
+		Duration: 140 * sim.Second,
+	}
+}
+
+// Figure15Spec declares the late-join scenario.
+func Figure15Spec() *scenario.Spec {
+	return lateJoinSpec("figure15", "Late-join of low-rate receiver", false)
+}
+
+// Figure16Spec is Figure15Spec with a competing TCP on the slow tail.
+func Figure16Spec() *scenario.Spec {
+	return lateJoinSpec("figure16", "Additional TCP flow on the slow link", true)
 }
 
 // Figure15 reproduces the late-join experiment: an eight-member TFMCC
@@ -20,86 +75,24 @@ func init() {
 // bottleneck; TFMCC must adopt it as CLR within a few seconds and recover
 // after it leaves.
 func Figure15(c *RunCtx, seed int64) *Result {
-	return lateJoin(c, "15", "Late-join of low-rate receiver", false, seed)
+	return lateJoin(c, "15", "Late-join of low-rate receiver", Figure15Spec(), false, seed)
 }
 
 // Figure16 is Figure15 with an additional TCP flow sharing the 200 Kbit/s
 // tail for the whole run: the TCP flow inevitably times out when the link
 // floods at join time, but both recover and share the tail fairly.
 func Figure16(c *RunCtx, seed int64) *Result {
-	return lateJoin(c, "16", "Additional TCP flow on the slow link", true, seed)
+	return lateJoin(c, "16", "Additional TCP flow on the slow link", Figure16Spec(), true, seed)
 }
 
-func lateJoin(c *RunCtx, fig, title string, tcpOnSlowLink bool, seed int64) *Result {
-	e := c.newEnv(seed)
-	r1 := e.net.AddNode("r1")
-	r2 := e.net.AddNode("r2")
-	e.net.AddDuplex(r1, r2, 8*mbit, 20*sim.Millisecond, 80)
-	snd := e.net.AddNode("tfmcc-src")
-	e.net.AddDuplex(snd, r1, 0, sim.Millisecond, 0)
-	sess := tfmcc.NewSession(e.net, snd, 1, 100, tfmcc.DefaultConfig(), e.rng)
-
-	var mT *stats.Meter
-	for i := 0; i < 8; i++ {
-		leaf := e.net.AddNode(fmt.Sprintf("leaf%d", i))
-		e.net.AddDuplex(r2, leaf, 0, sim.Millisecond, 0)
-		rcv := sess.AddReceiver(leaf)
-		if i == 0 {
-			mT = e.meterReceiver("TFMCC flow", rcv)
-		}
-	}
-
-	tcpAgg := &stats.Series{Name: "aggregated TCP flows"}
-	var tcpMeters []*stats.Meter
-	for i := 0; i < 7; i++ {
-		s, m := e.addTCP(fmt.Sprintf("tcp%d", i), r1, r2, simnet.Port(10+i))
-		s.Start()
-		tcpMeters = append(tcpMeters, m)
-	}
-	var tick func()
-	tick = func() {
-		e.sch.After(sim.Second, func() {
-			var sum float64
-			for _, m := range tcpMeters {
-				if n := len(m.Series.Points); n > 0 {
-					sum += m.Series.Points[n-1].V
-				}
-			}
-			tcpAgg.Add(e.sch.Now(), sum)
-			tick()
-		})
-	}
-	tick()
-
-	// The slow tail: 200 Kbit/s behind r2.
-	slowTail := e.net.AddNode("slow-tail")
-	slowLeaf := e.net.AddNode("slow-leaf")
-	e.net.AddDuplex(r2, slowTail, 0, sim.Millisecond, 0)
-	e.net.AddDuplex(slowTail, slowLeaf, 200*kbit, 10*sim.Millisecond, 12)
-
-	var slowTCP *stats.Meter
-	if tcpOnSlowLink {
-		s, m := e.addTCP("TCP on 200KBit/s link", slowTail, slowLeaf, 50)
-		m.Series.Name = "TCP on 200KBit/s link"
-		s.Start()
-		slowTCP = m
-	}
-
-	var slowRcv *tfmcc.Receiver
-	e.sch.At(50*sim.Second, func() { slowRcv = sess.AddReceiver(slowLeaf) })
-	e.sch.At(100*sim.Second, func() {
-		if slowRcv != nil {
-			slowRcv.Leave()
-		}
-	})
-
-	sess.Start()
-	e.sch.RunUntil(140 * sim.Second)
+func lateJoin(c *RunCtx, fig, title string, spec *scenario.Spec, tcpOnSlowLink bool, seed int64) *Result {
+	sc := scenario.Run(c.ScenarioEnv(seed), spec)
+	mT := sc.Recvs[0].Meter
 
 	res := &Result{Figure: fig, Title: title}
-	res.Series = append(res.Series, tcpAgg, mT.Series)
-	if slowTCP != nil {
-		res.Series = append(res.Series, slowTCP.Series)
+	res.Series = append(res.Series, sc.Aggs[0], mT.Series)
+	if tcpOnSlowLink {
+		res.Series = append(res.Series, sc.Flow("TCP on 200KBit/s link").Meter.Series)
 	}
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("TFMCC before join (20-50s): %.0f Kbit/s (fair: 1000)",
@@ -109,12 +102,13 @@ func lateJoin(c *RunCtx, fig, title string, tcpOnSlowLink bool, seed int64) *Res
 			map[bool]string{true: ", shared with TCP", false: ""}[tcpOnSlowLink]),
 		fmt.Sprintf("TFMCC after leave (120-140s): %.0f Kbit/s",
 			mT.Series.MeanBetween(120*sim.Second, 140*sim.Second)))
-	if slowTCP != nil {
+	if tcpOnSlowLink {
+		slow := sc.Flow("TCP on 200KBit/s link").Meter
 		res.Notes = append(res.Notes, fmt.Sprintf(
 			"TCP on slow link: before join %.0f, during %.0f, after %.0f Kbit/s",
-			slowTCP.Series.MeanBetween(20*sim.Second, 50*sim.Second),
-			slowTCP.Series.MeanBetween(60*sim.Second, 100*sim.Second),
-			slowTCP.Series.MeanBetween(120*sim.Second, 140*sim.Second)))
+			slow.Series.MeanBetween(20*sim.Second, 50*sim.Second),
+			slow.Series.MeanBetween(60*sim.Second, 100*sim.Second),
+			slow.Series.MeanBetween(120*sim.Second, 140*sim.Second)))
 	}
 	return res
 }

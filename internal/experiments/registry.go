@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/scenario"
 )
 
 // Registry tags classify figure reproductions for tooling (CI sharding,
@@ -17,6 +19,10 @@ const (
 	// TagSweep marks stochastic figures for which multi-seed sweeps are
 	// meaningful (the per-seed output depends on the random stream).
 	TagSweep = "sweep"
+	// TagScenario marks entries added as scenario presets (rather than
+	// paper-figure reproductions). Every entry carrying a Spec — preset
+	// or figure — can be run and overridden via tfmccsim -scenario.
+	TagScenario = "scenario"
 )
 
 // Entry is a registered figure reproduction.
@@ -29,6 +35,12 @@ type Entry struct {
 	// per 4-seed sweep on the reference container — used to balance CI
 	// shards. Only ratios matter; the scale is arbitrary.
 	Cost float64
+	// Spec returns the entry's declarative scenario, when the entry is
+	// backed by one (single-scenario engine figures and every preset).
+	// Nil for analytic figures and for figure families that sweep many
+	// sub-scenarios (13, 14). The command line uses it for -scenario
+	// runs with parameter overrides.
+	Spec func() *scenario.Spec
 }
 
 // Analytic reports whether the entry never uses the simulation engine.
@@ -64,6 +76,14 @@ func register(id, title string, cost float64, r Runner) {
 		Tags: []string{TagEngine, TagSweep}})
 }
 
+// registerSpec adds an engine figure together with its declarative
+// scenario spec, making it addressable (and overridable) as a named
+// preset via tfmccsim -scenario.
+func registerSpec(id, title string, cost float64, spec func() *scenario.Spec, r Runner) {
+	addEntry(Entry{ID: id, Title: title, Run: r, Cost: cost, Spec: spec,
+		Tags: []string{TagEngine, TagSweep}})
+}
+
 // registerAnalytic adds a figure that does not use the simulation engine.
 // sweep marks Monte-Carlo plots whose output depends on the seed.
 func registerAnalytic(id, title string, cost float64, sweep bool, r Runner) {
@@ -83,21 +103,30 @@ func Lookup(id string) (Entry, bool) {
 	return entries[i], true
 }
 
-// Entries returns all registered figures ordered by numeric id (the
-// enumeration order every tool shares: listings, bench reports, shard
-// partitions).
+// Entries returns all registered entries in enumeration order — numeric
+// figure ids ascending, then named scenario presets lexicographically —
+// the order every tool shares: listings, bench reports, shard
+// partitions.
 func Entries() []Entry {
 	out := append([]Entry(nil), entries...)
 	sort.Slice(out, func(i, j int) bool {
-		var a, b int
-		fmt.Sscanf(out[i].ID, "%d", &a)
-		fmt.Sscanf(out[j].ID, "%d", &b)
-		if a != b {
+		a, aNum := numericID(out[i].ID)
+		b, bNum := numericID(out[j].ID)
+		if aNum != bNum {
+			return aNum // numeric figure ids come first
+		}
+		if aNum && a != b {
 			return a < b
 		}
 		return out[i].ID < out[j].ID
 	})
 	return out
+}
+
+func numericID(id string) (int, bool) {
+	var n int
+	_, err := fmt.Sscanf(id, "%d", &n)
+	return n, err == nil
 }
 
 // Analytic reports whether a figure is registered as analytic.

@@ -3,15 +3,15 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/simnet"
-	"repro/internal/stats"
 	"repro/internal/tfmcc"
 )
 
 func init() {
-	register("11", "Responsiveness to changes in the loss rate", 2.4, Figure11)
-	register("20", "Responsiveness to network delay", 2.4, Figure20)
+	registerSpec("11", "Responsiveness to changes in the loss rate", 2.4, Figure11Spec, Figure11)
+	registerSpec("20", "Responsiveness to network delay", 2.4, Figure20Spec, Figure20)
 }
 
 // starSession builds the star topology used by the responsiveness
@@ -45,67 +45,77 @@ func buildStar(e *env, loss []float64, delay []sim.Time, bw float64, qlen int) *
 // apart and later leave in reverse order. A TCP flow to each receiver
 // runs throughout as the fairness reference.
 func Figure11(c *RunCtx, seed int64) *Result {
-	return joinLeaveExperiment(c, "11",
-		"Responsiveness to changes in the loss rate",
-		[]float64{0.001, 0.005, 0.025, 0.125},
-		[]sim.Time{28 * sim.Millisecond, 28 * sim.Millisecond, 28 * sim.Millisecond, 28 * sim.Millisecond},
-		seed)
+	return joinLeaveExperiment(c, "11", "Responsiveness to changes in the loss rate",
+		Figure11Spec(), seed)
 }
 
 // Figure20 is the same experiment with the loss rate held at 0.5% and the
 // one-way tail delays set to 30/60/120/240 ms-equivalent RTTs, receivers
 // joining in RTT order.
 func Figure20(c *RunCtx, seed int64) *Result {
-	return joinLeaveExperiment(c, "20",
-		"Responsiveness to network delay",
-		[]float64{0.005, 0.005, 0.005, 0.005},
-		[]sim.Time{13 * sim.Millisecond, 28 * sim.Millisecond, 58 * sim.Millisecond, 118 * sim.Millisecond},
-		seed)
+	return joinLeaveExperiment(c, "20", "Responsiveness to network delay",
+		Figure20Spec(), seed)
 }
 
-func joinLeaveExperiment(c *RunCtx, fig, title string, loss []float64, delay []sim.Time, seed int64) *Result {
-	e := c.newEnv(seed)
-	st := buildStar(e, loss, delay, 0, 0)
+// joinLeaveSpec declares the figure 11/20 churn script: per-receiver
+// lossy star tails with one reference TCP each; receiver 0 stays for the
+// whole run, the rest join 50 s apart and leave in reverse order.
+func joinLeaveSpec(name, title string, loss []float64, delay []sim.Time) *scenario.Spec {
+	var steps []scenario.Step
+	for i := range loss {
+		steps = append(steps, scenario.Step{Site: &scenario.SiteSpec{
+			Parent: scenario.AttachPoint(0),
+			Hops: []scenario.Hop{{
+				Down: scenario.LinkP{Delay: delay[i], Loss: loss[i]},
+				Up:   scenario.LinkP{Delay: delay[i]},
+			}}}})
+	}
+	for i := range loss {
+		steps = append(steps, scenario.Step{TCP: &scenario.TCPSpec{
+			Name: fmt.Sprintf("tcp%d", i), From: scenario.AttachPoint(0), To: scenario.Site(i),
+			Port: simnet.Port(10 + i), Meter: fmt.Sprintf("TCP %d", i+1)}})
+	}
+	n := len(loss)
+	for i := 0; i < n; i++ {
+		r := &scenario.RecvSpec{At: scenario.Site(i), Meter: "TFMCC"}
+		if i > 0 {
+			r.JoinAt = sim.Time(50+50*i) * sim.Second
+			r.LeaveAt = sim.Time(250+50*(n-1-i)) * sim.Second
+		}
+		steps = append(steps, scenario.Step{Recv: r})
+	}
+	return &scenario.Spec{
+		Name:     name,
+		Title:    title,
+		Topology: scenario.Topology{Kind: scenario.Star},
+		Steps:    steps,
+		Duration: 400 * sim.Second,
+	}
+}
 
-	// Reference TCP flows, one through each lossy tail, all active for
-	// the whole run.
-	var tcpMeters []*stats.Meter
-	for i, leaf := range st.leafs {
-		s, m := e.addTCP(fmt.Sprintf("TCP %d", i+1), st.hub, leaf, simnet.Port(10+i))
-		s.Start()
-		tcpMeters = append(tcpMeters, m)
-	}
+// Figure11Spec declares the loss-rate churn scenario.
+func Figure11Spec() *scenario.Spec {
+	return joinLeaveSpec("figure11", "Responsiveness to changes in the loss rate",
+		[]float64{0.001, 0.005, 0.025, 0.125},
+		[]sim.Time{28 * sim.Millisecond, 28 * sim.Millisecond, 28 * sim.Millisecond, 28 * sim.Millisecond})
+}
 
-	// Receiver 0 joins at t=0; the rest at 100s, 150s, 200s. Leaves in
-	// reverse order at 250s, 300s, 350s.
-	var meters []*stats.Meter
-	var rcvs []*tfmcc.Receiver
-	join := func(i int) {
-		r := st.sess.AddReceiver(st.leafs[i])
-		rcvs = append(rcvs, r)
-		meters = append(meters, e.meterReceiver("TFMCC", r))
-	}
-	join(0)
-	for i := 1; i < len(st.leafs); i++ {
-		i := i
-		e.sch.At(sim.Time(50+50*i)*sim.Second, func() { join(i) })
-	}
-	for i := len(st.leafs) - 1; i >= 1; i-- {
-		i := i
-		e.sch.At(sim.Time(250+50*(len(st.leafs)-1-i))*sim.Second, func() {
-			// Receivers were appended in join order = index order.
-			rcvs[i].Leave()
-		})
-	}
-	st.sess.Start()
-	e.sch.RunUntil(400 * sim.Second)
+// Figure20Spec declares the delay churn scenario.
+func Figure20Spec() *scenario.Spec {
+	return joinLeaveSpec("figure20", "Responsiveness to network delay",
+		[]float64{0.005, 0.005, 0.005, 0.005},
+		[]sim.Time{13 * sim.Millisecond, 28 * sim.Millisecond, 58 * sim.Millisecond, 118 * sim.Millisecond})
+}
+
+func joinLeaveExperiment(c *RunCtx, fig, title string, spec *scenario.Spec, seed int64) *Result {
+	sc := scenario.Run(c.ScenarioEnv(seed), spec)
 
 	res := &Result{Figure: fig, Title: title}
-	for _, m := range tcpMeters {
-		res.Series = append(res.Series, m.Series)
+	for _, f := range sc.Flows {
+		res.Series = append(res.Series, f.Meter.Series)
 	}
 	// The TFMCC rate as observed at the always-present receiver 0.
-	res.Series = append(res.Series, meters[0].Series)
+	res.Series = append(res.Series, sc.Recvs[0].Meter.Series)
 	// Shape notes: mean TFMCC vs mean of the worst-receiver TCP in each
 	// phase where that receiver is the CLR.
 	phases := []struct {
@@ -120,8 +130,8 @@ func joinLeaveExperiment(c *RunCtx, fig, title string, loss []float64, delay []s
 		{"after leaves", 370 * sim.Second, 400 * sim.Second, 0},
 	}
 	for _, ph := range phases {
-		tf := meters[0].Series.MeanBetween(ph.from, ph.to)
-		tcp := tcpMeters[ph.tcpIdx].Series.MeanBetween(ph.from, ph.to)
+		tf := sc.Recvs[0].Meter.Series.MeanBetween(ph.from, ph.to)
+		tcp := sc.Flows[ph.tcpIdx].Meter.Series.MeanBetween(ph.from, ph.to)
 		ratio := 0.0
 		if tcp > 0 {
 			ratio = tf / tcp

@@ -3,16 +3,53 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/simnet"
-	"repro/internal/stats"
-	"repro/internal/tcpsim"
-	"repro/internal/tfmcc"
 )
 
 func init() {
-	register("18", "Competing TCP traffic on return paths", 1.0, Figure18)
-	register("19", "Lossy return paths", 0.9, Figure19)
+	registerSpec("18", "Competing TCP traffic on return paths", 1.0, Figure18Spec, Figure18)
+	registerSpec("19", "Lossy return paths", 0.9, Figure19Spec, Figure19)
+}
+
+var fig18ReverseCounts = []int{0, 1, 2, 4}
+
+// Figure18Spec declares four two-hop tail circuits, each with a forward
+// reference TCP and 0/1/2/4 reverse TCP flows congesting the tail's
+// return direction.
+func Figure18Spec() *scenario.Spec {
+	var steps []scenario.Step
+	port := 10
+	for i, revN := range fig18ReverseCounts {
+		steps = append(steps,
+			scenario.Step{Site: &scenario.SiteSpec{
+				Parent: scenario.AttachPoint(0),
+				Hops: []scenario.Hop{
+					scenario.FastHop(),
+					scenario.SymHop(scenario.LinkP{BW: 2 * mbit, Delay: 10 * sim.Millisecond, Queue: 40}),
+				}}},
+			scenario.Step{Recv: &scenario.RecvSpec{At: scenario.Site(i), Meter: scenario.MeterFirst(i, "TFMCC")}},
+			scenario.Step{TCP: &scenario.TCPSpec{
+				Name: fmt.Sprintf("TCP (%d)", revN), From: scenario.Core(0), To: scenario.Site(i),
+				Port: simnet.Port(port), Meter: fmt.Sprintf("TCP (%d rev)", revN)}})
+		port++
+		// Reverse TCP flows: leaf -> tail direction.
+		for k := 0; k < revN; k++ {
+			steps = append(steps, scenario.Step{TCP: &scenario.TCPSpec{
+				Name: fmt.Sprintf("rev%d-%d", i, k), From: scenario.Site(i), To: scenario.SiteMid(i),
+				Port: simnet.Port(port)}})
+			port++
+		}
+	}
+	return &scenario.Spec{
+		Name:  "figure18",
+		Title: "Competing TCP traffic on return paths",
+		Topology: scenario.Topology{Kind: scenario.Dumbbell,
+			Core: scenario.LinkP{BW: 4 * mbit, Delay: 20 * sim.Millisecond, Queue: 60}},
+		Steps:    steps,
+		Duration: 120 * sim.Second,
+	}
 }
 
 // Figure18 runs a TFMCC session to four receivers alongside four forward
@@ -20,63 +57,53 @@ func init() {
 // paths from the receivers. TFMCC (and, thanks to cumulative ACKs, TCP)
 // should be essentially unaffected by moderate reverse congestion.
 func Figure18(c *RunCtx, seed int64) *Result {
-	e := c.newEnv(seed)
-	r1 := e.net.AddNode("r1")
-	r2 := e.net.AddNode("r2")
-	e.net.AddDuplex(r1, r2, 4*mbit, 20*sim.Millisecond, 60)
-	snd := e.net.AddNode("tfmcc-src")
-	e.net.AddDuplex(snd, r1, 0, sim.Millisecond, 0)
-	sess := tfmcc.NewSession(e.net, snd, 1, 100, tfmcc.DefaultConfig(), e.rng)
-
-	reverseCounts := []int{0, 1, 2, 4}
-	var fwdMeters []*stats.Meter
-	var mT *stats.Meter
-	port := 10
-	for i, revN := range reverseCounts {
-		// Receiver i behind its own constrained tail; the return
-		// direction of the tail is where the reverse TCPs compete.
-		tail := e.net.AddNode(fmt.Sprintf("tail%d", i))
-		leaf := e.net.AddNode(fmt.Sprintf("leaf%d", i))
-		e.net.AddDuplex(r2, tail, 0, sim.Millisecond, 0)
-		e.net.AddLink(tail, leaf, 2*mbit, 10*sim.Millisecond, 40)
-		e.net.AddLink(leaf, tail, 2*mbit, 10*sim.Millisecond, 40)
-		rcv := sess.AddReceiver(leaf)
-		if i == 0 {
-			mT = e.meterReceiver("TFMCC", rcv)
-		}
-		// Forward reference TCP through the shared bottleneck + tail.
-		s, m := e.addTCP(fmt.Sprintf("TCP (%d)", revN), r1, leaf, simnet.Port(port))
-		m.Series.Name = fmt.Sprintf("TCP (%d rev)", revN)
-		port++
-		s.Start()
-		fwdMeters = append(fwdMeters, m)
-		// Reverse TCP flows: leaf -> tail direction.
-		for k := 0; k < revN; k++ {
-			a := e.net.AddNode(fmt.Sprintf("rev%d-%d-src", i, k))
-			b := e.net.AddNode(fmt.Sprintf("rev%d-%d-dst", i, k))
-			e.net.AddDuplex(a, leaf, 0, sim.Millisecond, 0)
-			e.net.AddDuplex(tail, b, 0, sim.Millisecond, 0)
-			rs, _ := tcpsim.NewFlow("rev", e.net, a, b, simnet.Port(port), tcpsim.DefaultConfig())
-			port++
-			rs.Start()
-		}
-	}
-	sess.Start()
-	e.sch.RunUntil(120 * sim.Second)
+	sc := scenario.Run(c.ScenarioEnv(seed), Figure18Spec())
+	mT := sc.Recvs[0].Meter
 
 	res := &Result{Figure: "18", Title: "Competing TCP traffic on return paths"}
 	res.Series = append(res.Series, mT.Series)
-	for _, m := range fwdMeters {
-		res.Series = append(res.Series, m.Series)
+	for _, revN := range fig18ReverseCounts {
+		res.Series = append(res.Series, sc.Flow(fmt.Sprintf("TCP (%d)", revN)).Meter.Series)
 	}
-	for i, m := range fwdMeters {
+	for _, revN := range fig18ReverseCounts {
+		m := sc.Flow(fmt.Sprintf("TCP (%d)", revN)).Meter
 		res.Notes = append(res.Notes, fmt.Sprintf(
 			"forward TCP with %d reverse flows: %.0f Kbit/s (steady 40-120s)",
-			reverseCounts[i], m.Series.MeanBetween(40*sim.Second, 120*sim.Second)))
+			revN, m.Series.MeanBetween(40*sim.Second, 120*sim.Second)))
 	}
 	res.Notes = append(res.Notes, fmt.Sprintf("TFMCC: %.0f Kbit/s",
 		mT.Series.MeanBetween(40*sim.Second, 120*sim.Second)))
 	return res
+}
+
+var fig19LossLevels = []float64{0, 0.10, 0.20, 0.30}
+
+// Figure19Spec declares four tail circuits whose return (up) hops drop
+// 0/10/20/30% of packets at random, each with a forward reference TCP.
+func Figure19Spec() *scenario.Spec {
+	var steps []scenario.Step
+	for i, lp := range fig19LossLevels {
+		steps = append(steps,
+			scenario.Step{Site: &scenario.SiteSpec{
+				Parent: scenario.AttachPoint(0),
+				Hops: []scenario.Hop{
+					scenario.FastHop(),
+					{Down: scenario.LinkP{Delay: 10 * sim.Millisecond},
+						Up: scenario.LinkP{Delay: 10 * sim.Millisecond, Loss: lp}},
+				}}},
+			scenario.Step{Recv: &scenario.RecvSpec{At: scenario.Site(i), Meter: scenario.MeterFirst(i, "TFMCC")}},
+			scenario.Step{TCP: &scenario.TCPSpec{
+				Name: fmt.Sprintf("tcp%d", i), From: scenario.Core(0), To: scenario.Site(i),
+				Port: simnet.Port(10 + i), Meter: fmt.Sprintf("TCP (%d%% rev loss)", int(lp*100))}})
+	}
+	return &scenario.Spec{
+		Name:  "figure19",
+		Title: "Lossy return paths",
+		Topology: scenario.Topology{Kind: scenario.Dumbbell,
+			Core: scenario.LinkP{BW: 8 * mbit, Delay: 20 * sim.Millisecond, Queue: 80}},
+		Steps:    steps,
+		Duration: 120 * sim.Second,
+	}
 }
 
 // Figure19 puts pure random loss of 0%, 10%, 20% and 30% on the receivers'
@@ -84,44 +111,17 @@ func Figure18(c *RunCtx, seed int64) *Result {
 // reverse loss degrades TCP, while TFMCC is insensitive to lost receiver
 // reports.
 func Figure19(c *RunCtx, seed int64) *Result {
-	e := c.newEnv(seed)
-	r1 := e.net.AddNode("r1")
-	r2 := e.net.AddNode("r2")
-	e.net.AddDuplex(r1, r2, 8*mbit, 20*sim.Millisecond, 80)
-	snd := e.net.AddNode("tfmcc-src")
-	e.net.AddDuplex(snd, r1, 0, sim.Millisecond, 0)
-	sess := tfmcc.NewSession(e.net, snd, 1, 100, tfmcc.DefaultConfig(), e.rng)
-
-	lossLevels := []float64{0, 0.10, 0.20, 0.30}
-	var meters []*stats.Meter
-	var mT *stats.Meter
-	for i, lp := range lossLevels {
-		tail := e.net.AddNode(fmt.Sprintf("tail%d", i))
-		leaf := e.net.AddNode(fmt.Sprintf("leaf%d", i))
-		e.net.AddDuplex(r2, tail, 0, sim.Millisecond, 0)
-		e.net.AddLink(tail, leaf, 0, 10*sim.Millisecond, 0)
-		back := e.net.AddLink(leaf, tail, 0, 10*sim.Millisecond, 0)
-		back.LossProb = lp
-		rcv := sess.AddReceiver(leaf)
-		if i == 0 {
-			mT = e.meterReceiver("TFMCC", rcv)
-		}
-		s, m := e.addTCP(fmt.Sprintf("tcp%d", i), r1, leaf, simnet.Port(10+i))
-		m.Series.Name = fmt.Sprintf("TCP (%d%% rev loss)", int(lp*100))
-		s.Start()
-		meters = append(meters, m)
-	}
-	sess.Start()
-	e.sch.RunUntil(120 * sim.Second)
+	sc := scenario.Run(c.ScenarioEnv(seed), Figure19Spec())
+	mT := sc.Recvs[0].Meter
 
 	res := &Result{Figure: "19", Title: "Lossy return paths"}
 	res.Series = append(res.Series, mT.Series)
-	for _, m := range meters {
-		res.Series = append(res.Series, m.Series)
+	for _, f := range sc.Flows {
+		res.Series = append(res.Series, f.Meter.Series)
 	}
-	for i, m := range meters {
+	for i, f := range sc.Flows {
 		res.Notes = append(res.Notes, fmt.Sprintf("TCP with %.0f%% reverse loss: %.0f Kbit/s",
-			lossLevels[i]*100, m.Series.MeanBetween(40*sim.Second, 120*sim.Second)))
+			fig19LossLevels[i]*100, f.Meter.Series.MeanBetween(40*sim.Second, 120*sim.Second)))
 	}
 	res.Notes = append(res.Notes, fmt.Sprintf("TFMCC (reports cross the lossiest path): %.0f Kbit/s",
 		mT.Series.MeanBetween(40*sim.Second, 120*sim.Second)))

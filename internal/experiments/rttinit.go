@@ -3,14 +3,35 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/tfmcc"
 )
 
 func init() {
-	register("12", "Rate of initial RTT measurements (1000 receivers)", 35.6, Figure12)
+	registerSpec("12", "Rate of initial RTT measurements (1000 receivers)", 35.6, Figure12Spec, Figure12)
 	register("13", "Responsiveness to changes in the RTT", 31.7, Figure13)
+}
+
+// Figure12Spec declares the 1000-receiver RTT-measurement scenario: a
+// modest dumbbell bottleneck (perfectly correlated loss), receiver tails
+// with randomised 9..49 ms one-way delay, and a 2 s valid-RTT sampler.
+func Figure12Spec() *scenario.Spec {
+	return &scenario.Spec{
+		Name:  "figure12",
+		Title: "Rate of initial RTT measurements (1000 receivers)",
+		Topology: scenario.Topology{Kind: scenario.Dumbbell,
+			Core: scenario.LinkP{BW: 1 * mbit, Delay: 20 * sim.Millisecond, Queue: 30}},
+		Pop: &scenario.Population{
+			Count:  1000,
+			Parent: scenario.AttachPoint(0),
+			// Tail one-way delay 9..49 ms => link RTTs ~60..140 ms.
+			Jitter: &scenario.Jitter{MinMs: 9, SpanMs: 41},
+		},
+		Steps: []scenario.Step{{Sample: &scenario.SampleSpec{
+			Name: "receivers with valid RTT", What: scenario.SampleValidRTT, Every: 2 * sim.Second}}},
+		Duration: 200 * sim.Second,
+	}
 }
 
 // Figure12 tracks how many of 1000 receivers behind a single bottleneck
@@ -19,33 +40,8 @@ func init() {
 // RTT measurement over time. Link RTTs vary between 60 and 140 ms; the
 // initial RTT is 500 ms.
 func Figure12(c *RunCtx, seed int64) *Result {
-	const n = 1000
-	e := c.newEnv(seed)
-	r1 := e.net.AddNode("r1")
-	r2 := e.net.AddNode("r2")
-	// A modest bottleneck keeps correlated loss present throughout.
-	e.net.AddDuplex(r1, r2, 1*mbit, 20*sim.Millisecond, 30)
-	snd := e.net.AddNode("tfmcc-src")
-	e.net.AddDuplex(snd, r1, 0, sim.Millisecond, 0)
-	sess := tfmcc.NewSession(e.net, snd, 1, 100, tfmcc.DefaultConfig(), e.rng)
-	for i := 0; i < n; i++ {
-		leaf := e.net.AddNode(fmt.Sprintf("leaf%d", i))
-		// Tail one-way delay 9..49 ms => link RTTs ~60..140 ms.
-		d := sim.Time(9+e.rng.Intn(41)) * sim.Millisecond
-		e.net.AddDuplex(r2, leaf, 0, d, 0)
-		sess.AddReceiver(leaf)
-	}
-	counts := &stats.Series{Name: "receivers with valid RTT"}
-	var tick func()
-	tick = func() {
-		e.sch.After(2*sim.Second, func() {
-			counts.Add(e.sch.Now(), float64(sess.ValidRTTCount()))
-			tick()
-		})
-	}
-	tick()
-	sess.Start()
-	e.sch.RunUntil(200 * sim.Second)
+	sc := scenario.Run(c.ScenarioEnv(seed), Figure12Spec())
+	counts := sc.Samples[0]
 
 	res := &Result{Figure: "12", Title: "Rate of initial RTT measurements (1000 receivers)"}
 	res.Series = append(res.Series, counts)
@@ -84,29 +80,45 @@ func Figure13(c *RunCtx, seed int64) *Result {
 	return res
 }
 
+// rttStarSpec declares an equal-loss star of n receivers with 28 ms tail
+// delays — the figure 13 substrate (the runner drives the clock itself).
+func rttStarSpec(n int) *scenario.Spec {
+	var steps []scenario.Step
+	for i := 0; i < n; i++ {
+		steps = append(steps, scenario.Step{Site: &scenario.SiteSpec{
+			Parent: scenario.AttachPoint(0),
+			Hops: []scenario.Hop{{
+				Down: scenario.LinkP{Delay: 28 * sim.Millisecond, Loss: 0.02},
+				Up:   scenario.LinkP{Delay: 28 * sim.Millisecond},
+			}}}})
+	}
+	for i := 0; i < n; i++ {
+		steps = append(steps, scenario.Step{Recv: &scenario.RecvSpec{At: scenario.Site(i)}})
+	}
+	return &scenario.Spec{
+		Name:     fmt.Sprintf("figure13-n%d", n),
+		Title:    "Responsiveness to changes in the RTT",
+		Topology: scenario.Topology{Kind: scenario.Star},
+		Steps:    steps,
+	}
+}
+
 // rttChangeReaction builds a star of n receivers with equal independent
-// loss, raises receiver 0's tail delay from 30 ms to 150 ms (one way) at
-// changeAt, and returns how long until it is selected CLR.
+// loss, raises receiver 0's tail delay from 28 ms to 148 ms (one way) at
+// changeAt via the runtime link-mutation API, and returns how long until
+// it is selected CLR.
 func rttChangeReaction(c *RunCtx, n int, changeAt sim.Time, seed int64) sim.Time {
-	e := c.newEnv(seed + int64(n))
-	loss := constantLoss(n, 0.02)
-	delay := make([]sim.Time, n)
-	for i := range delay {
-		delay[i] = 28 * sim.Millisecond
-	}
-	st := buildStar(e, loss, delay, 0, 0)
-	for _, leaf := range st.leafs {
-		st.sess.AddReceiver(leaf)
-	}
-	st.sess.Start()
-	e.sch.RunUntil(changeAt)
-	e.net.LinkBetween(st.hub, st.leafs[0]).Delay = 148 * sim.Millisecond
+	sc := scenario.Build(c.ScenarioEnv(seed+int64(n)), rttStarSpec(n))
+	sc.Start()
+	sc.RunUntil(changeAt)
+	sc.SiteLinks[0][0].SetDelay(148 * sim.Millisecond)
 	// Watch for receiver 0 becoming CLR.
+	sch := sc.Env.Sch
 	deadline := changeAt + 200*sim.Second
-	for e.sch.Now() < deadline {
-		e.sch.RunUntil(e.sch.Now() + 100*sim.Millisecond)
-		if st.sess.Sender.CLR() == 0 {
-			return e.sch.Now() - changeAt
+	for sch.Now() < deadline {
+		sc.RunUntil(sch.Now() + 100*sim.Millisecond)
+		if sc.Sess.Sender.CLR() == 0 {
+			return sch.Now() - changeAt
 		}
 	}
 	return deadline - changeAt

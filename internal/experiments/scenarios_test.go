@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestScenarioRewindVsFresh pins the arena interplay of the scenario
+// executor: running a preset on a warm context (rewound scheduler,
+// replayed topology, pooled protocol state) must reproduce a fresh
+// context's output byte for byte. The preset selection covers the three
+// hard cases — runtime link mutation against Reset's op-log replay
+// (degrade), receiver churn against multicast-tree caching (flashcrowd),
+// and flow stop/start with CBR traffic (tcpburst).
+func TestScenarioRewindVsFresh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-simulation scenarios")
+	}
+	for _, id := range []string{"degrade", "flashcrowd", "tcpburst"} {
+		ctx := NewRunCtx()
+		cold, err := RunWith(ctx, id, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := RunWith(ctx, id, 1) // rewound arena
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := Run(id, 1) // brand-new context
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cold.TSV() != warm.TSV() {
+			t.Fatalf("%s: warm (rewound) run diverged from cold run", id)
+		}
+		if cold.TSV() != fresh.TSV() {
+			t.Fatalf("%s: fresh-context run diverged", id)
+		}
+	}
+}
+
+// TestScenarioPresetsRun smoke-runs every preset briefly (override the
+// duration down) and checks the generic result carries series data.
+func TestScenarioPresetsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-simulation scenarios")
+	}
+	for _, p := range scenario.Presets() {
+		ov := scenario.None()
+		ov.Duration = p.Make().Duration / 6
+		res, err := RunOverridden(NewRunCtx(), p.ID, ov, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", p.ID, err)
+		}
+		if len(res.Series) == 0 {
+			t.Fatalf("%s: no series collected", p.ID)
+		}
+		total := 0
+		for _, s := range res.Series {
+			total += len(s.Points)
+		}
+		if total == 0 {
+			t.Fatalf("%s: series are empty", p.ID)
+		}
+	}
+}
+
+// TestDegradeEventsShapeRate checks the mid-run mutation script actually
+// bites: the bottleneck halving at t=60s must cut TFMCC's throughput in
+// the degraded window relative to the initial one, and the restore at
+// t=180s must bring it back up.
+func TestDegradeEventsShapeRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-simulation scenario")
+	}
+	res, err := Run("degrade", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tfmcc := res.Series[0]
+	if !strings.Contains(tfmcc.Name, "TFMCC") {
+		t.Fatalf("first series should be the TFMCC meter, got %q", tfmcc.Name)
+	}
+	before := tfmcc.MeanBetween(20e9, 60e9)  // 8 Mbit/s regime
+	during := tfmcc.MeanBetween(80e9, 120e9) // 2 Mbit/s regime
+	after := tfmcc.MeanBetween(200e9, 240e9) // restored
+	if during > 0.7*before {
+		t.Fatalf("bottleneck halving did not bite: before=%.0f during=%.0f", before, during)
+	}
+	if after < 1.5*during {
+		t.Fatalf("restore did not recover: during=%.0f after=%.0f", during, after)
+	}
+}
+
+// TestOverriddenScenarioIsDeterministic: the override path (clone + Apply)
+// must be as reproducible as the base spec.
+func TestOverriddenScenarioIsDeterministic(t *testing.T) {
+	ov := scenario.None()
+	ov.Duration = 20e9
+	ov.Receivers = 8
+	a, err := RunOverridden(NewRunCtx(), "deeptree", ov, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOverridden(NewRunCtx(), "deeptree", ov, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TSV() != b.TSV() {
+		t.Fatal("overridden scenario not seed-deterministic")
+	}
+}

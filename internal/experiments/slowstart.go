@@ -3,11 +3,11 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/stats"
 	"repro/internal/sweep"
-	"repro/internal/tfmcc"
 )
 
 func init() { register("14", "Maximum slowstart rate vs number of receivers", 0.9, Figure14) }
@@ -55,29 +55,35 @@ func Figure14(c *RunCtx, seed int64) *Result {
 	return res
 }
 
-func maxSlowstartRate(c *RunCtx, nRecv int, bw float64, numTCP, qlen int, seed int64) float64 {
-	e := c.newEnv(seed + int64(nRecv))
-	r1 := e.net.AddNode("r1")
-	r2 := e.net.AddNode("r2")
-	e.net.AddDuplex(r1, r2, bw, 20*sim.Millisecond, qlen)
-	snd := e.net.AddNode("tfmcc-src")
-	e.net.AddDuplex(snd, r1, 0, sim.Millisecond, 0)
-	sess := tfmcc.NewSession(e.net, snd, 1, 100, tfmcc.DefaultConfig(), e.rng)
-	for i := 0; i < nRecv; i++ {
-		leaf := e.net.AddNode(fmt.Sprintf("leaf%d", i))
-		e.net.AddDuplex(r2, leaf, 0, sim.Millisecond, 0)
-		sess.AddReceiver(leaf)
-	}
+// slowstartSpec declares one figure 14 sub-run: a dumbbell of the given
+// capacity, nRecv fast receiver tails and numTCP competing flows.
+func slowstartSpec(nRecv int, bw float64, numTCP, qlen int) *scenario.Spec {
+	var steps []scenario.Step
 	for i := 0; i < numTCP; i++ {
-		s, _ := e.addTCP(fmt.Sprintf("tcp%d", i), r1, r2, simnet.Port(10+i))
-		s.Start()
+		n := fmt.Sprintf("tcp%d", i)
+		steps = append(steps, scenario.Step{TCP: &scenario.TCPSpec{
+			Name: n, From: scenario.Core(0), To: scenario.Core(1),
+			Port: simnet.Port(10 + i), Meter: n}})
 	}
+	return &scenario.Spec{
+		Name:  fmt.Sprintf("figure14-n%d-tcp%d", nRecv, numTCP),
+		Title: "Maximum slowstart rate vs number of receivers",
+		Topology: scenario.Topology{Kind: scenario.Dumbbell,
+			Core: scenario.LinkP{BW: bw, Delay: 20 * sim.Millisecond, Queue: qlen}},
+		Pop:   &scenario.Population{Count: nRecv, Parent: scenario.AttachPoint(0)},
+		Steps: steps,
+	}
+}
+
+func maxSlowstartRate(c *RunCtx, nRecv int, bw float64, numTCP, qlen int, seed int64) float64 {
+	sc := scenario.Build(c.ScenarioEnv(seed+int64(nRecv)), slowstartSpec(nRecv, bw, numTCP, qlen))
 	// All flows start together, as in the paper.
-	sess.Start()
+	sc.Start()
+	sch := sc.Env.Sch
 	peak := 0.0
-	for sess.Sender.InSlowstart() && e.sch.Now() < 120*sim.Second {
-		e.sch.RunUntil(e.sch.Now() + 100*sim.Millisecond)
-		if r := sess.Sender.Rate(); r > peak {
+	for sc.Sess.Sender.InSlowstart() && sch.Now() < 120*sim.Second {
+		sc.RunUntil(sch.Now() + 100*sim.Millisecond)
+		if r := sc.Sess.Sender.Rate(); r > peak {
 			peak = r
 		}
 	}

@@ -175,3 +175,36 @@ func TestAnalyticRegistry(t *testing.T) {
 		}
 	}
 }
+
+// TestSeedRangeFragmentsMergeRuns is the band-level seed-sharding
+// property behind tfmccbench -seedshard: running a figure's seed range
+// as disjoint fragments (each on its own arena, like separate machines)
+// and merging the raw per-seed series with stats.MergeRuns reproduces
+// the single full-range sweep bit for bit.
+func TestSeedRangeFragmentsMergeRuns(t *testing.T) {
+	runner := func(ctx *RunCtx) sweep.RunFunc {
+		return func(_ int, seed int64) []*stats.Series {
+			return miniSession(ctx, seed).Series
+		}
+	}
+	full := sweep.RunRaw(sweep.Config{Seeds: 5, Base: 1}, runner(NewRunCtx()))
+	partA := sweep.RunRaw(sweep.Config{Seeds: 3, Base: 1}, runner(NewRunCtx()))
+	partB := sweep.RunRaw(sweep.Config{Seeds: 2, Base: 4}, runner(NewRunCtx()))
+
+	want := stats.MergeRuns(full, 0.95)
+	got := stats.MergeRuns(append(partA, partB...), 0.95)
+	if len(got) != len(want) {
+		t.Fatalf("band count %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name || len(got[i].Points) != len(want[i].Points) {
+			t.Fatalf("band %d shape differs", i)
+		}
+		for j := range want[i].Points {
+			if got[i].Points[j] != want[i].Points[j] {
+				t.Fatalf("band %q point %d: fragment merge %+v, full sweep %+v",
+					want[i].Name, j, got[i].Points[j], want[i].Points[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package pgmcc
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+func allocsNow() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// TestSteadyStateAllocBudget pins the pooled *Data/*Ack/*Report header
+// boxes on the PGMCC path: a warm session must not allocate per packet.
+func TestSteadyStateAllocBudget(t *testing.T) {
+	sch := sim.NewScheduler()
+	net := simnet.New(sch, sim.NewRand(1))
+	src := net.AddNode("src")
+	hub := net.AddNode("hub")
+	net.AddDuplex(src, hub, 0, sim.Millisecond, 0)
+	sess := NewSession(net, src, 1, 100, DefaultConfig(), sim.NewRand(2))
+	var first *Receiver
+	for i := 0; i < 2; i++ {
+		leaf := net.AddNode("leaf")
+		down, _ := net.AddDuplex(hub, leaf, 0, 28*sim.Millisecond, 0)
+		down.LossProb = 0.01
+		r := sess.AddReceiver(leaf)
+		if i == 0 {
+			first = r
+		}
+	}
+	sess.Start()
+	sch.RunUntil(20 * sim.Second)
+
+	recv0 := first.PacketsRecv
+	runtime.GC()
+	a0 := allocsNow()
+	sch.RunUntil(40 * sim.Second)
+	allocs := allocsNow() - a0
+	pkts := first.PacketsRecv - recv0
+	if pkts < 200 {
+		t.Fatalf("steady state moved only %d packets", pkts)
+	}
+	// PGMCC's per-round receiver feedback timers allocate a closure each
+	// round; the budget tolerates rounds, not per-packet boxing.
+	if budget := uint64(pkts / 5); allocs > budget {
+		t.Fatalf("steady-state PGMCC allocated %d times for %d packets (budget %d): header boxes not pooled?",
+			allocs, pkts, budget)
+	}
+}

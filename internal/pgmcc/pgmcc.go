@@ -16,6 +16,13 @@ import (
 	"repro/internal/tcpmodel"
 )
 
+// Packet recycling classes (see simnet.Network.AllocPacketClass).
+const (
+	classData   = 5
+	classAck    = 6
+	classReport = 7
+)
+
 // Data is a PGMCC multicast data packet header.
 type Data struct {
 	Seq      int64
@@ -103,6 +110,8 @@ type Sender struct {
 	roundTimer sim.Timer
 	rtoTimer   sim.Timer
 	srtt       sim.Time
+	rtoFn      func(any) // pre-bound so per-ack RTO re-arming allocates no closure
+	roundFn    func(any) // pre-bound round ticker
 
 	PacketsSent int64
 	AckerSwaps  int64
@@ -123,6 +132,8 @@ func NewSender(net *simnet.Network, node simnet.NodeID, port simnet.Port,
 		roundT: 2 * sim.Second,
 		srtt:   100 * sim.Millisecond,
 	}
+	s.rtoFn = func(any) { s.onRTO() }
+	s.roundFn = func(any) { s.advanceRound() }
 	net.Bind(s.addr, simnet.HandlerFunc(s.recv))
 	return s
 }
@@ -165,13 +176,20 @@ func (s *Sender) trySend() {
 
 func (s *Sender) transmit(seq int64) {
 	s.PacketsSent++
-	pkt := s.net.AllocPacket()
+	pkt := s.net.AllocPacketClass(classData)
 	pkt.Size = s.cfg.PacketSize
 	pkt.Src = s.addr
 	pkt.Dst = simnet.Addr{Port: s.addr.Port}
 	pkt.Group = s.group
 	pkt.IsMcast = true
-	pkt.Payload = Data{
+	// Recycled packets keep their header box: reusing it makes the
+	// steady-state data path allocation-free (see Network.AllocPacket).
+	dp, ok := pkt.Payload.(*Data)
+	if !ok {
+		dp = new(Data)
+		pkt.Payload = dp
+	}
+	*dp = Data{
 		Seq: seq, SendTime: s.sch.Now(),
 		Acker: s.acker, Round: s.round, RoundT: s.roundT,
 	}
@@ -181,29 +199,33 @@ func (s *Sender) transmit(seq int64) {
 func (s *Sender) armRTO() {
 	s.rtoTimer.Stop()
 	rto := sim.MaxOf(s.srtt.Scale(4), 500*sim.Millisecond)
-	s.rtoTimer = s.sch.After(rto, func() {
-		if !s.running {
-			return
-		}
-		if s.flight() > 0 {
-			s.ssthr = math.Max(s.cwnd/2, 2)
-			s.cwnd = 1
-			s.una = s.seq // give up on outstanding (unreliable transport)
-		}
-		s.trySend()
-		s.armRTO()
-	})
+	s.rtoTimer = s.sch.AfterArg(rto, s.rtoFn, nil)
 }
 
+func (s *Sender) onRTO() {
+	if !s.running {
+		return
+	}
+	if s.flight() > 0 {
+		s.ssthr = math.Max(s.cwnd/2, 2)
+		s.cwnd = 1
+		s.una = s.seq // give up on outstanding (unreliable transport)
+	}
+	s.trySend()
+	s.armRTO()
+}
+
+// recv handles ACKs and reports, carried as pooled pointer boxes owned
+// by the packet; values are copied out before anything is kept.
 func (s *Sender) recv(pkt *simnet.Packet) {
 	if !s.running {
 		return
 	}
 	switch m := pkt.Payload.(type) {
-	case Ack:
-		s.onAck(m)
-	case Report:
-		s.onReport(m)
+	case *Ack:
+		s.onAck(*m)
+	case *Report:
+		s.onReport(*m)
 	}
 }
 
@@ -280,7 +302,7 @@ func (s *Sender) advanceRound() {
 		s.ackerIdx = math.Inf(1)
 	}
 	s.round++
-	s.roundTimer = s.sch.After(s.roundT, s.advanceRound)
+	s.roundTimer = s.sch.AfterArg(s.roundT, s.roundFn, nil)
 }
 
 // Receiver is a PGMCC receiver; the acker acks every packet, others send
@@ -328,11 +350,13 @@ func NewReceiver(id int, net *simnet.Network, node simnet.NodeID, port simnet.Po
 	return r
 }
 
+// recv handles multicast data (pooled *Data boxes; copied at entry).
 func (r *Receiver) recv(pkt *simnet.Packet) {
-	d, ok := pkt.Payload.(Data)
+	dp, ok := pkt.Payload.(*Data)
 	if !ok {
 		return
 	}
+	d := *dp
 	now := r.sch.Now()
 	r.PacketsRecv++
 	if r.Meter != nil {
@@ -368,11 +392,16 @@ func (r *Receiver) recv(pkt *simnet.Packet) {
 	r.lastArrival = now
 
 	if d.Acker == r.id {
-		ack := r.net.AllocPacket()
+		ack := r.net.AllocPacketClass(classAck)
 		ack.Size = r.cfg.AckSize
 		ack.Src = r.addr
 		ack.Dst = r.peer
-		ack.Payload = Ack{
+		ap, ok := ack.Payload.(*Ack)
+		if !ok {
+			ap = new(Ack)
+			ack.Payload = ap
+		}
+		*ap = Ack{
 			From: r.id, CumSeq: r.nextSeq, TS: d.SendTime,
 			LossRate: r.est.LossEventRate(), RTT: r.srtt,
 		}
@@ -380,13 +409,16 @@ func (r *Receiver) recv(pkt *simnet.Packet) {
 	}
 	if d.Round != r.round {
 		r.round = d.Round
-		r.startRound(d)
+		r.startRound(d.Round, d.RoundT, d.Acker)
 	}
 }
 
-func (r *Receiver) startRound(d Data) {
+// startRound takes the header fields it needs as scalars — not the Data
+// value — so the per-packet header copy in recv never escapes into the
+// per-round feedback closure.
+func (r *Receiver) startRound(round int, roundT sim.Time, acker int) {
 	r.fbTimer.Stop()
-	if !r.est.HaveLoss() || d.Acker == r.id {
+	if !r.est.HaveLoss() || acker == r.id {
 		return // nothing to compare, or we already ack every packet
 	}
 	// Exponential suppression timer (PGMCC uses simple randomized NAK
@@ -395,18 +427,23 @@ func (r *Receiver) startRound(d Data) {
 	if u <= 0 {
 		u = 1e-12
 	}
-	delay := float64(d.RoundT) * (1 + math.Log(u)/math.Log(1000))
+	delay := float64(roundT) * (1 + math.Log(u)/math.Log(1000))
 	if delay < 0 {
 		delay = 0
 	}
 	r.fbTimer = r.sch.After(sim.Time(delay), func() {
-		rep := r.net.AllocPacket()
+		rep := r.net.AllocPacketClass(classReport)
 		rep.Size = r.cfg.AckSize
 		rep.Src = r.addr
 		rep.Dst = r.peer
-		rep.Payload = Report{
+		rp, ok := rep.Payload.(*Report)
+		if !ok {
+			rp = new(Report)
+			rep.Payload = rp
+		}
+		*rp = Report{
 			From: r.id, LossRate: r.est.LossEventRate(),
-			RTT: r.srtt, TS: r.sch.Now(), Round: d.Round,
+			RTT: r.srtt, TS: r.sch.Now(), Round: round,
 		}
 		r.net.Send(rep)
 	})

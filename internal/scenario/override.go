@@ -1,0 +1,92 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Overrides are the command-line knobs applicable to any Spec without
+// knowing its shape: zero/negative values mean "keep the spec's value".
+type Overrides struct {
+	Duration  sim.Time // total simulated time
+	CoreBW    float64  // bytes/s on every core link
+	CoreDelay sim.Time
+	CoreLoss  float64 // < 0 = unset (0 is a meaningful value)
+	CoreQueue int
+	// EdgeLoss (< 0 = unset) replaces the down-direction loss of every
+	// site's LAST hop — the edge link nearest the receiver — and of the
+	// population access hop; earlier hops of two-hop tails keep their
+	// declared loss.
+	EdgeLoss float64
+	Receivers int     // population size; needs a Population-based spec
+	Fanout    int     // tree fan-out
+	Depth     int     // tree depth
+	Hops      int     // chain length
+}
+
+// None returns the no-op override set (loss fields need an explicit
+// "unset" marker because 0 is meaningful).
+func None() Overrides { return Overrides{CoreLoss: -1, EdgeLoss: -1} }
+
+// Apply returns a copy of the spec with the overrides folded in. Steps
+// are copied only as deeply as they are modified; the receiver spec is
+// never mutated.
+func (s *Spec) Apply(o Overrides) (*Spec, error) {
+	out := *s
+	if o.Duration > 0 {
+		out.Duration = o.Duration
+	}
+	if o.CoreBW > 0 {
+		out.Topology.Core.BW = o.CoreBW
+	}
+	if o.CoreDelay > 0 {
+		out.Topology.Core.Delay = o.CoreDelay
+	}
+	if o.CoreLoss >= 0 {
+		out.Topology.Core.Loss = o.CoreLoss
+	}
+	if o.CoreQueue > 0 {
+		out.Topology.Core.Queue = o.CoreQueue
+	}
+	if o.Fanout > 0 {
+		out.Topology.Fanout = o.Fanout
+	}
+	if o.Depth > 0 {
+		out.Topology.Depth = o.Depth
+	}
+	if o.Hops > 0 {
+		out.Topology.Hops = o.Hops
+	}
+	if o.Receivers > 0 {
+		if s.Pop == nil {
+			return nil, fmt.Errorf("scenario %s: -receivers needs a population-based spec (this one declares receivers as explicit steps)", s.Name)
+		}
+		pop := *s.Pop
+		pop.Count = o.Receivers // PerAttach placement still round-robins
+		out.Pop = &pop
+	}
+	if o.EdgeLoss >= 0 {
+		if out.Pop != nil {
+			pop := *out.Pop
+			if pop.Hop == (Hop{}) {
+				pop.Hop = FastHop()
+			}
+			pop.Hop.Down.Loss = o.EdgeLoss
+			out.Pop = &pop
+		}
+		steps := make([]Step, len(out.Steps))
+		copy(steps, out.Steps)
+		for i, st := range steps {
+			if st.Site == nil {
+				continue
+			}
+			site := *st.Site
+			site.Hops = append([]Hop(nil), site.Hops...)
+			site.Hops[len(site.Hops)-1].Down.Loss = o.EdgeLoss
+			steps[i].Site = &site
+		}
+		out.Steps = steps
+	}
+	return &out, nil
+}

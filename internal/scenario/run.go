@@ -1,0 +1,477 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/tcpsim"
+	"repro/internal/tfmcc"
+)
+
+// Env is the simulation plumbing a scenario executes on. Rng is the
+// protocol random stream (feedback timers, jittered site delays); the
+// network carries its own stream for link loss.
+type Env struct {
+	Sch *sim.Scheduler
+	Net *simnet.Network
+	Rng *sim.Rand
+}
+
+// meterArenaKey pools stats.Meter structs on reuse-enabled networks. A
+// rewound meter gets a fresh Series (a previous run's Result may still
+// reference the old one) but reuses the struct and its closure-free
+// sampling timer. The experiments package delegates here, so scenario
+// and hand-wired setups share one pool.
+const meterArenaKey = "stats.Meter"
+
+// NewMeter returns a per-second throughput meter, pooled through the
+// network arena when the environment is reusable.
+func (e Env) NewMeter(name string) *stats.Meter {
+	return sim.Pooled(e.Net.Arena(), meterArenaKey,
+		func() *stats.Meter { return stats.NewMeter(name, e.Sch, sim.Second) },
+		func(m *stats.Meter) { m.Reset(name, e.Sch, sim.Second) })
+}
+
+// RecvSlot is one declared receiver of a built scenario. R and Meter are
+// nil until the receiver's join time (receivers declared with JoinAt > 0
+// are instantiated when the event fires).
+type RecvSlot struct {
+	R     *tfmcc.Receiver
+	Meter *stats.Meter
+}
+
+// Flow is one declared traffic source of a built scenario: exactly one
+// of TCP or CBR is set.
+type Flow struct {
+	Name    string
+	TCP     *tcpsim.Sender
+	TCPSink *tcpsim.Sink
+	CBR     *CBR
+	CBRSink *CBRSink
+	Meter   *stats.Meter // nil when unmetered
+}
+
+// start begins (or resumes) the flow.
+func (f *Flow) start() {
+	if f.TCP != nil {
+		f.TCP.Start()
+	} else {
+		f.CBR.Start()
+	}
+}
+
+// stop quiesces the flow.
+func (f *Flow) stop() {
+	if f.TCP != nil {
+		f.TCP.Stop()
+	} else {
+		f.CBR.Stop()
+	}
+}
+
+// Scenario is a built Spec instance: the topology, session, sites,
+// receivers, flows and collected series, addressable by the same indices
+// the spec used.
+type Scenario struct {
+	Spec *Spec
+	Env  Env
+	Topo *Topo
+	Sess *tfmcc.Session
+
+	SiteLeaf  []simnet.NodeID
+	SiteMid   []simnet.NodeID  // -1 for single-hop sites
+	SiteLinks [][]*simnet.Link // per site: down0, up0[, down1, up1]
+
+	Recvs   []*RecvSlot // population receivers first, then Recv steps
+	Flows   []*Flow     // TCP/CBR steps in order
+	Aggs    []*stats.Series
+	Samples []*stats.Series
+
+	flowByName map[string]*Flow
+}
+
+// Flow returns the named traffic source.
+func (sc *Scenario) Flow(name string) *Flow {
+	f := sc.flowByName[name]
+	if f == nil {
+		panic(fmt.Sprintf("scenario %s: unknown flow %q", sc.Spec.Name, name))
+	}
+	return f
+}
+
+// Start starts the TFMCC session (construction is already live: flows
+// with StartAt 0 are running and events are scheduled).
+func (sc *Scenario) Start() { sc.Sess.Start() }
+
+// RunUntil advances the simulation clock.
+func (sc *Scenario) RunUntil(t sim.Time) { sc.Env.Sch.RunUntil(t) }
+
+// Series returns every collected series in declaration order: metered
+// receivers, metered flows, aggregates, samples. Intended for generic
+// preset output; figure runners pick and order series themselves.
+func (sc *Scenario) Series() []*stats.Series {
+	var out []*stats.Series
+	for _, r := range sc.Recvs {
+		if r.Meter != nil {
+			out = append(out, r.Meter.Series)
+		}
+	}
+	for _, f := range sc.Flows {
+		if f.Meter != nil {
+			out = append(out, f.Meter.Series)
+		}
+	}
+	out = append(out, sc.Aggs...)
+	out = append(out, sc.Samples...)
+	return out
+}
+
+// Run builds the spec on env, starts the session, runs for the spec's
+// duration and returns the populated scenario.
+func Run(env Env, spec *Spec) *Scenario {
+	sc := Build(env, spec)
+	sc.Start()
+	sc.RunUntil(spec.Duration)
+	return sc
+}
+
+// Build instantiates the spec on env without starting the session or
+// advancing time: topology, sender and session, population, steps in
+// declaration order, then the event script. Callers that need a custom
+// measurement loop call Build, then Start and drive the clock themselves.
+func Build(env Env, spec *Spec) *Scenario {
+	net := env.Net
+	sc := &Scenario{
+		Spec: spec, Env: env,
+		Topo:       buildTopology(net, spec.Topology),
+		flowByName: map[string]*Flow{},
+	}
+
+	// The TFMCC source and session, wired like every hand-built figure:
+	// a fresh node on a fast access duplex into the sender attach point.
+	snd := net.AddNode("tfmcc-src")
+	net.AddDuplex(snd, sc.Topo.SenderAttach, 0, sim.Millisecond, 0)
+	group, port := spec.Session.Group, spec.Session.Port
+	if group == 0 {
+		group = 1
+	}
+	if port == 0 {
+		port = 100
+	}
+	cfg := tfmcc.DefaultConfig()
+	if spec.Session.Cfg != nil {
+		cfg = *spec.Session.Cfg
+	}
+	sc.Sess = tfmcc.NewSession(net, snd, group, port, cfg, env.Rng)
+
+	if spec.Pop != nil {
+		sc.expandPopulation(spec.Pop)
+	}
+	for _, st := range spec.Steps {
+		switch {
+		case st.Site != nil:
+			sc.buildSite(st.Site)
+		case st.Recv != nil:
+			sc.buildRecv(st.Recv)
+		case st.TCP != nil:
+			sc.buildTCP(st.TCP)
+		case st.CBR != nil:
+			sc.buildCBR(st.CBR)
+		case st.Agg != nil:
+			sc.buildAgg(st.Agg)
+		case st.Sample != nil:
+			sc.buildSample(st.Sample)
+		default:
+			panic(fmt.Sprintf("scenario %s: empty step", spec.Name))
+		}
+	}
+	for _, ev := range spec.Events {
+		sc.scheduleEvent(ev)
+	}
+	return sc
+}
+
+// expandPopulation instantiates the uniform receiver block as implicit
+// Site+Recv steps ahead of the explicit ones.
+func (sc *Scenario) expandPopulation(p *Population) {
+	count := p.Count
+	if p.PerAttach && count == 0 {
+		count = len(sc.Topo.Attach)
+	}
+	hop := p.Hop
+	if hop == (Hop{}) {
+		hop = FastHop()
+	}
+	for i := 0; i < count; i++ {
+		parent := p.Parent
+		if p.PerAttach {
+			parent = AttachPoint(i % len(sc.Topo.Attach))
+		}
+		meter := ""
+		if i == 0 {
+			meter = p.Meter
+		}
+		if p.Direct {
+			sc.buildRecv(&RecvSpec{At: parent, Meter: meter})
+			continue
+		}
+		site := len(sc.SiteLeaf)
+		sc.buildSite(&SiteSpec{Parent: parent, Hops: []Hop{hop}, Jitter: p.Jitter})
+		sc.buildRecv(&RecvSpec{At: Site(site), Meter: meter})
+	}
+}
+
+func (sc *Scenario) node(r NodeRef) simnet.NodeID {
+	switch r.Kind {
+	case RefCore:
+		return sc.Topo.Nodes[r.Index]
+	case RefAttach:
+		return sc.Topo.Attach[r.Index]
+	case RefSite:
+		return sc.SiteLeaf[r.Index]
+	case RefSiteMid:
+		id := sc.SiteMid[r.Index]
+		if id < 0 {
+			panic(fmt.Sprintf("scenario %s: site %d has no intermediate node", sc.Spec.Name, r.Index))
+		}
+		return id
+	}
+	panic(fmt.Sprintf("scenario %s: bad node ref %+v", sc.Spec.Name, r))
+}
+
+func (sc *Scenario) link(r LinkRef) *simnet.Link {
+	dir := 0
+	if r.Up {
+		dir = 1
+	}
+	if r.Site < 0 {
+		return sc.Topo.Links[2*r.Hop+dir]
+	}
+	return sc.SiteLinks[r.Site][2*r.Hop+dir]
+}
+
+// buildSite creates a site's access path. All nodes are created before
+// any link — the exact sequence the hand-wired figures used — so node
+// and link identity is preserved for byte-identical replay.
+func (sc *Scenario) buildSite(s *SiteSpec) {
+	net := sc.Env.Net
+	parent := sc.node(s.Parent)
+	if len(s.Hops) < 1 || len(s.Hops) > 2 {
+		panic(fmt.Sprintf("scenario %s: site needs 1 or 2 hops, got %d", sc.Spec.Name, len(s.Hops)))
+	}
+	idx := len(sc.SiteLeaf)
+	hops := append([]Hop(nil), s.Hops...)
+	nodes := make([]simnet.NodeID, len(hops))
+	for h := range hops {
+		nodes[h] = net.AddNode(fmt.Sprintf("site%d-%d", idx, h))
+	}
+	if s.Jitter != nil {
+		d := sim.Time(s.Jitter.MinMs+sc.Env.Rng.Intn(s.Jitter.SpanMs)) * sim.Millisecond
+		hops[0].Down.Delay, hops[0].Up.Delay = d, d
+	}
+	var links []*simnet.Link
+	at := parent
+	for h, hop := range hops {
+		down := net.AddLink(at, nodes[h], hop.Down.BW, hop.Down.Delay, hop.Down.Queue)
+		up := net.AddLink(nodes[h], at, hop.Up.BW, hop.Up.Delay, hop.Up.Queue)
+		down.LossProb, up.LossProb = hop.Down.Loss, hop.Up.Loss
+		links = append(links, down, up)
+		at = nodes[h]
+	}
+	sc.SiteLeaf = append(sc.SiteLeaf, nodes[len(nodes)-1])
+	mid := simnet.NodeID(-1)
+	if len(nodes) == 2 {
+		mid = nodes[0]
+	}
+	sc.SiteMid = append(sc.SiteMid, mid)
+	sc.SiteLinks = append(sc.SiteLinks, links)
+}
+
+func (sc *Scenario) buildRecv(r *RecvSpec) {
+	slot := &RecvSlot{}
+	sc.Recvs = append(sc.Recvs, slot)
+	join := func() {
+		rcv := sc.Sess.AddReceiver(sc.node(r.At))
+		slot.R = rcv
+		if r.Meter != "" {
+			m := sc.Env.NewMeter(r.Meter)
+			rcv.Meter = m
+			m.Start()
+			slot.Meter = m
+		}
+	}
+	if r.JoinAt == 0 {
+		join()
+	} else {
+		sc.Env.Sch.At(r.JoinAt, join)
+	}
+	if r.LeaveAt > 0 {
+		sc.Env.Sch.At(r.LeaveAt, func() {
+			if slot.R != nil {
+				slot.R.Leave()
+			}
+		})
+	}
+}
+
+func (sc *Scenario) registerFlow(f *Flow) {
+	if _, dup := sc.flowByName[f.Name]; dup {
+		panic(fmt.Sprintf("scenario %s: duplicate flow %q", sc.Spec.Name, f.Name))
+	}
+	sc.Flows = append(sc.Flows, f)
+	sc.flowByName[f.Name] = f
+}
+
+// buildEndpoints creates a flow's fresh source and sink nodes and their
+// fast access duplexes (source into from, sink behind to) — the addTCP
+// wiring every figure used.
+func (sc *Scenario) buildEndpoints(name string, from, to NodeRef) (a, b simnet.NodeID) {
+	net := sc.Env.Net
+	a = net.AddNode(name + "-src")
+	b = net.AddNode(name + "-dst")
+	net.AddDuplex(a, sc.node(from), 0, sim.Millisecond, 0)
+	net.AddDuplex(sc.node(to), b, 0, sim.Millisecond, 0)
+	return a, b
+}
+
+func (sc *Scenario) buildTCP(t *TCPSpec) {
+	a, b := sc.buildEndpoints(t.Name, t.From, t.To)
+	cfg := tcpsim.DefaultConfig()
+	if t.Cfg != nil {
+		cfg = *t.Cfg
+	}
+	snd, snk := tcpsim.NewFlow(t.Name, sc.Env.Net, a, b, t.Port, cfg)
+	f := &Flow{Name: t.Name, TCP: snd, TCPSink: snk}
+	if t.Meter != "" {
+		m := sc.Env.NewMeter(t.Meter)
+		snk.Meter = m
+		m.Start()
+		f.Meter = m
+	}
+	sc.registerFlow(f)
+	sc.scheduleFlow(f, t.StartAt, t.StopAt)
+}
+
+func (sc *Scenario) buildCBR(c *CBRSpec) {
+	a, b := sc.buildEndpoints(c.Name, c.From, c.To)
+	net := sc.Env.Net
+	src := simnet.Addr{Node: a, Port: c.Port}
+	dst := simnet.Addr{Node: b, Port: c.Port}
+	cbr := NewCBR(net, src, dst, c.Rate, c.Size)
+	sink := &CBRSink{}
+	net.Bind(dst, sink)
+	f := &Flow{Name: c.Name, CBR: cbr, CBRSink: sink}
+	if c.Meter != "" {
+		m := sc.Env.NewMeter(c.Meter)
+		sink.Meter = m
+		m.Start()
+		f.Meter = m
+	}
+	sc.registerFlow(f)
+	sc.scheduleFlow(f, c.StartAt, c.StopAt)
+}
+
+func (sc *Scenario) scheduleFlow(f *Flow, startAt, stopAt sim.Time) {
+	if startAt == 0 {
+		f.start()
+	} else {
+		sc.Env.Sch.At(startAt, f.start)
+	}
+	if stopAt > 0 {
+		sc.Env.Sch.At(stopAt, f.stop)
+	}
+}
+
+// buildAgg replicates the figures' aggregation ticker: once per period,
+// sum the latest per-second readings of the named flows' meters. The
+// first tick is scheduled at construction, after the meters it reads, so
+// same-instant sampling keeps the meters-then-aggregate event order.
+func (sc *Scenario) buildAgg(a *AggSpec) {
+	every := a.Every
+	if every == 0 {
+		every = sim.Second
+	}
+	ms := make([]*stats.Meter, len(a.Flows))
+	for i, name := range a.Flows {
+		f := sc.Flow(name)
+		if f.Meter == nil {
+			panic(fmt.Sprintf("scenario %s: aggregate %q over unmetered flow %q", sc.Spec.Name, a.Name, name))
+		}
+		ms[i] = f.Meter
+	}
+	series := &stats.Series{Name: a.Name}
+	sc.Aggs = append(sc.Aggs, series)
+	sch := sc.Env.Sch
+	var tick func()
+	tick = func() {
+		sch.After(every, func() {
+			var sum float64
+			for _, m := range ms {
+				if n := len(m.Series.Points); n > 0 {
+					sum += m.Series.Points[n-1].V
+				}
+			}
+			series.Add(sch.Now(), sum)
+			tick()
+		})
+	}
+	tick()
+}
+
+func (sc *Scenario) buildSample(s *SampleSpec) {
+	every := s.Every
+	if every == 0 {
+		every = sim.Second
+	}
+	series := &stats.Series{Name: s.Name}
+	sc.Samples = append(sc.Samples, series)
+	sch := sc.Env.Sch
+	sample := func() float64 {
+		switch s.What {
+		case SampleValidRTT:
+			return float64(sc.Sess.ValidRTTCount())
+		case SampleSenderRate:
+			return sc.Sess.Sender.Rate()
+		case SampleMembers:
+			return float64(sc.Env.Net.Members(sc.Sess.Group))
+		}
+		panic(fmt.Sprintf("scenario %s: bad sample kind %d", sc.Spec.Name, s.What))
+	}
+	var tick func()
+	tick = func() {
+		sch.After(every, func() {
+			series.Add(sch.Now(), sample())
+			tick()
+		})
+	}
+	tick()
+}
+
+func (sc *Scenario) scheduleEvent(ev Event) {
+	switch {
+	case ev.SetLink != nil:
+		m := ev.SetLink
+		sc.Env.Sch.At(ev.At, func() {
+			l := sc.link(m.Link)
+			if m.BW != nil {
+				l.SetBandwidth(*m.BW)
+			}
+			if m.Delay != nil {
+				l.SetDelay(*m.Delay)
+			}
+			if m.Loss != nil {
+				l.SetLoss(*m.Loss)
+			}
+		})
+	case ev.Start != "":
+		f := sc.Flow(ev.Start) // resolve eagerly: typos fail at build
+		sc.Env.Sch.At(ev.At, f.start)
+	case ev.Stop != "":
+		f := sc.Flow(ev.Stop)
+		sc.Env.Sch.At(ev.At, f.stop)
+	default:
+		panic(fmt.Sprintf("scenario %s: empty event", sc.Spec.Name))
+	}
+}

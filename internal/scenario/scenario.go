@@ -1,0 +1,313 @@
+// Package scenario turns experiment setups into data. A Spec declares a
+// topology (generated from one of the standard shapes), an ordered list
+// of construction steps — access links, TFMCC receivers with join/leave
+// times, TCP and CBR cross-traffic — and a timed event script that
+// mutates link properties or toggles flows mid-run. The executor
+// (Build/Run) wires the spec onto a simulation environment in a single
+// deterministic order, so a scenario is reproducible from its data alone
+// and rewindable through the simnet arena like any hand-built setup.
+//
+// The paper's figure runners build their setups from Specs (each figure
+// is a named preset of this package's vocabulary), and new scenarios —
+// churn scripts, mid-run bottleneck degradation, wireless-like lossy
+// edges — are added by declaring data, not by writing plumbing.
+package scenario
+
+import (
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/tcpsim"
+	"repro/internal/tfmcc"
+)
+
+// Port aliases simnet.Port for compact spec literals.
+type Port = simnet.Port
+
+// LinkP are the per-direction properties of one link.
+type LinkP struct {
+	BW    float64  // bytes/second; 0 = infinite
+	Delay sim.Time // propagation delay
+	Loss  float64  // Bernoulli drop probability on entry
+	Queue int      // queue limit in packets (ignored for infinite links)
+}
+
+// Hop is one duplex segment of an access path: Down carries traffic
+// towards the receiver, Up back towards the core.
+type Hop struct {
+	Down, Up LinkP
+}
+
+// FastHop is the standard uncongested access link: infinite bandwidth,
+// 1 ms each way, no loss — what every figure uses for plain attachments.
+func FastHop() Hop {
+	p := LinkP{Delay: sim.Millisecond}
+	return Hop{Down: p, Up: p}
+}
+
+// SymHop builds a symmetric hop from one set of properties.
+func SymHop(p LinkP) Hop { return Hop{Down: p, Up: p} }
+
+// Jitter draws a site's first-hop delay (both directions) uniformly from
+// {Min, Min+1, ..., Min+Span-1} milliseconds using the environment's
+// protocol RNG, one draw per site in step order.
+type Jitter struct {
+	MinMs, SpanMs int
+}
+
+// Kind selects a topology generator.
+type Kind int
+
+const (
+	// Dumbbell is the classic two-router shape: node 0 (left) and node 1
+	// (right) joined by the Core bottleneck duplex.
+	Dumbbell Kind = iota
+	// Star is a single hub (node 0); capacity lives on per-site access
+	// links declared as steps. Core is unused.
+	Star
+	// Tree is a k-ary distribution tree of interior Core duplexes; the
+	// attach points are its leaves.
+	Tree
+	// Chain is a linear sequence of Hops+1 routers joined by Core
+	// duplexes — a long multi-hop path; the attach point is the far end.
+	Chain
+	// TransitStub is a chain of Transit core routers, each serving Stubs
+	// stub routers over StubLink duplexes; the attach points are the stub
+	// routers, round-robin across transit nodes.
+	TransitStub
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Dumbbell:
+		return "dumbbell"
+	case Star:
+		return "star"
+	case Tree:
+		return "tree"
+	case Chain:
+		return "chain"
+	case TransitStub:
+		return "transit-stub"
+	}
+	return "unknown"
+}
+
+// Topology declares the generated core of a scenario.
+type Topology struct {
+	Kind Kind
+	Core LinkP // bottleneck (Dumbbell) / interior links (Tree, Chain, TransitStub)
+
+	Fanout, Depth int // Tree
+
+	Hops int // Chain: number of core links
+
+	Transit  int   // TransitStub: transit routers
+	Stubs    int   // TransitStub: stub routers per transit node
+	StubLink LinkP // TransitStub: transit->stub duplex properties
+}
+
+// Session configures the TFMCC session every scenario carries. The
+// source node hangs off the topology's sender attach point over a fast
+// access duplex, exactly like the hand-wired figures.
+type Session struct {
+	Group simnet.GroupID // default 1
+	Port  simnet.Port    // default 100
+	Cfg   *tfmcc.Config  // nil = tfmcc.DefaultConfig()
+}
+
+// RefKind discriminates NodeRef targets.
+type RefKind int
+
+const (
+	// RefCore indexes the topology's core nodes in creation order.
+	RefCore RefKind = iota
+	// RefAttach indexes the topology's canonical attach points (dumbbell:
+	// right router; star: hub; tree: leaves; chain: far end; transit-stub:
+	// stub routers).
+	RefAttach
+	// RefSite is the leaf node of the Index-th Site step.
+	RefSite
+	// RefSiteMid is the intermediate node of a two-hop Site step.
+	RefSiteMid
+)
+
+// NodeRef names a node of the built scenario symbolically.
+type NodeRef struct {
+	Kind  RefKind
+	Index int
+}
+
+// Core references the i-th core node of the topology.
+func Core(i int) NodeRef { return NodeRef{RefCore, i} }
+
+// AttachPoint references the i-th canonical attach point.
+func AttachPoint(i int) NodeRef { return NodeRef{RefAttach, i} }
+
+// Site references the leaf node of the i-th Site step.
+func Site(i int) NodeRef { return NodeRef{RefSite, i} }
+
+// SiteMid references the intermediate node of the i-th (two-hop) Site.
+func SiteMid(i int) NodeRef { return NodeRef{RefSiteMid, i} }
+
+// LinkRef names a link of the built scenario symbolically.
+type LinkRef struct {
+	Site int  // site index, or -1 for a core link
+	Hop  int  // hop index within the site, or core-link index
+	Up   bool // reverse (towards-core / right-to-left) direction
+}
+
+// CoreLink references the i-th core link pair (down direction unless Up).
+func CoreLink(i int) LinkRef { return LinkRef{Site: -1, Hop: i} }
+
+// SiteLink references hop h of site s (down direction unless up).
+func SiteLink(s, h int, up bool) LinkRef { return LinkRef{Site: s, Hop: h, Up: up} }
+
+// SiteSpec attaches an access path (1 or 2 hops) to the topology,
+// creating this scenario's next site. Sites are numbered in step order.
+type SiteSpec struct {
+	Parent NodeRef // where the first hop hangs; zero value = AttachPoint(0)
+	Hops   []Hop   // 1 or 2 hops; the last node created is the site leaf
+	Jitter *Jitter // optional randomised first-hop delay
+}
+
+// RecvSpec joins a TFMCC receiver. Receivers are numbered in step order;
+// scheduled joins (JoinAt > 0) instantiate the receiver when the event
+// fires, exactly like the hand-wired figures did.
+type RecvSpec struct {
+	At      NodeRef  // attachment node, typically Site(i)
+	JoinAt  sim.Time // 0 = join during construction
+	LeaveAt sim.Time // 0 = never leave
+	Meter   string   // series name; "" = unmetered
+}
+
+// TCPSpec wires a TCP NewReno flow: a fresh source node fast-linked to
+// From, a fresh sink node fast-linked behind To.
+type TCPSpec struct {
+	Name     string // unique flow key (events, aggregates)
+	From, To NodeRef
+	Port     simnet.Port
+	StartAt  sim.Time // 0 = start during construction
+	StopAt   sim.Time // 0 = never stop
+	Meter    string   // goodput series name; "" = unmetered
+	Cfg      *tcpsim.Config
+}
+
+// CBRSpec wires a constant-bit-rate background source between fresh
+// endpoint nodes, like TCPSpec.
+type CBRSpec struct {
+	Name     string
+	From, To NodeRef
+	Port     simnet.Port
+	Rate     float64 // bytes/second
+	Size     int     // packet size in bytes
+	StartAt  sim.Time
+	StopAt   sim.Time
+	Meter    string
+}
+
+// AggSpec samples the sum of the named flows' most recent meter readings
+// once per Every (default 1 s) into a new series — the "aggregated TCP"
+// curves of figures 15/16/21.
+type AggSpec struct {
+	Name  string
+	Flows []string
+	Every sim.Time
+}
+
+// SampleKind selects what a SampleSpec records.
+type SampleKind int
+
+const (
+	// SampleValidRTT counts receivers holding a real RTT measurement.
+	SampleValidRTT SampleKind = iota
+	// SampleSenderRate records the TFMCC sender's current rate (bytes/s).
+	SampleSenderRate
+	// SampleMembers records the multicast group's member count.
+	SampleMembers
+)
+
+// SampleSpec periodically samples a session-level quantity into a series.
+type SampleSpec struct {
+	Name  string
+	What  SampleKind
+	Every sim.Time // default 1 s
+}
+
+// Step is one ordered construction action. Exactly one field is set.
+// Step order is the construction order, which pins node/link identity,
+// RNG consumption and same-instant event ordering — the properties that
+// make a scenario byte-reproducible.
+type Step struct {
+	Site   *SiteSpec
+	Recv   *RecvSpec
+	TCP    *TCPSpec
+	CBR    *CBRSpec
+	Agg    *AggSpec
+	Sample *SampleSpec
+}
+
+// Population declares a uniform receiver block: Count single-hop sites
+// (or direct attachments) with one receiver each, expanded before the
+// explicit Steps. It exists so large uniform scenarios stay compact and
+// so the receiver count is overridable from the command line.
+type Population struct {
+	Count     int
+	Parent    NodeRef // zero value = AttachPoint(0)
+	PerAttach bool    // round-robin receivers over all attach points
+	Direct    bool    // no access hop: join on the parent node itself
+	Hop       Hop     // access hop (ignored when Direct); zero value = FastHop
+	Jitter    *Jitter
+	Meter     string // meter name for receiver 0; "" = none
+}
+
+// SetLink is a timed link-property mutation. Nil fields stay unchanged.
+type SetLink struct {
+	Link  LinkRef
+	BW    *float64
+	Delay *sim.Time
+	Loss  *float64
+}
+
+// Event is one entry of the timed script. Exactly one action is set.
+type Event struct {
+	At      sim.Time
+	SetLink *SetLink
+	Start   string // start the named flow
+	Stop    string // stop the named flow
+}
+
+// Spec is a complete declarative scenario.
+type Spec struct {
+	Name     string
+	Title    string
+	Topology Topology
+	Session  Session
+	Pop      *Population
+	Steps    []Step
+	Events   []Event
+	Duration sim.Time
+}
+
+// BW converts Mbit/s to the bytes/second links use.
+func BW(mbit float64) float64 { return mbit * 125000 }
+
+// KbitBW converts Kbit/s to bytes/second.
+func KbitBW(kbit float64) float64 { return kbit * 125 }
+
+func ptrF(v float64) *float64   { return &v }
+func ptrT(v sim.Time) *sim.Time { return &v }
+
+// SetBWEvent mutates a link's bandwidth at time t.
+func SetBWEvent(at sim.Time, l LinkRef, bw float64) Event {
+	return Event{At: at, SetLink: &SetLink{Link: l, BW: ptrF(bw)}}
+}
+
+// SetDelayEvent mutates a link's propagation delay at time t.
+func SetDelayEvent(at sim.Time, l LinkRef, d sim.Time) Event {
+	return Event{At: at, SetLink: &SetLink{Link: l, Delay: ptrT(d)}}
+}
+
+// SetLossEvent mutates a link's random-loss probability at time t.
+func SetLossEvent(at sim.Time, l LinkRef, p float64) Event {
+	return Event{At: at, SetLink: &SetLink{Link: l, Loss: ptrF(p)}}
+}

@@ -51,6 +51,36 @@ func (l *Link) resetForReuse(bandwidth float64, delay sim.Time, queueLimit int) 
 	}
 }
 
+// SetDelay changes the link's propagation delay at runtime (a scenario
+// event: route flaps, mobility, load-dependent latency). Unicast routes
+// and multicast trees depend on delay, so a real change invalidates both
+// — lazily: routes recompute at the next Send, and only the trees that
+// are actually forwarded over again are recompiled. Packets already in
+// flight (queued, serialising, or propagating) keep the delay they were
+// scheduled with; the new delay applies from the next hop transmission.
+//
+// The network remembers that a run mutated delays so Reset can restore
+// the recorded construction state on rewind (see Network.Reset).
+func (l *Link) SetDelay(d sim.Time) {
+	if d == l.Delay {
+		return
+	}
+	l.Delay = d
+	l.net.noteDelayChange()
+}
+
+// SetBandwidth changes the link's bandwidth (bytes/second, 0 = infinite)
+// at runtime. Routing is delay-based, so no caches are invalidated; a
+// packet currently on the serialiser finishes at the old rate and the
+// next dequeue uses the new one. Note that packets queued behind a link
+// narrowed to 0 (infinite) drain instantaneously.
+func (l *Link) SetBandwidth(bw float64) { l.Bandwidth = bw }
+
+// SetLoss changes the link's Bernoulli drop probability at runtime.
+// Nothing caches loss, so this is a plain field write kept as a method
+// for symmetry with SetDelay/SetBandwidth in event scripts.
+func (l *Link) SetLoss(p float64) { l.LossProb = p }
+
 // send places a packet on the link, applying the loss module and queue.
 // It consumes one packet reference on every path that ends here (drops).
 func (l *Link) send(pkt *Packet) {
@@ -85,7 +115,12 @@ func (l *Link) startTx() {
 		l.busy = false
 		return
 	}
-	txTime := sim.FromSeconds(float64(pkt.Size) / l.Bandwidth)
+	var txTime sim.Time
+	if l.Bandwidth > 0 {
+		txTime = sim.FromSeconds(float64(pkt.Size) / l.Bandwidth)
+	}
+	// Bandwidth 0 here means the link was widened to infinite via
+	// SetBandwidth while packets were queued: drain them instantly.
 	l.net.sched.AfterArg(txTime, l.txDoneFn, pkt)
 }
 

@@ -172,8 +172,8 @@ func TestPacketPoolRecycle(t *testing.T) {
 	p.IsMcast = true
 	net.Send(p)
 	sch.Run()
-	if len(net.freePkts) != 1 {
-		t.Fatalf("pooled packet not recycled: free list has %d", len(net.freePkts))
+	if len(net.freePkts[0]) != 1 {
+		t.Fatalf("pooled packet not recycled: free list has %d", len(net.freePkts[0]))
 	}
 	if q := net.AllocPacket(); q != p {
 		t.Fatal("AllocPacket should reuse the recycled packet")
@@ -185,7 +185,7 @@ func TestPacketPoolRecycle(t *testing.T) {
 	// added to the free list.
 	net.Send(&Packet{Size: 100, Src: Addr{src, 1}, Dst: Addr{r1, 1}})
 	sch.Run()
-	if len(net.freePkts) != 0 {
-		t.Fatalf("unpooled packet recycled: free list has %d", len(net.freePkts))
+	if len(net.freePkts[0]) != 0 {
+		t.Fatalf("unpooled packet recycled: free list has %d", len(net.freePkts[0]))
 	}
 }

@@ -43,7 +43,7 @@ type Network struct {
 	done []bool
 	dh   []distEntry
 
-	freePkts []*Packet
+	freePkts [NumPacketClasses][]*Packet
 
 	// Arena reuse (EnableReuse/Reset): the construction op log lets a
 	// rewound network hand the same nodes and links back to a scenario
@@ -54,6 +54,12 @@ type Network struct {
 	replay       int // next op to match when >= 0; -1 = recording
 	hadOverwrite bool
 	arena        *sim.Arena
+
+	// runMutated records that a Link.SetDelay fired since the last Reset:
+	// routes (and trees) may have been recomputed against mutated delays,
+	// so a rewind must invalidate them even when the replayed construction
+	// calls repeat the recorded parameters exactly.
+	runMutated bool
 
 	// DropHook, when set, observes every congestion (queue) drop.
 	DropHook func(l *Link, pkt *Packet)
@@ -163,6 +169,12 @@ func (n *Network) Reset() bool {
 	clear(n.mcastTrees)
 	n.topoVer++
 	n.DropHook = nil
+	if n.runMutated {
+		// Mid-run delay mutations left routes computed against delays the
+		// replaying AddLink calls are about to restore; force a recompute.
+		n.routesOK = false
+		n.runMutated = false
+	}
 	n.arena.Rewind()
 	// Eagerly clear per-run link state (the replaying AddLink call resets
 	// again with that run's parameters): counters must not leak into the
@@ -374,6 +386,20 @@ func (n *Network) IsMember(g GroupID, id NodeID) bool {
 	return gr != nil && int(id) < len(gr.member) && gr.member[id]
 }
 
+// noteDelayChange invalidates everything that depends on link delays
+// after a runtime Link.SetDelay: unicast routes and every compiled
+// multicast tree (a delay change can reroute paths that never touched
+// the mutated link, so per-tree filtering would be unsound). Both are
+// rebuilt lazily — routes at the next Send, trees per (group, source)
+// as traffic actually flows — and the topology version bump expires the
+// tree pointers cached on in-flight packets.
+func (n *Network) noteDelayChange() {
+	n.routesOK = false
+	clear(n.mcastTrees)
+	n.topoVer++
+	n.runMutated = true
+}
+
 func (n *Network) invalidateGroup(g GroupID) {
 	for k := range n.mcastTrees {
 		if k.group == g {
@@ -383,33 +409,51 @@ func (n *Network) invalidateGroup(g GroupID) {
 	n.topoVer++
 }
 
-// AllocPacket returns a packet from the network's free list. The network
-// reclaims it after the final delivery (or drop), so handlers must copy
-// anything they need to keep; senders must not touch it after Send.
+// NumPacketClasses bounds the recycling classes of AllocPacketClass.
+// Current convention: 0 tfmcc (data + rare reports), 1-2 tcpsim
+// segment/ack, 3-4 tfrc data/feedback, 5-7 pgmcc data/ack/report,
+// 8 scenario CBR.
+const NumPacketClasses = 16
+
+// AllocPacket returns a packet from the network's default free list.
+// The network reclaims it after the final delivery (or drop), so
+// handlers must copy anything they need to keep; senders must not touch
+// it after Send.
 //
 // A recycled packet keeps its last Payload: protocols that box a pooled
 // header pointer (e.g. *tfmcc.Data) can reuse the box when the type
 // matches and overwrite the Payload otherwise, making their steady-state
 // send path allocation-free. The header box follows the packet's
 // lifetime, so it is never still referenced when handed out again.
-func (n *Network) AllocPacket() *Packet {
-	if k := len(n.freePkts); k > 0 {
-		p := n.freePkts[k-1]
-		n.freePkts = n.freePkts[:k-1]
+func (n *Network) AllocPacket() *Packet { return n.AllocPacketClass(0) }
+
+// AllocPacketClass is AllocPacket with a separate recycling class: a
+// packet returns to the free list of the class it was allocated from.
+// Protocols whose data and acknowledgement streams interleave (TCP,
+// PGMCC, TFRC) draw them from distinct classes so a recycled packet's
+// pooled header box always matches the payload type about to be written
+// — a single shared LIFO would alternate box types under bursts and
+// reallocate on every mismatch. Class assignments are a repo-wide
+// convention (see each protocol package); class 0 is the default.
+func (n *Network) AllocPacketClass(class uint8) *Packet {
+	free := &n.freePkts[class]
+	if k := len(*free); k > 0 {
+		p := (*free)[k-1]
+		*free = (*free)[:k-1]
 		return p
 	}
-	return &Packet{pooled: true}
+	return &Packet{pooled: true, class: class}
 }
 
 // releasePkt drops one reference; the last reference of a pooled packet
-// recycles it onto the free list. The Payload survives recycling (see
-// AllocPacket); everything else is zeroed.
+// recycles it onto its class's free list. The Payload survives recycling
+// (see AllocPacket); everything else is zeroed.
 func (n *Network) releasePkt(p *Packet) {
 	p.refs--
 	if p.refs == 0 && p.pooled {
 		payload := p.Payload
-		*p = Packet{pooled: true, Payload: payload}
-		n.freePkts = append(n.freePkts, p)
+		*p = Packet{pooled: true, Payload: payload, class: p.class}
+		n.freePkts[p.class] = append(n.freePkts[p.class], p)
 	}
 }
 

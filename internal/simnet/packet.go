@@ -45,6 +45,7 @@ type Packet struct {
 	treeVer uint32
 	refs    int32 // outstanding forwarding tokens
 	pooled  bool  // came from AllocPacket; recycle at refs==0
+	class   uint8 // recycling class (AllocPacketClass); keeps box types stable
 }
 
 // Handler consumes packets delivered to a port.

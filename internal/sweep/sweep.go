@@ -71,14 +71,25 @@ type Result struct {
 // the per-seed series into bands.
 func Run(cfg Config, fn RunFunc) *Result {
 	cfg = cfg.Normalized()
-	runs := make([][]*stats.Series, cfg.Seeds)
-	forEach(cfg, func(worker, i int) { runs[i] = fn(worker, cfg.Seed(i)) })
 	return &Result{
-		Bands:   stats.MergeRuns(runs, cfg.CI),
+		Bands:   stats.MergeRuns(RunRaw(cfg, fn), cfg.CI),
 		Seeds:   cfg.Seeds,
 		Workers: cfg.Workers,
 		CI:      cfg.CI,
 	}
+}
+
+// RunRaw executes fn for every seed and returns the raw per-seed series
+// in seed order, for callers that merge seed-range fragments themselves:
+// stats.MergeRuns over the concatenation of consecutive fragments'
+// RunRaw outputs is byte-identical to one full Run over the whole range.
+// This is the primitive behind seed-range sharding, where one expensive
+// scenario's seeds are split across machines.
+func RunRaw(cfg Config, fn RunFunc) [][]*stats.Series {
+	cfg = cfg.Normalized()
+	runs := make([][]*stats.Series, cfg.Seeds)
+	forEach(cfg, func(worker, i int) { runs[i] = fn(worker, cfg.Seed(i)) })
+	return runs
 }
 
 // Scalars evaluates a scalar metric for every seed and returns the values

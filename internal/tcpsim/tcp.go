@@ -13,6 +13,14 @@ import (
 	"repro/internal/stats"
 )
 
+// Packet recycling classes (see simnet.Network.AllocPacketClass):
+// separating segments from ACKs keeps each recycled packet's pooled
+// header box type-stable, so the steady-state path never reallocates.
+const (
+	classSegment = 1
+	classAck     = 2
+)
+
 // Segment is the payload of a TCP data packet.
 type Segment struct {
 	Seq int64
@@ -75,7 +83,9 @@ type Sender struct {
 	haveRTT      bool
 	rtoTimer     sim.Timer
 	sendFn       func(any) // pre-bound so jittered departures allocate no closure
+	timeoutFn    func(any) // pre-bound so re-arming the RTO allocates no closure
 	backoff      int
+	stopped      bool
 
 	rttSeq     int64
 	rttSentAt  sim.Time
@@ -102,12 +112,35 @@ func NewSender(name string, net *simnet.Network, src, dst simnet.Addr, cfg Confi
 		cwnd: 1, ssthresh: cfg.MaxCwnd, rto: cfg.InitialRTO,
 	}
 	s.sendFn = func(a any) { s.net.Send(a.(*simnet.Packet)) }
+	s.timeoutFn = func(any) { s.onTimeout() }
 	net.Bind(src, simnet.HandlerFunc(s.recv))
 	return s
 }
 
-// Start begins the transfer.
-func (s *Sender) Start() { s.trySend() }
+// Start begins (or, after Stop, resumes) the transfer. ACKs received
+// while stopped were discarded, so segments still outstanding from
+// before the pause are treated as lost: go-back-N from the cumulative
+// ACK point, exactly like a retransmission timeout, or the window would
+// stay full forever with no timer running to drain it.
+func (s *Sender) Start() {
+	s.stopped = false
+	if s.flight() > 0 {
+		s.dupAcks = 0
+		s.inFR = false
+		s.rttPending = false // Karn: everything below is a retransmit
+		s.nextSeq = s.una
+		s.recover = s.una
+	}
+	s.trySend()
+}
+
+// Stop quiesces the sender: no new transmissions, the retransmission
+// timer is cancelled, and incoming ACKs are ignored until Start is
+// called again. Used by scenario scripts to model on/off cross-traffic.
+func (s *Sender) Stop() {
+	s.stopped = true
+	s.rtoTimer.Stop()
+}
 
 // Cwnd returns the current congestion window in packets.
 func (s *Sender) Cwnd() float64 { return s.cwnd }
@@ -115,6 +148,9 @@ func (s *Sender) Cwnd() float64 { return s.cwnd }
 func (s *Sender) flight() float64 { return float64(s.nextSeq - s.una) }
 
 func (s *Sender) trySend() {
+	if s.stopped {
+		return
+	}
 	cw := math.Min(s.cwnd, s.cfg.MaxCwnd)
 	for s.flight() < math.Floor(cw) {
 		s.transmit(s.nextSeq, false)
@@ -139,11 +175,18 @@ func (s *Sender) transmit(seq int64, isRetx bool) {
 			s.rttPending = false
 		}
 	}
-	pkt := s.net.AllocPacket()
+	pkt := s.net.AllocPacketClass(classSegment)
 	pkt.Size = s.cfg.PacketSize
 	pkt.Src = s.src
 	pkt.Dst = s.dst
-	pkt.Payload = Segment{Seq: seq}
+	// Recycled packets keep their header box: reusing it makes the
+	// steady-state data path allocation-free (see Network.AllocPacket).
+	seg, ok := pkt.Payload.(*Segment)
+	if !ok {
+		seg = new(Segment)
+		pkt.Payload = seg
+	}
+	seg.Seq = seq
 	if s.cfg.Overhead > 0 {
 		depart := s.sch.Now() + sim.Time(s.net.Rand().Uniform(0, float64(s.cfg.Overhead)))
 		// Keep departures monotonic so the jitter cannot reorder segments.
@@ -175,7 +218,7 @@ func (s *Sender) armRTO() {
 			break
 		}
 	}
-	s.rtoTimer = s.sch.After(d, s.onTimeout)
+	s.rtoTimer = s.sch.AfterArg(d, s.timeoutFn, nil)
 }
 
 func (s *Sender) onTimeout() {
@@ -198,11 +241,14 @@ func (s *Sender) onTimeout() {
 	s.armRTO()
 }
 
+// recv handles ACKs. They arrive as pooled *Ack boxes owned by the
+// packet, so the value is copied out before anything else runs.
 func (s *Sender) recv(pkt *simnet.Packet) {
-	ack, ok := pkt.Payload.(Ack)
-	if !ok {
+	ap, ok := pkt.Payload.(*Ack)
+	if !ok || s.stopped {
 		return
 	}
+	ack := *ap
 	if ack.CumAck > s.una {
 		s.onNewAck(ack.CumAck)
 	} else if ack.CumAck == s.una && s.flight() > 0 {
@@ -324,11 +370,14 @@ func NewSink(net *simnet.Network, addr, peer simnet.Addr, cfg Config) *Sink {
 	return k
 }
 
+// recv handles data segments (pooled *Segment boxes; copied at entry)
+// and acknowledges with a pooled *Ack box on the reply packet.
 func (k *Sink) recv(pkt *simnet.Packet) {
-	seg, ok := pkt.Payload.(Segment)
+	sp, ok := pkt.Payload.(*Segment)
 	if !ok {
 		return
 	}
+	seg := *sp
 	k.DeliveredPackets++
 	if seg.Seq == k.next {
 		k.advance(pkt.Size)
@@ -339,11 +388,16 @@ func (k *Sink) recv(pkt *simnet.Packet) {
 	} else if seg.Seq > k.next {
 		k.ooo[seg.Seq] = true
 	}
-	ack := k.net.AllocPacket()
+	ack := k.net.AllocPacketClass(classAck)
 	ack.Size = k.cfg.AckSize
 	ack.Src = k.src
 	ack.Dst = k.peer
-	ack.Payload = Ack{CumAck: k.next}
+	ap, ok := ack.Payload.(*Ack)
+	if !ok {
+		ap = new(Ack)
+		ack.Payload = ap
+	}
+	ap.CumAck = k.next
 	k.net.Send(ack)
 }
 

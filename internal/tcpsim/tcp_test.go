@@ -178,12 +178,12 @@ func TestSinkOutOfOrderReassembly(t *testing.T) {
 	net.AddDuplex(a, b, 0, sim.Millisecond, 0)
 	var acks []int64
 	net.Bind(simnet.Addr{Node: a, Port: 5}, simnet.HandlerFunc(func(p *simnet.Packet) {
-		acks = append(acks, p.Payload.(Ack).CumAck)
+		acks = append(acks, p.Payload.(*Ack).CumAck)
 	}))
 	snk := NewSink(net, simnet.Addr{Node: b, Port: 5}, simnet.Addr{Node: a, Port: 5}, DefaultConfig())
 	send := func(seq int64) {
 		net.Send(&simnet.Packet{Size: 1000, Src: simnet.Addr{Node: a, Port: 5},
-			Dst: simnet.Addr{Node: b, Port: 5}, Payload: Segment{Seq: seq}})
+			Dst: simnet.Addr{Node: b, Port: 5}, Payload: &Segment{Seq: seq}})
 		sch.Run()
 	}
 	send(0)
@@ -229,5 +229,37 @@ func TestAIMDSawtooth(t *testing.T) {
 	}
 	if math.IsNaN(w.Mean()) || w.Mean() < 2 {
 		t.Fatalf("mean cwnd %v too small", w.Mean())
+	}
+}
+
+// TestStopStartResumes pins the scenario on/off cross-traffic path: a
+// sender stopped with a full window in flight (its in-flight ACKs
+// discarded) must resume delivering after Start instead of deadlocking
+// on a window that no ACK will ever open.
+func TestStopStartResumes(t *testing.T) {
+	sch := sim.NewScheduler()
+	net := simnet.New(sch, sim.NewRand(1))
+	a := net.AddNode("a")
+	b := net.AddNode("b")
+	net.AddDuplex(a, b, 125000, 20*sim.Millisecond, 40)
+	snd, snk := NewFlow("flow", net, a, b, 5, DefaultConfig())
+	snd.Start()
+	sch.RunUntil(10 * sim.Second)
+	if snk.DeliveredPackets == 0 {
+		t.Fatal("flow never started")
+	}
+
+	snd.Stop()
+	sch.RunUntil(20 * sim.Second) // in-flight ACKs arrive and are discarded
+	paused := snk.DeliveredPackets
+	sch.RunUntil(21 * sim.Second)
+	if snk.DeliveredPackets != paused {
+		t.Fatalf("sender kept transmitting while stopped: %d -> %d", paused, snk.DeliveredPackets)
+	}
+
+	snd.Start()
+	sch.RunUntil(40 * sim.Second)
+	if snk.DeliveredPackets < paused+500 {
+		t.Fatalf("flow did not resume after Start: %d -> %d delivered", paused, snk.DeliveredPackets)
 	}
 }

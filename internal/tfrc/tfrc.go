@@ -16,6 +16,12 @@ import (
 	"repro/internal/tcpmodel"
 )
 
+// Packet recycling classes (see simnet.Network.AllocPacketClass).
+const (
+	classData     = 3
+	classFeedback = 4
+)
+
 // Data is a TFRC data packet header.
 type Data struct {
 	Seq       int64
@@ -79,6 +85,8 @@ type Sender struct {
 	haveEcho bool
 
 	noFeedback sim.Timer
+	sendFn     func(any) // pre-bound so pacing allocates no closure per packet
+	noFbFn     func(any) // pre-bound no-feedback expiry
 
 	PacketsSent int64
 }
@@ -93,6 +101,8 @@ func NewSender(net *simnet.Network, addr, peer simnet.Addr, cfg Config) *Sender 
 		addr: addr, peer: peer,
 		rate: cfg.InitialRate, slowstart: true,
 	}
+	s.sendFn = func(any) { s.sendLoop() }
+	s.noFbFn = func(any) { s.onNoFeedback() }
 	net.Bind(addr, simnet.HandlerFunc(s.recv))
 	return s
 }
@@ -137,13 +147,20 @@ func (s *Sender) sendLoop() {
 	}
 	s.seq++
 	s.PacketsSent++
-	pkt := s.net.AllocPacket()
+	pkt := s.net.AllocPacketClass(classData)
 	pkt.Size = s.cfg.PacketSize
 	pkt.Src = s.addr
 	pkt.Dst = s.peer
-	pkt.Payload = d
+	// Recycled packets keep their header box: reusing it makes the
+	// steady-state data path allocation-free (see Network.AllocPacket).
+	dp, ok := pkt.Payload.(*Data)
+	if !ok {
+		dp = new(Data)
+		pkt.Payload = dp
+	}
+	*dp = d
 	s.net.Send(pkt)
-	s.sch.After(sim.FromSeconds(float64(s.cfg.PacketSize)/s.rate), s.sendLoop)
+	s.sch.AfterArg(sim.FromSeconds(float64(s.cfg.PacketSize)/s.rate), s.sendFn, nil)
 }
 
 func (s *Sender) currentRTT() sim.Time {
@@ -153,11 +170,14 @@ func (s *Sender) currentRTT() sim.Time {
 	return s.srtt
 }
 
+// recv handles feedback, carried as a pooled *Feedback box owned by the
+// packet; the value is copied out before anything is kept.
 func (s *Sender) recv(pkt *simnet.Packet) {
-	fb, ok := pkt.Payload.(Feedback)
+	fp, ok := pkt.Payload.(*Feedback)
 	if !ok || !s.running {
 		return
 	}
+	fb := *fp
 	now := s.sch.Now()
 	sample := now - fb.EchoTS - fb.EchoDelay
 	if sample > 0 {
@@ -203,13 +223,15 @@ func (s *Sender) armNoFeedback() {
 	s.noFeedback.Stop()
 	d := sim.MaxOf(s.currentRTT().Scale(4),
 		sim.FromSeconds(2*float64(s.cfg.PacketSize)/s.rate))
-	s.noFeedback = s.sch.After(d, func() {
-		if !s.running {
-			return
-		}
-		s.setRate(s.rate / 2)
-		s.armNoFeedback()
-	})
+	s.noFeedback = s.sch.AfterArg(d, s.noFbFn, nil)
+}
+
+func (s *Sender) onNoFeedback() {
+	if !s.running {
+		return
+	}
+	s.setRate(s.rate / 2)
+	s.armNoFeedback()
 }
 
 // Receiver measures loss and reports once per RTT.
@@ -252,11 +274,13 @@ func NewReceiver(net *simnet.Network, addr, peer simnet.Addr, cfg Config) *Recei
 // LossEventRate returns the receiver's measured loss event rate.
 func (r *Receiver) LossEventRate() float64 { return r.est.LossEventRate() }
 
+// recv handles data packets (pooled *Data boxes; copied at entry).
 func (r *Receiver) recv(pkt *simnet.Packet) {
-	d, ok := pkt.Payload.(Data)
+	dp, ok := pkt.Payload.(*Data)
 	if !ok {
 		return
 	}
+	d := *dp
 	now := r.sch.Now()
 	r.PacketsRecv++
 	if r.Meter != nil {
@@ -296,11 +320,16 @@ func (r *Receiver) report(now sim.Time, d Data) {
 	for i := len(r.winTimes) - 1; i >= 0 && r.winTimes[i] >= cut; i-- {
 		bytes += int64(r.winBytes[i])
 	}
-	fb := r.net.AllocPacket()
+	fb := r.net.AllocPacketClass(classFeedback)
 	fb.Size = r.cfg.ReportSize
 	fb.Src = r.addr
 	fb.Dst = r.peer
-	fb.Payload = Feedback{
+	fp, ok := fb.Payload.(*Feedback)
+	if !ok {
+		fp = new(Feedback)
+		fb.Payload = fp
+	}
+	*fp = Feedback{
 		Timestamp: now,
 		EchoTS:    d.SendTime,
 		EchoDelay: now - r.lastArrival,
