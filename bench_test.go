@@ -62,6 +62,11 @@ func BenchmarkScenarioTCPBurst(b *testing.B)   { benchFigure(b, "tcpburst") }
 func BenchmarkScenarioWireless(b *testing.B)   { benchFigure(b, "wireless") }
 func BenchmarkScenarioChainloss(b *testing.B)  { benchFigure(b, "chainloss") }
 
+// Fault-injection presets.
+func BenchmarkScenarioCLRFail(b *testing.B)   { benchFigure(b, "clrfail") }
+func BenchmarkScenarioPartition(b *testing.B) { benchFigure(b, "partition") }
+func BenchmarkScenarioCorruptFB(b *testing.B) { benchFigure(b, "corruptfb") }
+
 func benchAblation(b *testing.B, run func(*experiments.RunCtx, int64) *experiments.Result) {
 	b.Helper()
 	b.ReportAllocs()
@@ -110,6 +115,29 @@ func BenchmarkTFMCCSession(b *testing.B) {
 	ctx := experiments.NewRunCtx()
 	for i := 0; i < b.N; i++ {
 		ctx.SessionThroughput(100, 10)
+	}
+	st := ctx.Stats()
+	sec := b.Elapsed().Seconds()
+	if sec > 0 && st.Events > 0 {
+		b.ReportMetric(float64(st.Events)/sec, "events/sec")
+		b.ReportMetric(float64(st.PacketsDelivered)/sec, "packets/sec")
+		b.ReportMetric(sec*1e9/float64(st.Events), "ns/event")
+	}
+}
+
+// BenchmarkTFMCCSessionChecked is BenchmarkTFMCCSession with the
+// run-level invariant checker sampling every 100 simulated milliseconds;
+// the delta between the two is the checker's overhead, which
+// PERFORMANCE.md pins under 5%.
+func BenchmarkTFMCCSessionChecked(b *testing.B) {
+	b.ReportAllocs()
+	ctx := experiments.NewRunCtx()
+	ctx.EnableInvariants()
+	for i := 0; i < b.N; i++ {
+		ctx.SessionThroughput(100, 10)
+	}
+	if v := ctx.Violations(); len(v) != 0 {
+		b.Fatalf("invariant violations in benchmark scenario: %v", v)
 	}
 	st := ctx.Stats()
 	sec := b.Elapsed().Seconds()

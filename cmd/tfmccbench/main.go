@@ -60,6 +60,7 @@ func main() {
 	seedshard := flag.String("seedshard", "", "run the whole plan over seed sub-range i/N (e.g. 2/3)")
 	merge := flag.Bool("merge", false, "merge the fragment files given as arguments instead of measuring")
 	det := flag.Bool("deterministic", false, "strip timing-dependent fields so output is byte-comparable across runs")
+	check := flag.Bool("check", false, "run the invariant checker during every sweep; exit 1 on violations or failed seeds")
 	summary := flag.String("summary", "", "with -merge: append a per-fragment wall-clock markdown table to this file")
 	out := flag.String("o", "", "output file ('-' for stdout; default BENCH_engine.json, or the shard fragment name)")
 	flag.Parse()
@@ -100,7 +101,7 @@ func main() {
 
 	items := plan
 	outPath := *out
-	opt := benchreport.Options{Seeds: *seeds, Workers: *workers}
+	opt := benchreport.Options{Seeds: *seeds, Workers: *workers, Check: *check}
 	var shardSpec string
 	if *shard != "" {
 		i, n, err := benchreport.ParseShardSpec(*shard)
@@ -145,6 +146,20 @@ func main() {
 	}
 	if outPath != "-" {
 		fmt.Fprintf(os.Stderr, "wrote %s (%d scenarios)\n", outPath, len(rep.Scenarios))
+	}
+	bad := false
+	for _, m := range rep.Scenarios {
+		for _, f := range m.Failures {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %s\n", m.ID, f)
+			bad = true
+		}
+		for _, v := range m.Violations {
+			fmt.Fprintf(os.Stderr, "%s INVARIANT: %s\n", m.ID, v)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
 	}
 }
 

@@ -11,6 +11,7 @@
 //	tfmccsim -list                           # list available figures
 //	tfmccsim -scenario flashcrowd            # run a scenario preset
 //	tfmccsim -scenario 9 -duration 60 -coreloss 0.01   # overridden figure
+//	tfmccsim -figure clrfail -check          # run with the invariant checker
 //
 // -scenario runs any Spec-backed registry entry — the named presets and
 // every single-scenario engine figure — through the generic scenario
@@ -53,6 +54,7 @@ func main() {
 		seeds   = flag.Int("seeds", 1, "number of independent seeds to sweep and merge")
 		workers = flag.Int("workers", runtime.NumCPU(), "parallel sweep workers (capped at -seeds)")
 		ci      = flag.Float64("ci", 0.95, "confidence level for the merged bands")
+		check   = flag.Bool("check", false, "run the invariant checker alongside the simulation; exit 1 on violations")
 
 		duration  = flag.Float64("duration", 0, "override: simulated seconds")
 		corebw    = flag.Float64("corebw", 0, "override: core link bandwidth in Mbit/s")
@@ -86,7 +88,11 @@ func main() {
 			Depth:     *depth,
 			Hops:      *hops,
 		}
-		res, err := experiments.RunOverridden(experiments.NewRunCtx(), *scen, ov, *seed)
+		ctx := experiments.NewRunCtx()
+		if *check {
+			ctx.EnableInvariants()
+		}
+		res, err := experiments.RunOverridden(ctx, *scen, ov, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -96,22 +102,23 @@ func main() {
 		} else {
 			fmt.Print(res.Summary())
 		}
+		reportViolations(violationStrings(ctx), nil)
 	case *all:
 		for _, id := range experiments.Figures() {
-			run(id, *seed, *seeds, *workers, *ci, *tsv)
+			run(id, *seed, *seeds, *workers, *ci, *tsv, *check)
 		}
 	case *figure != "":
-		run(*figure, *seed, *seeds, *workers, *ci, *tsv)
+		run(*figure, *seed, *seeds, *workers, *ci, *tsv, *check)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func run(id string, seed int64, seeds, workers int, ci float64, tsv bool) {
+func run(id string, seed int64, seeds, workers int, ci float64, tsv, check bool) {
 	if seeds > 1 {
 		res, err := experiments.Sweep(id, sweep.Config{
-			Seeds: seeds, Workers: workers, CI: ci, Base: seed,
+			Seeds: seeds, Workers: workers, CI: ci, Base: seed, Check: check,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -119,19 +126,47 @@ func run(id string, seed int64, seeds, workers int, ci float64, tsv bool) {
 		}
 		if tsv {
 			fmt.Print(res.TSV())
-			return
+		} else {
+			fmt.Print(res.Summary())
 		}
-		fmt.Print(res.Summary())
+		reportViolations(res.Violations, res.Failures)
 		return
 	}
-	res, err := experiments.Run(id, seed)
+	ctx := experiments.NewRunCtx()
+	if check {
+		ctx.EnableInvariants()
+	}
+	res, err := experiments.RunWith(ctx, id, seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	if tsv {
 		fmt.Print(res.TSV())
-		return
+	} else {
+		fmt.Print(res.Summary())
 	}
-	fmt.Print(res.Summary())
+	reportViolations(violationStrings(ctx), nil)
+}
+
+func violationStrings(ctx *experiments.RunCtx) []string {
+	var out []string
+	for _, v := range ctx.Violations() {
+		out = append(out, v.String())
+	}
+	return out
+}
+
+// reportViolations surfaces invariant violations and failed (panicked)
+// sweep seeds on stderr and exits nonzero, so -check runs gate CI.
+func reportViolations(violations, failures []string) {
+	for _, f := range failures {
+		fmt.Fprintf(os.Stderr, "FAILED: %s\n", f)
+	}
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "INVARIANT: %s\n", v)
+	}
+	if len(violations) > 0 || len(failures) > 0 {
+		os.Exit(1)
+	}
 }

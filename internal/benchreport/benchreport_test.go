@@ -17,8 +17,8 @@ func TestPlanEnumeration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(plan) != 28 { // 20 figures + 7 scenario presets + session
-		t.Fatalf("full plan has %d items, want 28", len(plan))
+	if len(plan) != 31 { // 20 figures + 10 scenario presets + session
+		t.Fatalf("full plan has %d items, want 31", len(plan))
 	}
 	for i, it := range plan {
 		if it.Seq != i {
@@ -35,8 +35,8 @@ func TestPlanEnumeration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(noSess) != 27 {
-		t.Fatalf("sessionless plan has %d items, want 27", len(noSess))
+	if len(noSess) != 30 {
+		t.Fatalf("sessionless plan has %d items, want 30", len(noSess))
 	}
 	// Scenario presets keep their names as report ids and are selectable.
 	sel, err := NewPlan([]string{"flashcrowd"}, false)

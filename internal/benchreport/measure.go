@@ -21,6 +21,9 @@ func (m *Metrics) finish(wall time.Duration, st experiments.EngineStats, allocs 
 	m.Events = st.Events
 	m.PacketsSent = st.PacketsSent
 	m.PacketsDeliv = st.PacketsDelivered
+	m.Unreachable = st.Unreachable
+	m.Corrupted = st.Corrupted
+	m.Duplicated = st.Duplicated
 	m.Allocs = allocs
 	if sec := wall.Seconds(); sec > 0 {
 		m.EventsPerSec = float64(st.Events) / sec
@@ -42,6 +45,11 @@ type Options struct {
 	// 0 means Seeds.
 	TotalSeeds int
 	SeedShard  string // "i/N" stamped on seed-range fragments
+	// Check enables the run-level invariant checker in every figure
+	// sweep; violations land in the scenario's Metrics. The checker's
+	// ticks are excluded from event counts, so the deterministic report
+	// is unchanged by enabling it.
+	Check bool
 }
 
 // Measure runs every item of items (typically one shard of plan) and
@@ -88,7 +96,7 @@ func MeasureOpts(items, plan []Item, opt Options, progress io.Writer) *Report {
 		if it.ID == SessionID {
 			m = measureSession(it, opt.SeedBase, opt.Seeds)
 		} else {
-			m = measureFigure(it, opt.SeedBase, opt.Seeds, opt.Workers)
+			m = measureFigure(it, opt)
 		}
 		rep.Scenarios = append(rep.Scenarios, m)
 		switch {
@@ -109,19 +117,22 @@ func MeasureOpts(items, plan []Item, opt Options, progress io.Writer) *Report {
 }
 
 // measureFigure sweeps one registered figure across seeds in parallel.
-func measureFigure(it Item, base int64, seeds, workers int) Metrics {
+func measureFigure(it Item, opt Options) Metrics {
 	m := Metrics{
 		ID: it.ID, Seq: it.Seq, Title: it.Title, Tags: it.Tags,
-		Runs: seeds, Analytic: it.Analytic,
+		Runs: opt.Seeds, Analytic: it.Analytic,
 	}
 	runtime.GC()
 	a0 := allocsNow()
 	start := time.Now()
-	res, err := experiments.Sweep(it.FigureID, sweep.Config{Seeds: seeds, Workers: workers, Base: base})
+	res, err := experiments.Sweep(it.FigureID, sweep.Config{
+		Seeds: opt.Seeds, Workers: opt.Workers, Base: opt.SeedBase, Check: opt.Check})
 	if err != nil {
 		panic(err) // unreachable: the plan only holds registered figures
 	}
 	m.finish(time.Since(start), res.Engine, allocsNow()-a0)
+	m.Violations = res.Violations
+	m.Failures = res.Failures
 	return m
 }
 

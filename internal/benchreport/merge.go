@@ -190,6 +190,11 @@ func mergeSeeds(frags []*Report) (*Report, error) {
 			acc.Events += m.Events
 			acc.PacketsSent += m.PacketsSent
 			acc.PacketsDeliv += m.PacketsDeliv
+			acc.Unreachable += m.Unreachable
+			acc.Corrupted += m.Corrupted
+			acc.Duplicated += m.Duplicated
+			acc.Violations = append(acc.Violations, m.Violations...)
+			acc.Failures = append(acc.Failures, m.Failures...)
 			acc.Allocs += m.Allocs
 		}
 	}

@@ -31,16 +31,26 @@ type SetupAmort struct {
 // on any machine); wall time and allocation fields are not, and are the
 // ones Deterministic strips.
 type Metrics struct {
-	ID            string      `json:"id"`
-	Seq           int         `json:"seq"` // position in the measured plan; drives merge order
-	Title         string      `json:"title"`
-	Tags          []string    `json:"tags,omitempty"`
-	Runs          int         `json:"runs"` // seeds swept
-	Analytic      bool        `json:"analytic,omitempty"`
-	WallNS        int64       `json:"wall_ns,omitempty"`
-	Events        uint64      `json:"events"`
-	PacketsSent   int64       `json:"packets_sent"`
-	PacketsDeliv  int64       `json:"packets_delivered"`
+	ID           string   `json:"id"`
+	Seq          int      `json:"seq"` // position in the measured plan; drives merge order
+	Title        string   `json:"title"`
+	Tags         []string `json:"tags,omitempty"`
+	Runs         int      `json:"runs"` // seeds swept
+	Analytic     bool     `json:"analytic,omitempty"`
+	WallNS       int64    `json:"wall_ns,omitempty"`
+	Events       uint64   `json:"events"`
+	PacketsSent  int64    `json:"packets_sent"`
+	PacketsDeliv int64    `json:"packets_delivered"`
+	// Fault-injection counters (simulation-deterministic, zero — and
+	// omitted — unless the scenario schedules faults).
+	Unreachable int64 `json:"unreachable,omitempty"`
+	Corrupted   int64 `json:"corrupted,omitempty"`
+	Duplicated  int64 `json:"duplicated,omitempty"`
+	// Violations holds run-level invariant violations (only collected
+	// when the run enables checking); Failures records seeds whose run
+	// panicked and was excluded from the merge. Both deterministic.
+	Violations    []string    `json:"violations,omitempty"`
+	Failures      []string    `json:"failures,omitempty"`
 	Allocs        uint64      `json:"allocs,omitempty"`
 	EventsPerSec  float64     `json:"events_per_sec,omitempty"`
 	PacketsPerSec float64     `json:"packets_per_sec,omitempty"`

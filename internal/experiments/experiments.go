@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/invariant"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -63,6 +64,16 @@ func (r *Result) TSV() string {
 // environments.
 type Runner func(c *RunCtx, seed int64) *Result
 
+// mustScenario unwraps a scenario.Run/Build result for the hand-wired
+// figure runners: their specs are compile-time constants, so a build
+// error is a programmer bug, not an input problem.
+func mustScenario(sc *scenario.Scenario, err error) *scenario.Scenario {
+	if err != nil {
+		panic(err)
+	}
+	return sc
+}
+
 // Run executes the runner for a figure id on a fresh context.
 func Run(id string, seed int64) (*Result, error) {
 	return RunWith(NewRunCtx(), id, seed)
@@ -86,15 +97,30 @@ func RunWith(c *RunCtx, id string, seed int64) (*Result, error) {
 // counters accumulated across runs. It must be used from one goroutine at
 // a time; parallel sweeps give each worker its own RunCtx.
 type RunCtx struct {
-	key   string
-	envs  map[string][]*env
-	next  int
-	reuse bool
-	stats EngineStats
+	key        string
+	envs       map[string][]*env
+	next       int
+	reuse      bool
+	check      bool
+	stats      EngineStats
+	violations []invariant.Violation
 }
 
 // NewRunCtx returns a context with environment reuse enabled.
 func NewRunCtx() *RunCtx { return &RunCtx{envs: map[string][]*env{}, reuse: true} }
+
+// EnableInvariants arms the run-level invariant checker on every
+// environment this context hands out: engine-level predicates (packet
+// pool conservation, scheduler monotonicity) on all runs, plus
+// protocol-level ones (sender rate bound, CLR liveness) on scenario-spec
+// runs. Violations accumulate across runs; see Violations. The checker's
+// sampling ticks are subtracted from the EngineStats event count, so
+// deterministic engine reports are unchanged by enabling it.
+func (c *RunCtx) EnableInvariants() { c.check = true }
+
+// Violations returns the invariant violations observed across every run
+// executed with this context since the last ResetStats.
+func (c *RunCtx) Violations() []invariant.Violation { return c.violations }
 
 // begin starts a run of the named scenario and returns the harvest
 // function to defer: it folds the run's engine counters into the context
@@ -113,11 +139,23 @@ func (c *RunCtx) begin(key string) func() {
 
 func (c *RunCtx) endRun() {
 	for _, e := range c.envs[c.key][:c.next] {
-		c.stats.Events += e.sch.Processed()
+		events := e.sch.Processed()
+		if e.check != nil {
+			// The checker's sampling ticks are bookkeeping, not simulation:
+			// subtracting them keeps the deterministic event count identical
+			// with and without -check.
+			events -= e.check.Ticks()
+			c.violations = append(c.violations, e.check.Violations()...)
+		}
+		c.stats.Events += events
 		for _, l := range e.net.Links() {
 			c.stats.PacketsSent += l.Stats.Sent
 			c.stats.PacketsDelivered += l.Stats.Deliver
 		}
+		f := e.net.Faults()
+		c.stats.Unreachable += f.Unreachable
+		c.stats.Corrupted += f.Corrupted
+		c.stats.Duplicated += f.Duplicated
 	}
 }
 
@@ -125,8 +163,11 @@ func (c *RunCtx) endRun() {
 // with this context since the last ResetStats.
 func (c *RunCtx) Stats() EngineStats { return c.stats }
 
-// ResetStats zeroes the accumulated engine counters.
-func (c *RunCtx) ResetStats() { c.stats = EngineStats{} }
+// ResetStats zeroes the accumulated engine counters and violations.
+func (c *RunCtx) ResetStats() {
+	c.stats = EngineStats{}
+	c.violations = nil
+}
 
 // env bundles the per-scenario simulation plumbing.
 type env struct {
@@ -134,6 +175,7 @@ type env struct {
 	net    *simnet.Network
 	rng    *sim.Rand
 	netRng *sim.Rand
+	check  *invariant.Checker
 }
 
 // newEnv returns the next simulation environment of the current run:
@@ -146,6 +188,7 @@ func (c *RunCtx) newEnv(seed int64) *env {
 		e := list[c.next]
 		c.next++
 		e.rewind(seed)
+		c.armChecker(e)
 		return e
 	}
 	sch := sim.NewScheduler()
@@ -156,7 +199,31 @@ func (c *RunCtx) newEnv(seed int64) *env {
 	}
 	c.envs[c.key] = append(list, e)
 	c.next++
+	c.armChecker(e)
 	return e
+}
+
+// armChecker resets and starts the environment's invariant checker for a
+// new run when checking is enabled, registering the engine-level
+// predicates. Protocol-level predicates join in scenario.Build when the
+// run is scenario-spec driven.
+func (c *RunCtx) armChecker(e *env) {
+	if !c.check {
+		return
+	}
+	if e.check == nil {
+		e.check = invariant.New(e.sch, 0)
+	} else {
+		e.check.Reset()
+	}
+	net := e.net
+	e.check.Register("pkt-conservation", func() string {
+		if live := net.LivePackets(); live < 0 {
+			return fmt.Sprintf("packet pool conservation broken: %d live packets (double release)", live)
+		}
+		return ""
+	})
+	e.check.Start()
 }
 
 // ScenarioEnv returns the next pooled simulation environment of the
@@ -165,7 +232,7 @@ func (c *RunCtx) newEnv(seed int64) *env {
 // rewinds the cached topology and pooled protocol state.
 func (c *RunCtx) ScenarioEnv(seed int64) scenario.Env {
 	e := c.newEnv(seed)
-	return scenario.Env{Sch: e.sch, Net: e.net, Rng: e.rng}
+	return scenario.Env{Sch: e.sch, Net: e.net, Rng: e.rng, Check: e.check}
 }
 
 // rewind restores the environment to the state newEnv would have built
@@ -223,14 +290,16 @@ const (
 // SweepResult is a figure reproduced as the merged behaviour of many
 // independent seeds.
 type SweepResult struct {
-	Figure  string
-	Title   string
-	Bands   []*stats.Band
-	Notes   []string // notes of the first seed's run, for orientation
-	Seeds   int
-	Workers int
-	CI      float64
-	Engine  EngineStats // accumulated across all seeds and workers
+	Figure     string
+	Title      string
+	Bands      []*stats.Band
+	Notes      []string // notes of the first seed's run, for orientation
+	Seeds      int
+	Workers    int
+	CI         float64
+	Engine     EngineStats // accumulated across all seeds and workers
+	Failures   []string    // seeds that panicked (excluded from Bands), in seed order
+	Violations []string    // invariant violations, when checking was enabled
 }
 
 // Summary returns a per-band digest of the sweep.
@@ -247,6 +316,12 @@ func (r *SweepResult) Summary() string {
 	}
 	for _, n := range r.Notes {
 		fmt.Fprintf(&b, "  note (first seed): %s\n", n)
+	}
+	for _, f := range r.Failures {
+		fmt.Fprintf(&b, "  FAILED: %s\n", f)
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  INVARIANT: %s\n", v)
 	}
 	return b.String()
 }
@@ -278,6 +353,9 @@ func Sweep(id string, cfg sweep.Config) (*SweepResult, error) {
 	ctxs := make([]*RunCtx, cfg.Workers)
 	for i := range ctxs {
 		ctxs[i] = NewRunCtx()
+		if cfg.Check {
+			ctxs[i].EnableInvariants()
+		}
 	}
 	notes := make([][]string, cfg.Seeds)
 	merged := sweep.Run(cfg, func(worker int, seed int64) []*stats.Series {
@@ -299,8 +377,14 @@ func Sweep(id string, cfg sweep.Config) (*SweepResult, error) {
 	if len(notes) > 0 {
 		out.Notes = notes[0]
 	}
+	for _, e := range merged.Errors {
+		out.Failures = append(out.Failures, e.Error())
+	}
 	for _, c := range ctxs {
 		out.Engine.Add(c.Stats())
+		for _, v := range c.Violations() {
+			out.Violations = append(out.Violations, v.String())
+		}
 	}
 	return out, nil
 }
@@ -308,11 +392,17 @@ func Sweep(id string, cfg sweep.Config) (*SweepResult, error) {
 // --- engine benchmarking hooks -----------------------------------------
 
 // EngineStats aggregates raw simulation-engine counters over one or more
-// scenario runs, for cmd/tfmccbench and the root benchmarks.
+// scenario runs, for cmd/tfmccbench and the root benchmarks. The fault
+// counters stay zero unless a scenario injects faults (down links,
+// corruption, duplication), so reports for healthy scenarios are
+// unchanged by the fault layer.
 type EngineStats struct {
 	Events           uint64 // scheduler events executed
 	PacketsSent      int64  // packets handed to links
 	PacketsDelivered int64  // packets delivered by links
+	Unreachable      int64  // sends dropped for lack of a route (partitions, down links)
+	Corrupted        int64  // packets dropped as corrupted by link impairment
+	Duplicated       int64  // extra copies injected by link impairment
 }
 
 // Add folds another stats sample into s.
@@ -320,4 +410,7 @@ func (s *EngineStats) Add(o EngineStats) {
 	s.Events += o.Events
 	s.PacketsSent += o.PacketsSent
 	s.PacketsDelivered += o.PacketsDelivered
+	s.Unreachable += o.Unreachable
+	s.Corrupted += o.Corrupted
+	s.Duplicated += o.Duplicated
 }

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// fuzzDuration caps the simulated time of fuzzed specs so the seed
+// corpus stays cheap enough for every plain `go test` run.
+const fuzzDuration = 2 * sim.Second
+
+// mutateSpec folds the fuzzer's byte stream into the spec as timed fault
+// events — down/up links, partitions, heals, crashes, impairments — with
+// deliberately unvalidated link references and receiver indices. Bad
+// references must surface as Build/Run errors, never panics.
+func mutateSpec(spec *scenario.Spec, mut []byte) {
+	for ; len(mut) >= 4; mut = mut[4:] {
+		verb, tt, a, b := mut[0], mut[1], mut[2], mut[3]
+		at := spec.Duration.Scale(float64(tt) / 256)
+		ref := scenario.LinkRef{Site: int(a%5) - 1, Hop: int(b % 3), Up: a%2 == 0}
+		switch verb % 6 {
+		case 0:
+			spec.Events = append(spec.Events, scenario.LinkDownEvent(at, ref))
+		case 1:
+			spec.Events = append(spec.Events, scenario.LinkUpEvent(at, ref))
+		case 2:
+			spec.Events = append(spec.Events, scenario.PartitionEvent(at, scenario.DuplexRefs(ref)...))
+		case 3:
+			spec.Events = append(spec.Events, scenario.HealEvent(at, scenario.DuplexRefs(ref)...))
+		case 4:
+			spec.Events = append(spec.Events, scenario.CrashEvent(at, int(a)-2))
+		case 5:
+			spec.Events = append(spec.Events, scenario.ImpairEvent(at, scenario.Impair{
+				Link:      ref,
+				Corrupt:   float64(a) / 512,
+				Duplicate: float64(b) / 512,
+				Reorder:   float64(a^b) / 512,
+			}))
+		}
+	}
+}
+
+// FuzzScenarioSpec drives randomly mutated scenario specs — every
+// registered Spec-backed entry with fuzz-chosen fault events spliced in —
+// through the executor. The contract under test: a spec either fails to
+// build/run with a structured error or runs deterministically (two runs
+// with the same seed are byte-identical); it never panics.
+func FuzzScenarioSpec(f *testing.F) {
+	for i, id := range ScenarioIDs() {
+		f.Add(id, int64(i+1), []byte{byte(i), 0x40, byte(2 * i), 1})
+		f.Add(id, int64(i+1), []byte{byte(i + 4), 0xc0, 0xff, byte(i)})
+	}
+	f.Fuzz(func(t *testing.T, id string, seed int64, mut []byte) {
+		e, ok := Lookup(id)
+		if !ok || e.Spec == nil {
+			t.Skip("not a Spec-backed entry")
+		}
+		run := func() (string, error) {
+			spec := e.Spec()
+			if spec.Duration > fuzzDuration {
+				spec.Duration = fuzzDuration
+			}
+			mutateSpec(spec, mut)
+			ctx := NewRunCtx()
+			ctx.EnableInvariants()
+			sc, err := scenario.Run(ctx.ScenarioEnv(seed), spec)
+			if err != nil {
+				return "", err
+			}
+			out := ""
+			for _, s := range sc.Series() {
+				out += s.TSV()
+			}
+			return out, nil
+		}
+		first, err1 := run()
+		second, err2 := run()
+		switch {
+		case err1 != nil || err2 != nil:
+			if (err1 == nil) != (err2 == nil) || (err1 != nil && err1.Error() != err2.Error()) {
+				t.Fatalf("non-deterministic error: %v vs %v", err1, err2)
+			}
+		case first != second:
+			t.Fatalf("same spec and seed produced different output (%d vs %d bytes)",
+				len(first), len(second))
+		}
+	})
+}

@@ -40,7 +40,7 @@ func Figure12Spec() *scenario.Spec {
 // RTT measurement over time. Link RTTs vary between 60 and 140 ms; the
 // initial RTT is 500 ms.
 func Figure12(c *RunCtx, seed int64) *Result {
-	sc := scenario.Run(c.ScenarioEnv(seed), Figure12Spec())
+	sc := mustScenario(scenario.Run(c.ScenarioEnv(seed), Figure12Spec()))
 	counts := sc.Samples[0]
 
 	res := &Result{Figure: "12", Title: "Rate of initial RTT measurements (1000 receivers)"}
@@ -108,7 +108,7 @@ func rttStarSpec(n int) *scenario.Spec {
 // changeAt via the runtime link-mutation API, and returns how long until
 // it is selected CLR.
 func rttChangeReaction(c *RunCtx, n int, changeAt sim.Time, seed int64) sim.Time {
-	sc := scenario.Build(c.ScenarioEnv(seed+int64(n)), rttStarSpec(n))
+	sc := mustScenario(scenario.Build(c.ScenarioEnv(seed+int64(n)), rttStarSpec(n)))
 	sc.Start()
 	sc.RunUntil(changeAt)
 	sc.SiteLinks[0][0].SetDelay(148 * sim.Millisecond)

@@ -31,7 +31,7 @@ func init() {
 // runners do their own post-processing; presets (and command-line
 // override runs) share this one.
 func RunSpec(c *RunCtx, id string, spec *scenario.Spec, seed int64) *Result {
-	sc := scenario.Run(c.ScenarioEnv(seed), spec)
+	sc := mustScenario(scenario.Run(c.ScenarioEnv(seed), spec))
 	res := &Result{Figure: id, Title: spec.Title, Series: sc.Series()}
 	half := spec.Duration / 2
 	for _, s := range res.Series {

@@ -76,7 +76,7 @@ func slowstartSpec(nRecv int, bw float64, numTCP, qlen int) *scenario.Spec {
 }
 
 func maxSlowstartRate(c *RunCtx, nRecv int, bw float64, numTCP, qlen int, seed int64) float64 {
-	sc := scenario.Build(c.ScenarioEnv(seed+int64(nRecv)), slowstartSpec(nRecv, bw, numTCP, qlen))
+	sc := mustScenario(scenario.Build(c.ScenarioEnv(seed+int64(nRecv)), slowstartSpec(nRecv, bw, numTCP, qlen)))
 	// All flows start together, as in the paper.
 	sc.Start()
 	sch := sc.Env.Sch

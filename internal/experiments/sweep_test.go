@@ -187,9 +187,9 @@ func TestSeedRangeFragmentsMergeRuns(t *testing.T) {
 			return miniSession(ctx, seed).Series
 		}
 	}
-	full := sweep.RunRaw(sweep.Config{Seeds: 5, Base: 1}, runner(NewRunCtx()))
-	partA := sweep.RunRaw(sweep.Config{Seeds: 3, Base: 1}, runner(NewRunCtx()))
-	partB := sweep.RunRaw(sweep.Config{Seeds: 2, Base: 4}, runner(NewRunCtx()))
+	full, _ := sweep.RunRaw(sweep.Config{Seeds: 5, Base: 1}, runner(NewRunCtx()))
+	partA, _ := sweep.RunRaw(sweep.Config{Seeds: 3, Base: 1}, runner(NewRunCtx()))
+	partB, _ := sweep.RunRaw(sweep.Config{Seeds: 2, Base: 4}, runner(NewRunCtx()))
 
 	want := stats.MergeRuns(full, 0.95)
 	got := stats.MergeRuns(append(partA, partB...), 0.95)

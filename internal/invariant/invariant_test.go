@@ -1,0 +1,103 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTickerSamplesPredicates(t *testing.T) {
+	sch := sim.NewScheduler()
+	c := New(sch, 100*sim.Millisecond)
+	calls := 0
+	c.Register("always-ok", func() string { calls++; return "" })
+	c.Start()
+	sch.RunUntil(sim.Second)
+	if c.Ticks() != 10 {
+		t.Fatalf("ticks = %d, want 10", c.Ticks())
+	}
+	if calls != 10 {
+		t.Fatalf("predicate ran %d times, want 10", calls)
+	}
+	if len(c.Violations()) != 0 {
+		t.Fatalf("unexpected violations: %v", c.Violations())
+	}
+}
+
+func TestViolationRecordedWithTime(t *testing.T) {
+	sch := sim.NewScheduler()
+	c := New(sch, 0) // default interval
+	armed := false
+	c.Register("rate-bound", func() string {
+		if armed {
+			return "rate 10 exceeds bound 5"
+		}
+		return ""
+	})
+	c.Start()
+	sch.RunUntil(500 * sim.Millisecond)
+	sch.At(550*sim.Millisecond, func() { armed = true })
+	sch.RunUntil(sim.Second)
+	vs := c.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1 (deduped)", len(vs))
+	}
+	v := vs[0]
+	if v.Name != "rate-bound" || v.At != 600*sim.Millisecond {
+		t.Fatalf("violation = %+v, want rate-bound at 600ms", v)
+	}
+	// The same breach persisting across ticks dedups into Count.
+	if v.Count != 5 {
+		t.Fatalf("count = %d, want 5 (ticks at 600..1000ms)", v.Count)
+	}
+	if !strings.Contains(v.String(), "rate-bound") || !strings.Contains(v.String(), "persisted") {
+		t.Fatalf("String() = %q", v.String())
+	}
+}
+
+func TestViolationCapDrops(t *testing.T) {
+	sch := sim.NewScheduler()
+	c := New(sch, 10*sim.Millisecond)
+	n := 0
+	c.Register("flapping", func() string {
+		n++
+		if n%2 == 0 {
+			return ""
+		}
+		// A different message every breach defeats dedup, exercising the cap.
+		return "breach #" + string(rune('a'+n%26))
+	})
+	c.Start()
+	sch.RunUntil(10 * sim.Second)
+	if len(c.Violations()) != maxViolations {
+		t.Fatalf("stored %d violations, want cap %d", len(c.Violations()), maxViolations)
+	}
+	if c.Dropped() == 0 {
+		t.Fatal("cap reached but nothing counted as dropped")
+	}
+}
+
+func TestStopAndReset(t *testing.T) {
+	sch := sim.NewScheduler()
+	c := New(sch, 100*sim.Millisecond)
+	c.Register("x", func() string { return "bad" })
+	c.Start()
+	sch.RunUntil(300 * sim.Millisecond)
+	c.Stop()
+	sch.RunUntil(sim.Second)
+	if c.Ticks() != 3 {
+		t.Fatalf("ticker kept running after Stop: %d ticks", c.Ticks())
+	}
+	c.Reset()
+	if len(c.Violations()) != 0 || c.Ticks() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	// Re-arm after Reset: predicates are gone, only the built-in
+	// monotonicity check remains.
+	c.Start()
+	sch.RunUntil(2 * sim.Second)
+	if len(c.Violations()) != 0 {
+		t.Fatalf("stale predicate survived Reset: %v", c.Violations())
+	}
+}

@@ -18,11 +18,11 @@ type Overrides struct {
 	// site's LAST hop — the edge link nearest the receiver — and of the
 	// population access hop; earlier hops of two-hop tails keep their
 	// declared loss.
-	EdgeLoss float64
-	Receivers int     // population size; needs a Population-based spec
-	Fanout    int     // tree fan-out
-	Depth     int     // tree depth
-	Hops      int     // chain length
+	EdgeLoss  float64
+	Receivers int // population size; needs a Population-based spec
+	Fanout    int // tree fan-out
+	Depth     int // tree depth
+	Hops      int // chain length
 }
 
 // None returns the no-op override set (loss fields need an explicit

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/tfmcc"
 )
 
 // Preset is a named, registrable scenario: the experiments registry
@@ -24,12 +25,130 @@ type Preset struct {
 func Presets() []Preset {
 	return []Preset{
 		{ID: "chainloss", Title: "Multi-hop lossy chain with mid-path cross traffic", Cost: 2.0, Make: ChainLoss},
+		{ID: "clrfail", Title: "CLR crash, silence halving and re-election", Cost: 2.0, Make: CLRFail},
+		{ID: "corruptfb", Title: "Corrupted and reordered feedback path", Cost: 2.0, Make: CorruptFB},
 		{ID: "deeptree", Title: "Deep binary-tree fan-out with lossy interior", Cost: 3.0, Make: DeepTree},
 		{ID: "degrade", Title: "Mid-run bottleneck degradation and recovery", Cost: 2.5, Make: Degrade},
 		{ID: "flashcrowd", Title: "Flash-crowd join burst", Cost: 2.0, Make: FlashCrowd},
 		{ID: "massleave", Title: "Mass leave including the CLR", Cost: 2.0, Make: MassLeave},
+		{ID: "partition", Title: "Core partition and heal", Cost: 2.0, Make: Partition},
 		{ID: "tcpburst", Title: "Competing TCP burst over CBR background", Cost: 2.0, Make: TCPBurst},
 		{ID: "wireless", Title: "Lossy-edge (wireless-like) receivers on a transit-stub", Cost: 2.0, Make: Wireless},
+	}
+}
+
+// faultConfig is the session config the fault presets share: the
+// default parameter set plus the section 5 no-feedback failure mode, so
+// total feedback silence degrades the rate instead of freezing it.
+func faultConfig() *tfmcc.Config {
+	cfg := tfmcc.DefaultConfig()
+	cfg.HalveOnSilence = true
+	return &cfg
+}
+
+// CLRFail puts eight receivers on a star with the last one behind a much
+// lossier edge — the CLR — and crashes it at t=60s without a Leave
+// report. The sender must ride out CLRTimeoutRounds of silence, halve on
+// the report-free rounds that follow (section 5), re-elect a survivor
+// and ramp back up; the fine-grained sender-rate sample makes each phase
+// visible in the TSV.
+func CLRFail() *Spec {
+	var steps []Step
+	const n = 8
+	for i := 0; i < n; i++ {
+		loss := 0.002
+		if i == n-1 {
+			loss = 0.05 // the CLR-to-be
+		}
+		steps = append(steps, Step{Site: &SiteSpec{
+			Parent: AttachPoint(0),
+			Hops: []Hop{{
+				Down: LinkP{Delay: 28 * sim.Millisecond, Loss: loss},
+				Up:   LinkP{Delay: 28 * sim.Millisecond},
+			}}}})
+	}
+	for i := 0; i < n; i++ {
+		steps = append(steps, Step{Recv: &RecvSpec{At: Site(i), Meter: MeterFirst(i, "TFMCC")}})
+	}
+	steps = append(steps,
+		Step{Sample: &SampleSpec{Name: "sender rate", What: SampleSenderRate, Every: 500 * sim.Millisecond}},
+		Step{Sample: &SampleSpec{Name: "group members", What: SampleMembers}})
+	return &Spec{
+		Name:     "clrfail",
+		Title:    "CLR crash, silence halving and re-election",
+		Topology: Topology{Kind: Star},
+		Session:  Session{Cfg: faultConfig()},
+		Steps:    steps,
+		Events: []Event{
+			CrashEvent(60*sim.Second, n-1),
+		},
+		Duration: 120 * sim.Second,
+	}
+}
+
+// Partition severs the dumbbell core in both directions from t=60s to
+// t=90s: data becomes counted Unreachable/DropDown losses, the CLR times
+// out, silence halves the rate towards the floor, and after the heal the
+// receiver's reports re-elect it and the rate recovers. A mid-path TCP
+// rides only the left core node so the healed route re-derivation is
+// also exercised by unicast.
+func Partition() *Spec {
+	steps := []Step{
+		{Site: &SiteSpec{Parent: AttachPoint(0), Hops: []Hop{{
+			Down: LinkP{Delay: 10 * sim.Millisecond, Loss: 0.002},
+			Up:   LinkP{Delay: 10 * sim.Millisecond},
+		}}}},
+		{Recv: &RecvSpec{At: Site(0), Meter: "TFMCC"}},
+		{TCP: &TCPSpec{Name: "tcp", From: Core(0), To: Core(1), Port: 10, Meter: "TCP"}},
+		{Sample: &SampleSpec{Name: "sender rate", What: SampleSenderRate, Every: 500 * sim.Millisecond}},
+	}
+	return &Spec{
+		Name:  "partition",
+		Title: "Core partition and heal",
+		Topology: Topology{Kind: Dumbbell,
+			Core: LinkP{BW: 4 * 125000, Delay: 20 * sim.Millisecond, Queue: 60}},
+		Session: Session{Cfg: faultConfig()},
+		Steps:   steps,
+		Events: []Event{
+			PartitionEvent(60*sim.Second, DuplexRefs(CoreLink(0))...),
+			HealEvent(90*sim.Second, DuplexRefs(CoreLink(0))...),
+		},
+		Duration: 180 * sim.Second,
+	}
+}
+
+// CorruptFB impairs the CLR's feedback path from t=60s to t=120s:
+// 30% of its upstream packets are corrupted away (checksum-drop model),
+// 10% duplicated and 20% reordered by up to four link delays. TFMCC must
+// tolerate the mangled feedback stream — surviving reports hold the CLR,
+// duplicates and stragglers are absorbed or discarded — without the
+// rate collapsing or running away.
+func CorruptFB() *Spec {
+	steps := []Step{
+		{Site: &SiteSpec{Parent: AttachPoint(0), Hops: []Hop{{
+			Down: LinkP{Delay: 28 * sim.Millisecond, Loss: 0.02},
+			Up:   LinkP{Delay: 28 * sim.Millisecond},
+		}}}},
+		{Site: &SiteSpec{Parent: AttachPoint(0), Hops: []Hop{{
+			Down: LinkP{Delay: 28 * sim.Millisecond, Loss: 0.002},
+			Up:   LinkP{Delay: 28 * sim.Millisecond},
+		}}}},
+		{Recv: &RecvSpec{At: Site(0), Meter: "TFMCC (CLR)"}},
+		{Recv: &RecvSpec{At: Site(1)}},
+		{Sample: &SampleSpec{Name: "sender rate", What: SampleSenderRate}},
+	}
+	return &Spec{
+		Name:     "corruptfb",
+		Title:    "Corrupted and reordered feedback path",
+		Topology: Topology{Kind: Star},
+		Session:  Session{Cfg: faultConfig()},
+		Steps:    steps,
+		Events: []Event{
+			ImpairEvent(60*sim.Second, Impair{
+				Link: SiteLink(0, 0, true), Corrupt: 0.3, Duplicate: 0.1, Reorder: 0.2}),
+			ImpairEvent(120*sim.Second, Impair{Link: SiteLink(0, 0, true)}),
+		},
+		Duration: 180 * sim.Second,
 	}
 }
 

@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 
+	"repro/internal/invariant"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/stats"
@@ -12,11 +13,14 @@ import (
 
 // Env is the simulation plumbing a scenario executes on. Rng is the
 // protocol random stream (feedback timers, jittered site delays); the
-// network carries its own stream for link loss.
+// network carries its own stream for link loss. Check, when non-nil, is
+// the run-level invariant checker: Build registers the protocol-level
+// predicates (sender rate bound, CLR liveness) on it.
 type Env struct {
-	Sch *sim.Scheduler
-	Net *simnet.Network
-	Rng *sim.Rand
+	Sch   *sim.Scheduler
+	Net   *simnet.Network
+	Rng   *sim.Rand
+	Check *invariant.Checker
 }
 
 // meterArenaKey pools stats.Meter structs on reuse-enabled networks. A
@@ -92,13 +96,20 @@ type Scenario struct {
 	flowByName map[string]*Flow
 }
 
-// Flow returns the named traffic source.
+// Flow returns the named traffic source, or nil when no flow carries the
+// name. Build resolves every spec-referenced flow eagerly, so a nil here
+// means the calling Go code asked for a flow the spec never declared.
 func (sc *Scenario) Flow(name string) *Flow {
+	return sc.flowByName[name]
+}
+
+// flow is the build-time resolver: unknown names are structured errors.
+func (sc *Scenario) flow(name string) (*Flow, error) {
 	f := sc.flowByName[name]
 	if f == nil {
-		panic(fmt.Sprintf("scenario %s: unknown flow %q", sc.Spec.Name, name))
+		return nil, fmt.Errorf("scenario %s: unknown flow %q", sc.Spec.Name, name)
 	}
-	return f
+	return f, nil
 }
 
 // Start starts the TFMCC session (construction is already live: flows
@@ -129,23 +140,38 @@ func (sc *Scenario) Series() []*stats.Series {
 }
 
 // Run builds the spec on env, starts the session, runs for the spec's
-// duration and returns the populated scenario.
-func Run(env Env, spec *Spec) *Scenario {
-	sc := Build(env, spec)
+// duration and returns the populated scenario. A malformed spec is a
+// structured error, never a panic.
+func Run(env Env, spec *Spec) (*Scenario, error) {
+	sc, err := Build(env, spec)
+	if err != nil {
+		return nil, err
+	}
 	sc.Start()
 	sc.RunUntil(spec.Duration)
-	return sc
+	return sc, nil
 }
 
 // Build instantiates the spec on env without starting the session or
 // advancing time: topology, sender and session, population, steps in
 // declaration order, then the event script. Callers that need a custom
 // measurement loop call Build, then Start and drive the clock themselves.
-func Build(env Env, spec *Spec) *Scenario {
+//
+// Malformed specs — unknown refs, out-of-range indices, negative times,
+// duplicate flows — return errors; on error the environment may be left
+// partially built and should be reset or discarded.
+func Build(env Env, spec *Spec) (*Scenario, error) {
+	if spec.Duration < 0 {
+		return nil, fmt.Errorf("scenario %s: negative duration %v", spec.Name, spec.Duration)
+	}
+	topo, err := buildTopology(env.Net, spec.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
+	}
 	net := env.Net
 	sc := &Scenario{
 		Spec: spec, Env: env,
-		Topo:       buildTopology(net, spec.Topology),
+		Topo:       topo,
 		flowByName: map[string]*Flow{},
 	}
 
@@ -167,36 +193,59 @@ func Build(env Env, spec *Spec) *Scenario {
 	sc.Sess = tfmcc.NewSession(net, snd, group, port, cfg, env.Rng)
 
 	if spec.Pop != nil {
-		sc.expandPopulation(spec.Pop)
-	}
-	for _, st := range spec.Steps {
-		switch {
-		case st.Site != nil:
-			sc.buildSite(st.Site)
-		case st.Recv != nil:
-			sc.buildRecv(st.Recv)
-		case st.TCP != nil:
-			sc.buildTCP(st.TCP)
-		case st.CBR != nil:
-			sc.buildCBR(st.CBR)
-		case st.Agg != nil:
-			sc.buildAgg(st.Agg)
-		case st.Sample != nil:
-			sc.buildSample(st.Sample)
-		default:
-			panic(fmt.Sprintf("scenario %s: empty step", spec.Name))
+		if err := sc.expandPopulation(spec.Pop); err != nil {
+			return nil, err
 		}
 	}
-	for _, ev := range spec.Events {
-		sc.scheduleEvent(ev)
+	for i, st := range spec.Steps {
+		var err error
+		switch {
+		case st.Site != nil:
+			err = sc.buildSite(st.Site)
+		case st.Recv != nil:
+			err = sc.buildRecv(st.Recv)
+		case st.TCP != nil:
+			err = sc.buildTCP(st.TCP)
+		case st.CBR != nil:
+			err = sc.buildCBR(st.CBR)
+		case st.Agg != nil:
+			err = sc.buildAgg(st.Agg)
+		case st.Sample != nil:
+			err = sc.buildSample(st.Sample)
+		default:
+			err = fmt.Errorf("scenario %s: step %d is empty", spec.Name, i)
+		}
+		if err != nil {
+			return nil, err
+		}
 	}
-	return sc
+	for i, ev := range spec.Events {
+		if err := sc.scheduleEvent(ev); err != nil {
+			return nil, fmt.Errorf("%w (event %d)", err, i)
+		}
+	}
+	if env.Check != nil {
+		env.Check.Register("sender-rate", sc.Sess.Sender.InvariantViolation)
+		env.Check.Register("clr-live", sc.Sess.CLRInvariant)
+	}
+	return sc, nil
 }
+
+// maxPopulation bounds declared receiver blocks so a malformed (or
+// fuzzed) spec fails fast instead of exhausting memory.
+const maxPopulation = 1 << 16
 
 // expandPopulation instantiates the uniform receiver block as implicit
 // Site+Recv steps ahead of the explicit ones.
-func (sc *Scenario) expandPopulation(p *Population) {
+func (sc *Scenario) expandPopulation(p *Population) error {
 	count := p.Count
+	if count < 0 || count > maxPopulation {
+		return fmt.Errorf("scenario %s: population count %d out of range [0, %d]",
+			sc.Spec.Name, count, maxPopulation)
+	}
+	if p.PerAttach && len(sc.Topo.Attach) == 0 {
+		return fmt.Errorf("scenario %s: per-attach population on a topology with no attach points", sc.Spec.Name)
+	}
 	if p.PerAttach && count == 0 {
 		count = len(sc.Topo.Attach)
 	}
@@ -214,52 +263,93 @@ func (sc *Scenario) expandPopulation(p *Population) {
 			meter = p.Meter
 		}
 		if p.Direct {
-			sc.buildRecv(&RecvSpec{At: parent, Meter: meter})
+			if err := sc.buildRecv(&RecvSpec{At: parent, Meter: meter}); err != nil {
+				return err
+			}
 			continue
 		}
 		site := len(sc.SiteLeaf)
-		sc.buildSite(&SiteSpec{Parent: parent, Hops: []Hop{hop}, Jitter: p.Jitter})
-		sc.buildRecv(&RecvSpec{At: Site(site), Meter: meter})
+		if err := sc.buildSite(&SiteSpec{Parent: parent, Hops: []Hop{hop}, Jitter: p.Jitter}); err != nil {
+			return err
+		}
+		if err := sc.buildRecv(&RecvSpec{At: Site(site), Meter: meter}); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-func (sc *Scenario) node(r NodeRef) simnet.NodeID {
+func (sc *Scenario) node(r NodeRef) (simnet.NodeID, error) {
 	switch r.Kind {
 	case RefCore:
-		return sc.Topo.Nodes[r.Index]
+		if r.Index < 0 || r.Index >= len(sc.Topo.Nodes) {
+			return 0, fmt.Errorf("scenario %s: core node %d out of range (have %d)",
+				sc.Spec.Name, r.Index, len(sc.Topo.Nodes))
+		}
+		return sc.Topo.Nodes[r.Index], nil
 	case RefAttach:
-		return sc.Topo.Attach[r.Index]
+		if r.Index < 0 || r.Index >= len(sc.Topo.Attach) {
+			return 0, fmt.Errorf("scenario %s: attach point %d out of range (have %d)",
+				sc.Spec.Name, r.Index, len(sc.Topo.Attach))
+		}
+		return sc.Topo.Attach[r.Index], nil
 	case RefSite:
-		return sc.SiteLeaf[r.Index]
+		if r.Index < 0 || r.Index >= len(sc.SiteLeaf) {
+			return 0, fmt.Errorf("scenario %s: site %d out of range (have %d)",
+				sc.Spec.Name, r.Index, len(sc.SiteLeaf))
+		}
+		return sc.SiteLeaf[r.Index], nil
 	case RefSiteMid:
+		if r.Index < 0 || r.Index >= len(sc.SiteMid) {
+			return 0, fmt.Errorf("scenario %s: site %d out of range (have %d)",
+				sc.Spec.Name, r.Index, len(sc.SiteMid))
+		}
 		id := sc.SiteMid[r.Index]
 		if id < 0 {
-			panic(fmt.Sprintf("scenario %s: site %d has no intermediate node", sc.Spec.Name, r.Index))
+			return 0, fmt.Errorf("scenario %s: site %d has no intermediate node", sc.Spec.Name, r.Index)
 		}
-		return id
+		return id, nil
 	}
-	panic(fmt.Sprintf("scenario %s: bad node ref %+v", sc.Spec.Name, r))
+	return 0, fmt.Errorf("scenario %s: bad node ref %+v", sc.Spec.Name, r)
 }
 
-func (sc *Scenario) link(r LinkRef) *simnet.Link {
+func (sc *Scenario) link(r LinkRef) (*simnet.Link, error) {
 	dir := 0
 	if r.Up {
 		dir = 1
 	}
 	if r.Site < 0 {
-		return sc.Topo.Links[2*r.Hop+dir]
+		if i := 2*r.Hop + dir; r.Hop >= 0 && i < len(sc.Topo.Links) {
+			return sc.Topo.Links[i], nil
+		}
+		return nil, fmt.Errorf("scenario %s: core link %d out of range (have %d pairs)",
+			sc.Spec.Name, r.Hop, len(sc.Topo.Links)/2)
 	}
-	return sc.SiteLinks[r.Site][2*r.Hop+dir]
+	if r.Site >= len(sc.SiteLinks) {
+		return nil, fmt.Errorf("scenario %s: site %d out of range (have %d)",
+			sc.Spec.Name, r.Site, len(sc.SiteLinks))
+	}
+	ls := sc.SiteLinks[r.Site]
+	if i := 2*r.Hop + dir; r.Hop >= 0 && i < len(ls) {
+		return ls[i], nil
+	}
+	return nil, fmt.Errorf("scenario %s: site %d has no hop %d", sc.Spec.Name, r.Site, r.Hop)
 }
 
 // buildSite creates a site's access path. All nodes are created before
 // any link — the exact sequence the hand-wired figures used — so node
 // and link identity is preserved for byte-identical replay.
-func (sc *Scenario) buildSite(s *SiteSpec) {
+func (sc *Scenario) buildSite(s *SiteSpec) error {
 	net := sc.Env.Net
-	parent := sc.node(s.Parent)
+	parent, err := sc.node(s.Parent)
+	if err != nil {
+		return err
+	}
 	if len(s.Hops) < 1 || len(s.Hops) > 2 {
-		panic(fmt.Sprintf("scenario %s: site needs 1 or 2 hops, got %d", sc.Spec.Name, len(s.Hops)))
+		return fmt.Errorf("scenario %s: site needs 1 or 2 hops, got %d", sc.Spec.Name, len(s.Hops))
+	}
+	if s.Jitter != nil && s.Jitter.SpanMs < 1 {
+		return fmt.Errorf("scenario %s: jitter span must be >= 1 ms, got %d", sc.Spec.Name, s.Jitter.SpanMs)
 	}
 	idx := len(sc.SiteLeaf)
 	hops := append([]Hop(nil), s.Hops...)
@@ -287,13 +377,21 @@ func (sc *Scenario) buildSite(s *SiteSpec) {
 	}
 	sc.SiteMid = append(sc.SiteMid, mid)
 	sc.SiteLinks = append(sc.SiteLinks, links)
+	return nil
 }
 
-func (sc *Scenario) buildRecv(r *RecvSpec) {
+func (sc *Scenario) buildRecv(r *RecvSpec) error {
+	if r.JoinAt < 0 || r.LeaveAt < 0 {
+		return fmt.Errorf("scenario %s: negative receiver join/leave time", sc.Spec.Name)
+	}
+	at, err := sc.node(r.At)
+	if err != nil {
+		return err
+	}
 	slot := &RecvSlot{}
 	sc.Recvs = append(sc.Recvs, slot)
 	join := func() {
-		rcv := sc.Sess.AddReceiver(sc.node(r.At))
+		rcv := sc.Sess.AddReceiver(at)
 		slot.R = rcv
 		if r.Meter != "" {
 			m := sc.Env.NewMeter(r.Meter)
@@ -314,30 +412,46 @@ func (sc *Scenario) buildRecv(r *RecvSpec) {
 			}
 		})
 	}
+	return nil
 }
 
-func (sc *Scenario) registerFlow(f *Flow) {
+func (sc *Scenario) registerFlow(f *Flow) error {
 	if _, dup := sc.flowByName[f.Name]; dup {
-		panic(fmt.Sprintf("scenario %s: duplicate flow %q", sc.Spec.Name, f.Name))
+		return fmt.Errorf("scenario %s: duplicate flow %q", sc.Spec.Name, f.Name)
 	}
 	sc.Flows = append(sc.Flows, f)
 	sc.flowByName[f.Name] = f
+	return nil
 }
 
 // buildEndpoints creates a flow's fresh source and sink nodes and their
 // fast access duplexes (source into from, sink behind to) — the addTCP
 // wiring every figure used.
-func (sc *Scenario) buildEndpoints(name string, from, to NodeRef) (a, b simnet.NodeID) {
+func (sc *Scenario) buildEndpoints(name string, from, to NodeRef) (a, b simnet.NodeID, err error) {
+	fromID, err := sc.node(from)
+	if err != nil {
+		return 0, 0, err
+	}
+	toID, err := sc.node(to)
+	if err != nil {
+		return 0, 0, err
+	}
 	net := sc.Env.Net
 	a = net.AddNode(name + "-src")
 	b = net.AddNode(name + "-dst")
-	net.AddDuplex(a, sc.node(from), 0, sim.Millisecond, 0)
-	net.AddDuplex(sc.node(to), b, 0, sim.Millisecond, 0)
-	return a, b
+	net.AddDuplex(a, fromID, 0, sim.Millisecond, 0)
+	net.AddDuplex(toID, b, 0, sim.Millisecond, 0)
+	return a, b, nil
 }
 
-func (sc *Scenario) buildTCP(t *TCPSpec) {
-	a, b := sc.buildEndpoints(t.Name, t.From, t.To)
+func (sc *Scenario) buildTCP(t *TCPSpec) error {
+	if t.StartAt < 0 || t.StopAt < 0 {
+		return fmt.Errorf("scenario %s: flow %q has a negative start/stop time", sc.Spec.Name, t.Name)
+	}
+	a, b, err := sc.buildEndpoints(t.Name, t.From, t.To)
+	if err != nil {
+		return err
+	}
 	cfg := tcpsim.DefaultConfig()
 	if t.Cfg != nil {
 		cfg = *t.Cfg
@@ -350,12 +464,21 @@ func (sc *Scenario) buildTCP(t *TCPSpec) {
 		m.Start()
 		f.Meter = m
 	}
-	sc.registerFlow(f)
+	if err := sc.registerFlow(f); err != nil {
+		return err
+	}
 	sc.scheduleFlow(f, t.StartAt, t.StopAt)
+	return nil
 }
 
-func (sc *Scenario) buildCBR(c *CBRSpec) {
-	a, b := sc.buildEndpoints(c.Name, c.From, c.To)
+func (sc *Scenario) buildCBR(c *CBRSpec) error {
+	if c.StartAt < 0 || c.StopAt < 0 {
+		return fmt.Errorf("scenario %s: flow %q has a negative start/stop time", sc.Spec.Name, c.Name)
+	}
+	a, b, err := sc.buildEndpoints(c.Name, c.From, c.To)
+	if err != nil {
+		return err
+	}
 	net := sc.Env.Net
 	src := simnet.Addr{Node: a, Port: c.Port}
 	dst := simnet.Addr{Node: b, Port: c.Port}
@@ -369,8 +492,11 @@ func (sc *Scenario) buildCBR(c *CBRSpec) {
 		m.Start()
 		f.Meter = m
 	}
-	sc.registerFlow(f)
+	if err := sc.registerFlow(f); err != nil {
+		return err
+	}
 	sc.scheduleFlow(f, c.StartAt, c.StopAt)
+	return nil
 }
 
 func (sc *Scenario) scheduleFlow(f *Flow, startAt, stopAt sim.Time) {
@@ -388,16 +514,22 @@ func (sc *Scenario) scheduleFlow(f *Flow, startAt, stopAt sim.Time) {
 // sum the latest per-second readings of the named flows' meters. The
 // first tick is scheduled at construction, after the meters it reads, so
 // same-instant sampling keeps the meters-then-aggregate event order.
-func (sc *Scenario) buildAgg(a *AggSpec) {
+func (sc *Scenario) buildAgg(a *AggSpec) error {
 	every := a.Every
+	if every < 0 {
+		return fmt.Errorf("scenario %s: aggregate %q has a negative period", sc.Spec.Name, a.Name)
+	}
 	if every == 0 {
 		every = sim.Second
 	}
 	ms := make([]*stats.Meter, len(a.Flows))
 	for i, name := range a.Flows {
-		f := sc.Flow(name)
+		f, err := sc.flow(name)
+		if err != nil {
+			return err
+		}
 		if f.Meter == nil {
-			panic(fmt.Sprintf("scenario %s: aggregate %q over unmetered flow %q", sc.Spec.Name, a.Name, name))
+			return fmt.Errorf("scenario %s: aggregate %q over unmetered flow %q", sc.Spec.Name, a.Name, name)
 		}
 		ms[i] = f.Meter
 	}
@@ -418,12 +550,21 @@ func (sc *Scenario) buildAgg(a *AggSpec) {
 		})
 	}
 	tick()
+	return nil
 }
 
-func (sc *Scenario) buildSample(s *SampleSpec) {
+func (sc *Scenario) buildSample(s *SampleSpec) error {
 	every := s.Every
+	if every < 0 {
+		return fmt.Errorf("scenario %s: sample %q has a negative period", sc.Spec.Name, s.Name)
+	}
 	if every == 0 {
 		every = sim.Second
+	}
+	switch s.What {
+	case SampleValidRTT, SampleSenderRate, SampleMembers:
+	default:
+		return fmt.Errorf("scenario %s: bad sample kind %d", sc.Spec.Name, s.What)
 	}
 	series := &stats.Series{Name: s.Name}
 	sc.Samples = append(sc.Samples, series)
@@ -434,10 +575,9 @@ func (sc *Scenario) buildSample(s *SampleSpec) {
 			return float64(sc.Sess.ValidRTTCount())
 		case SampleSenderRate:
 			return sc.Sess.Sender.Rate()
-		case SampleMembers:
+		default: // SampleMembers; the kind was validated above
 			return float64(sc.Env.Net.Members(sc.Sess.Group))
 		}
-		panic(fmt.Sprintf("scenario %s: bad sample kind %d", sc.Spec.Name, s.What))
 	}
 	var tick func()
 	tick = func() {
@@ -447,14 +587,24 @@ func (sc *Scenario) buildSample(s *SampleSpec) {
 		})
 	}
 	tick()
+	return nil
 }
 
-func (sc *Scenario) scheduleEvent(ev Event) {
+// scheduleEvent validates one script entry and arms its timer. Every
+// reference is resolved eagerly so a malformed event fails at Build, not
+// as a panic mid-run; the armed callbacks only touch pre-resolved state.
+func (sc *Scenario) scheduleEvent(ev Event) error {
+	if ev.At < 0 {
+		return fmt.Errorf("scenario %s: event at negative time %v", sc.Spec.Name, ev.At)
+	}
 	switch {
 	case ev.SetLink != nil:
 		m := ev.SetLink
+		l, err := sc.link(m.Link)
+		if err != nil {
+			return err
+		}
 		sc.Env.Sch.At(ev.At, func() {
-			l := sc.link(m.Link)
 			if m.BW != nil {
 				l.SetBandwidth(*m.BW)
 			}
@@ -466,12 +616,100 @@ func (sc *Scenario) scheduleEvent(ev Event) {
 			}
 		})
 	case ev.Start != "":
-		f := sc.Flow(ev.Start) // resolve eagerly: typos fail at build
+		f, err := sc.flow(ev.Start)
+		if err != nil {
+			return err
+		}
 		sc.Env.Sch.At(ev.At, f.start)
 	case ev.Stop != "":
-		f := sc.Flow(ev.Stop)
+		f, err := sc.flow(ev.Stop)
+		if err != nil {
+			return err
+		}
 		sc.Env.Sch.At(ev.At, f.stop)
+	case ev.Down != nil:
+		l, err := sc.link(*ev.Down)
+		if err != nil {
+			return err
+		}
+		sc.Env.Sch.At(ev.At, func() { l.SetDown(true) })
+	case ev.Up != nil:
+		l, err := sc.link(*ev.Up)
+		if err != nil {
+			return err
+		}
+		sc.Env.Sch.At(ev.At, func() { l.SetDown(false) })
+	case ev.Partition != nil:
+		ls, err := sc.links(ev.Partition)
+		if err != nil {
+			return err
+		}
+		sc.Env.Sch.At(ev.At, func() {
+			for _, l := range ls {
+				l.SetDown(true)
+			}
+		})
+	case ev.Heal != nil:
+		ls, err := sc.links(ev.Heal)
+		if err != nil {
+			return err
+		}
+		sc.Env.Sch.At(ev.At, func() {
+			for _, l := range ls {
+				l.SetDown(false)
+			}
+		})
+	case ev.Crash != nil:
+		idx := *ev.Crash
+		if idx < 0 || idx >= len(sc.Recvs) {
+			return fmt.Errorf("scenario %s: crash of receiver %d out of range (have %d)",
+				sc.Spec.Name, idx, len(sc.Recvs))
+		}
+		slot := sc.Recvs[idx]
+		sc.Env.Sch.At(ev.At, func() {
+			if slot.R != nil {
+				slot.R.Crash()
+			}
+		})
+	case ev.Impair != nil:
+		im := ev.Impair
+		for _, p := range []float64{im.Corrupt, im.Duplicate, im.Reorder} {
+			if p < 0 || p > 1 {
+				return fmt.Errorf("scenario %s: impairment rate %v outside [0, 1]", sc.Spec.Name, p)
+			}
+		}
+		if im.ReorderDelay < 0 {
+			return fmt.Errorf("scenario %s: negative reorder delay %v", sc.Spec.Name, im.ReorderDelay)
+		}
+		l, err := sc.link(im.Link)
+		if err != nil {
+			return err
+		}
+		sc.Env.Sch.At(ev.At, func() {
+			extra := im.ReorderDelay
+			if extra == 0 {
+				extra = 4 * l.Delay
+				if extra == 0 {
+					extra = sim.Millisecond
+				}
+			}
+			l.SetImpairments(im.Corrupt, im.Duplicate, im.Reorder, extra)
+		})
 	default:
-		panic(fmt.Sprintf("scenario %s: empty event", sc.Spec.Name))
+		return fmt.Errorf("scenario %s: empty event", sc.Spec.Name)
 	}
+	return nil
+}
+
+// links resolves a list of link references eagerly.
+func (sc *Scenario) links(refs []LinkRef) ([]*simnet.Link, error) {
+	out := make([]*simnet.Link, len(refs))
+	for i, r := range refs {
+		l, err := sc.link(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = l
+	}
+	return out, nil
 }

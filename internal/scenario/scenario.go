@@ -268,12 +268,34 @@ type SetLink struct {
 	Loss  *float64
 }
 
+// Impair configures a link's fault-injection modules (see
+// simnet.Link.SetImpairments). Rates are Bernoulli probabilities drawn
+// from the network's seeded RNG; zero rates disable a module and consume
+// no randomness. ReorderDelay bounds the extra propagation delay of a
+// reordered packet; 0 means four times the link's delay at event time
+// (at least 1 ms).
+type Impair struct {
+	Link         LinkRef
+	Corrupt      float64
+	Duplicate    float64
+	Reorder      float64
+	ReorderDelay sim.Time
+}
+
 // Event is one entry of the timed script. Exactly one action is set.
 type Event struct {
 	At      sim.Time
 	SetLink *SetLink
 	Start   string // start the named flow
 	Stop    string // stop the named flow
+
+	// Fault-injection verbs.
+	Down      *LinkRef  // take one link down
+	Up        *LinkRef  // bring one link back up
+	Partition []LinkRef // take a set of links down at once
+	Heal      []LinkRef // bring a set of links back up at once
+	Crash     *int      // crash the i-th declared receiver (no Leave report)
+	Impair    *Impair   // set a link's corrupt/duplicate/reorder modules
 }
 
 // Spec is a complete declarative scenario.
@@ -310,4 +332,52 @@ func SetDelayEvent(at sim.Time, l LinkRef, d sim.Time) Event {
 // SetLossEvent mutates a link's random-loss probability at time t.
 func SetLossEvent(at sim.Time, l LinkRef, p float64) Event {
 	return Event{At: at, SetLink: &SetLink{Link: l, Loss: ptrF(p)}}
+}
+
+// LinkDownEvent takes a link down at time t: routes re-derive around it,
+// and traffic with no remaining path becomes counted Unreachable drops.
+func LinkDownEvent(at sim.Time, l LinkRef) Event {
+	ref := l
+	return Event{At: at, Down: &ref}
+}
+
+// LinkUpEvent brings a downed link back up at time t.
+func LinkUpEvent(at sim.Time, l LinkRef) Event {
+	ref := l
+	return Event{At: at, Up: &ref}
+}
+
+// PartitionEvent takes every listed link down at time t — the idiom for
+// cutting a duplex (pass both directions) or severing a whole subtree.
+func PartitionEvent(at sim.Time, links ...LinkRef) Event {
+	return Event{At: at, Partition: links}
+}
+
+// HealEvent brings every listed link back up at time t.
+func HealEvent(at sim.Time, links ...LinkRef) Event {
+	return Event{At: at, Heal: links}
+}
+
+// DuplexRefs returns both directions of a link reference — convenience
+// for PartitionEvent/HealEvent cutting whole duplexes.
+func DuplexRefs(l LinkRef) []LinkRef {
+	down, up := l, l
+	down.Up, up.Up = false, true
+	return []LinkRef{down, up}
+}
+
+// CrashEvent kills the i-th declared receiver at time t: it stops
+// processing traffic and leaves the multicast group without sending the
+// Leave report a graceful departure would — the sender must discover the
+// silence through its CLR feedback timeout.
+func CrashEvent(at sim.Time, recv int) Event {
+	i := recv
+	return Event{At: at, Crash: &i}
+}
+
+// ImpairEvent configures a link's corruption/duplication/reordering
+// modules at time t.
+func ImpairEvent(at sim.Time, im Impair) Event {
+	cp := im
+	return Event{At: at, Impair: &cp}
 }

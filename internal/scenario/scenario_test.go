@@ -13,6 +13,15 @@ func testEnv(seed int64) Env {
 	return Env{Sch: sch, Net: net, Rng: sim.NewRand(seed + 7)}
 }
 
+func mustLink(t *testing.T, sc *Scenario, ref LinkRef) *simnet.Link {
+	t.Helper()
+	l, err := sc.link(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
 func TestTopologyGenerators(t *testing.T) {
 	cases := []struct {
 		top           Topology
@@ -28,7 +37,10 @@ func TestTopologyGenerators(t *testing.T) {
 	}
 	for _, c := range cases {
 		env := testEnv(1)
-		topo := buildTopology(env.Net, c.top)
+		topo, err := buildTopology(env.Net, c.top)
+		if err != nil {
+			t.Fatalf("%s: %v", c.top.Kind, err)
+		}
 		if len(topo.Nodes) != c.nodes {
 			t.Errorf("%s: %d core nodes, want %d", c.top.Kind, len(topo.Nodes), c.nodes)
 		}
@@ -61,9 +73,12 @@ func TestEventScript(t *testing.T) {
 		Duration: 6 * sim.Second,
 	}
 	env := testEnv(1)
-	sc := Build(env, spec)
-	core := sc.link(CoreLink(0))
-	edge := sc.link(SiteLink(0, 0, false))
+	sc, err := Build(env, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := mustLink(t, sc, CoreLink(0))
+	edge := mustLink(t, sc, SiteLink(0, 0, false))
 
 	sc.Start()
 	sc.RunUntil(2500 * sim.Millisecond)
@@ -107,7 +122,10 @@ func TestChurnScript(t *testing.T) {
 		Duration: 6 * sim.Second,
 	}
 	env := testEnv(1)
-	sc := Build(env, spec)
+	sc, err := Build(env, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
 	g := sc.Sess.Group
 	sc.Start()
 	sc.RunUntil(sim.Second)
@@ -191,7 +209,10 @@ func TestPresetSpecsBuild(t *testing.T) {
 	for _, p := range Presets() {
 		env := testEnv(1)
 		env.Net.EnableReuse()
-		sc := Build(env, p.Make())
+		sc, err := Build(env, p.Make())
+		if err != nil {
+			t.Fatalf("%s: %v", p.ID, err)
+		}
 		if sc.Sess == nil {
 			t.Fatalf("%s: no session", p.ID)
 		}

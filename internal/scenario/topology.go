@@ -18,10 +18,15 @@ type Topo struct {
 	SenderAttach simnet.NodeID
 }
 
+// maxCoreNodes bounds generated topologies so a malformed (or fuzzed)
+// spec fails fast instead of exhausting memory.
+const maxCoreNodes = 1 << 16
+
 // buildTopology generates the core for a spec. Node and link creation
 // order is part of the scenario contract: it pins NodeIDs, link indices
-// and route tie-breaking.
-func buildTopology(net *simnet.Network, t Topology) *Topo {
+// and route tie-breaking. Malformed topologies (unknown kind, explosive
+// size) are structured errors.
+func buildTopology(net *simnet.Network, t Topology) (*Topo, error) {
 	switch t.Kind {
 	case Dumbbell:
 		left := net.AddNode("left")
@@ -33,18 +38,27 @@ func buildTopology(net *simnet.Network, t Topology) *Topo {
 			Links:        []*simnet.Link{fwd, rev},
 			Attach:       []simnet.NodeID{right},
 			SenderAttach: left,
-		}
+		}, nil
 	case Star:
 		hub := net.AddNode("hub")
 		return &Topo{
 			Nodes:        []simnet.NodeID{hub},
 			Attach:       []simnet.NodeID{hub},
 			SenderAttach: hub,
-		}
+		}, nil
 	case Tree:
 		fanout := t.Fanout
 		if fanout < 2 {
 			fanout = 2
+		}
+		total, width := 1, 1
+		for d := 0; d < t.Depth; d++ {
+			width *= fanout
+			total += width
+			if total > maxCoreNodes {
+				return nil, fmt.Errorf("tree topology too large: fanout %d depth %d exceeds %d nodes",
+					fanout, t.Depth, maxCoreNodes)
+			}
 		}
 		root := net.AddNode("tree-root")
 		topo := &Topo{Nodes: []simnet.NodeID{root}, SenderAttach: root}
@@ -64,11 +78,14 @@ func buildTopology(net *simnet.Network, t Topology) *Topo {
 			level = next
 		}
 		topo.Attach = level
-		return topo
+		return topo, nil
 	case Chain:
 		hops := t.Hops
 		if hops < 1 {
 			hops = 1
+		}
+		if hops > maxCoreNodes {
+			return nil, fmt.Errorf("chain topology too large: %d hops exceeds %d nodes", hops, maxCoreNodes)
 		}
 		topo := &Topo{}
 		prev := net.AddNode("chain-0")
@@ -83,7 +100,7 @@ func buildTopology(net *simnet.Network, t Topology) *Topo {
 		}
 		topo.SenderAttach = topo.Nodes[0]
 		topo.Attach = []simnet.NodeID{prev}
-		return topo
+		return topo, nil
 	case TransitStub:
 		transit := t.Transit
 		if transit < 1 {
@@ -92,6 +109,10 @@ func buildTopology(net *simnet.Network, t Topology) *Topo {
 		stubs := t.Stubs
 		if stubs < 1 {
 			stubs = 1
+		}
+		if transit > maxCoreNodes || transit*(stubs+1) > maxCoreNodes {
+			return nil, fmt.Errorf("transit-stub topology too large: %d transit x %d stubs exceeds %d nodes",
+				transit, stubs, maxCoreNodes)
 		}
 		topo := &Topo{}
 		var core []simnet.NodeID
@@ -116,7 +137,7 @@ func buildTopology(net *simnet.Network, t Topology) *Topo {
 			}
 		}
 		topo.SenderAttach = core[0]
-		return topo
+		return topo, nil
 	}
-	panic(fmt.Sprintf("scenario: unknown topology kind %d", t.Kind))
+	return nil, fmt.Errorf("unknown topology kind %d", t.Kind)
 }

@@ -4,11 +4,15 @@ import "repro/internal/sim"
 
 // LinkStats counts per-link traffic for tracing and assertions.
 type LinkStats struct {
-	Sent     int64 // packets handed to the link
-	Deliver  int64 // packets delivered to the far node
-	DropQ    int64 // queue (congestion) drops
-	DropRand int64 // random-loss-module drops
-	Bytes    int64 // bytes delivered
+	Sent       int64 // packets handed to the link
+	Deliver    int64 // packets delivered to the far node
+	DropQ      int64 // queue (congestion) drops
+	DropRand   int64 // random-loss-module drops
+	Bytes      int64 // bytes delivered
+	DropDown   int64 // packets refused because the link was down
+	Corrupted  int64 // packets corrupted in transit (dropped at checksum)
+	Duplicated int64 // extra copies injected by the duplication module
+	Reordered  int64 // packets delayed by the reordering module
 }
 
 // Link is a unidirectional link with bandwidth, propagation delay, a
@@ -24,7 +28,17 @@ type Link struct {
 	LossProb  float64 // Bernoulli drop probability on entry
 	Stats     LinkStats
 
+	// Fault-injection impairments (all off by default). Each module draws
+	// from the network RNG only when its rate is non-zero, so a run with no
+	// impairments consumes exactly the same random sequence as before the
+	// fault layer existed.
+	CorruptProb  float64  // Bernoulli in-transit corruption (counted drop)
+	DupProb      float64  // Bernoulli duplication (a second copy is sent)
+	ReorderProb  float64  // Bernoulli extra propagation delay (reordering)
+	ReorderDelay sim.Time // max extra delay for a reordered packet
+
 	net  *Network
+	down bool
 	busy bool
 
 	// Pre-bound callbacks so per-packet scheduling allocates no closures;
@@ -43,6 +57,9 @@ func (l *Link) resetForReuse(bandwidth float64, delay sim.Time, queueLimit int) 
 	l.Delay = delay
 	l.Stats = LinkStats{}
 	l.LossProb = 0
+	l.CorruptProb, l.DupProb, l.ReorderProb = 0, 0, 0
+	l.ReorderDelay = 0
+	l.down = false
 	l.busy = false
 	if dt, ok := l.Q.(*DropTail); ok {
 		dt.reset(queueLimit)
@@ -81,18 +98,73 @@ func (l *Link) SetBandwidth(bw float64) { l.Bandwidth = bw }
 // for symmetry with SetDelay/SetBandwidth in event scripts.
 func (l *Link) SetLoss(p float64) { l.LossProb = p }
 
-// send places a packet on the link, applying the loss module and queue.
-// It consumes one packet reference on every path that ends here (drops).
+// SetDown takes the link down (or brings it back up). A down link is
+// excluded from route computation, so traffic reroutes around it when an
+// alternative path exists and otherwise becomes a counted Unreachable
+// drop (see Network.Faults). Packets already serialising or propagating
+// when the link goes down finish their hop; packets queued behind the
+// serialiser drain too — only new send attempts are refused. Routing and
+// compiled multicast trees depend on link availability, so a state change
+// invalidates both, exactly like a delay change.
+func (l *Link) SetDown(down bool) {
+	if down == l.down {
+		return
+	}
+	l.down = down
+	l.net.noteDelayChange()
+}
+
+// IsDown reports whether the link is administratively down.
+func (l *Link) IsDown() bool { return l.down }
+
+// SetImpairments configures the corruption/duplication/reordering
+// modules in one call (a scenario Impair event). extra is the maximum
+// additional propagation delay for reordered packets; it is ignored when
+// reorder is zero.
+func (l *Link) SetImpairments(corrupt, dup, reorder float64, extra sim.Time) {
+	l.CorruptProb, l.DupProb, l.ReorderProb = corrupt, dup, reorder
+	l.ReorderDelay = extra
+}
+
+// send places a packet on the link, applying the down state, the loss,
+// corruption and duplication modules, and the queue. It consumes one
+// packet reference on every path that ends here (drops).
 func (l *Link) send(pkt *Packet) {
 	l.Stats.Sent++
+	if l.down {
+		l.Stats.DropDown++
+		l.net.faults.Unreachable++
+		l.net.releasePkt(pkt)
+		return
+	}
 	if l.LossProb > 0 && l.net.rng.Bool(l.LossProb) {
 		l.Stats.DropRand++
 		l.net.releasePkt(pkt)
 		return
 	}
+	if l.CorruptProb > 0 && l.net.rng.Bool(l.CorruptProb) {
+		// Corrupted in transit: the far end's checksum rejects it, so it
+		// behaves as a counted drop.
+		l.Stats.Corrupted++
+		l.net.faults.Corrupted++
+		l.net.releasePkt(pkt)
+		return
+	}
+	if l.DupProb > 0 && l.net.rng.Bool(l.DupProb) {
+		l.Stats.Duplicated++
+		l.net.faults.Duplicated++
+		pkt.refs++ // the extra copy consumes its own reference downstream
+		l.xmit(pkt)
+	}
+	l.xmit(pkt)
+}
+
+// xmit moves a packet past the entry modules onto the wire: pure delay
+// for infinite links, queue + serialiser otherwise.
+func (l *Link) xmit(pkt *Packet) {
 	if l.Bandwidth <= 0 {
 		// Infinite-speed link: pure delay.
-		l.net.sched.AfterArg(l.Delay, l.deliverFn, pkt)
+		l.net.sched.AfterArg(l.propDelay(), l.deliverFn, pkt)
 		return
 	}
 	if !l.Q.Enqueue(pkt, l.net.sched.Now()) {
@@ -107,6 +179,18 @@ func (l *Link) send(pkt *Packet) {
 		l.busy = true
 		l.startTx()
 	}
+}
+
+// propDelay returns the propagation delay for one packet, stretched by
+// the reordering module: a reordered packet takes up to ReorderDelay
+// extra, letting later packets overtake it.
+func (l *Link) propDelay() sim.Time {
+	d := l.Delay
+	if l.ReorderProb > 0 && l.net.rng.Bool(l.ReorderProb) {
+		l.Stats.Reordered++
+		d += sim.Time(float64(l.ReorderDelay) * l.net.rng.Float64())
+	}
+	return d
 }
 
 func (l *Link) startTx() {
@@ -128,7 +212,7 @@ func (l *Link) startTx() {
 // starts and the next queued packet (if any) begins transmission.
 func (l *Link) txDone(a any) {
 	pkt := a.(*Packet)
-	l.net.sched.AfterArg(l.Delay, l.deliverFn, pkt)
+	l.net.sched.AfterArg(l.propDelay(), l.deliverFn, pkt)
 	l.startTx()
 }
 

@@ -1,8 +1,6 @@
 package simnet
 
 import (
-	"fmt"
-
 	"repro/internal/sim"
 )
 
@@ -45,6 +43,12 @@ type Network struct {
 
 	freePkts [NumPacketClasses][]*Packet
 
+	// faults counts fault-injection outcomes for the whole network; pktLive
+	// tracks pooled packets currently in flight (allocated, not yet fully
+	// released) for the pool-conservation invariant.
+	faults  FaultStats
+	pktLive int64
+
 	// Arena reuse (EnableReuse/Reset): the construction op log lets a
 	// rewound network hand the same nodes and links back to a scenario
 	// builder that repeats the same calls, skipping reconstruction and —
@@ -76,6 +80,23 @@ type topoOp struct {
 	l         *Link  // AddLink result
 }
 
+// FaultStats counts network-wide fault-injection outcomes: packets that
+// had no route to (some of) their destinations, packets corrupted in
+// transit, and duplicate copies injected by the duplication module.
+type FaultStats struct {
+	Unreachable int64
+	Corrupted   int64
+	Duplicated  int64
+}
+
+// Faults returns the fault counters accumulated since the last Reset.
+func (n *Network) Faults() FaultStats { return n.faults }
+
+// LivePackets returns the number of pooled packets currently allocated
+// and not yet fully released. The pool-conservation invariant is that it
+// never goes negative (a free without a matching alloc).
+func (n *Network) LivePackets() int64 { return n.pktLive }
+
 type linkKey struct{ from, to NodeID }
 
 type mcastKey struct {
@@ -97,6 +118,7 @@ type mcastTree struct {
 	start   []int32 // len V+1
 	links   []int32 // linkList indices, grouped per node
 	deliver []bool  // member && not source
+	unreach int32   // members with no route from src (counted drops per send)
 }
 
 type node struct {
@@ -176,6 +198,8 @@ func (n *Network) Reset() bool {
 		n.runMutated = false
 	}
 	n.arena.Rewind()
+	n.faults = FaultStats{}
+	n.pktLive = 0
 	// Eagerly clear per-run link state (the replaying AddLink call resets
 	// again with that run's parameters): counters must not leak into the
 	// next run's harvest, and a queued packet or busy serialiser from the
@@ -183,6 +207,9 @@ func (n *Network) Reset() bool {
 	for _, l := range n.linkList {
 		l.Stats = LinkStats{}
 		l.LossProb = 0
+		l.CorruptProb, l.DupProb, l.ReorderProb = 0, 0, 0
+		l.ReorderDelay = 0
+		l.down = false
 		l.busy = false
 		if dt, ok := l.Q.(*DropTail); ok {
 			dt.reset(dt.Limit)
@@ -436,6 +463,7 @@ func (n *Network) AllocPacket() *Packet { return n.AllocPacketClass(0) }
 // reallocate on every mismatch. Class assignments are a repo-wide
 // convention (see each protocol package); class 0 is the default.
 func (n *Network) AllocPacketClass(class uint8) *Packet {
+	n.pktLive++
 	free := &n.freePkts[class]
 	if k := len(*free); k > 0 {
 		p := (*free)[k-1]
@@ -445,12 +473,22 @@ func (n *Network) AllocPacketClass(class uint8) *Packet {
 	return &Packet{pooled: true, class: class}
 }
 
+// ReleasePacket returns a packet obtained from AllocPacket without
+// sending it — for callers that hand packets to handlers directly (tests,
+// fault injection). A sent packet must NOT also be released; the network
+// owns it from Send on.
+func (n *Network) ReleasePacket(p *Packet) {
+	p.refs = 1 // grant the forwarding token Send would have taken
+	n.releasePkt(p)
+}
+
 // releasePkt drops one reference; the last reference of a pooled packet
 // recycles it onto its class's free list. The Payload survives recycling
 // (see AllocPacket); everything else is zeroed.
 func (n *Network) releasePkt(p *Packet) {
 	p.refs--
 	if p.refs == 0 && p.pooled {
+		n.pktLive--
 		payload := p.Payload
 		*p = Packet{pooled: true, Payload: payload, class: p.class}
 		n.freePkts[p.class] = append(n.freePkts[p.class], p)
@@ -490,7 +528,11 @@ func (n *Network) forward(at NodeID, pkt *Packet) {
 	}
 	li := n.routes[int(at)*len(n.nodes)+int(pkt.Dst.Node)]
 	if li < 0 {
-		panic(fmt.Sprintf("simnet: no route %v -> %v", at, pkt.Dst.Node))
+		// No route (partition, down links): a counted drop, not a panic —
+		// fault scenarios legitimately strand traffic.
+		n.faults.Unreachable++
+		n.releasePkt(pkt)
+		return
 	}
 	n.linkList[li].send(pkt)
 }
@@ -508,6 +550,11 @@ func (n *Network) forwardMcast(at, src NodeID, pkt *Packet) {
 	if t == nil || pkt.treeVer != n.topoVer {
 		t = n.mcastTree(pkt.Group, src)
 		pkt.tree, pkt.treeVer = t, n.topoVer
+	}
+	if at == src && t.unreach > 0 {
+		// Members severed from the source: each send silently fails to
+		// reach them — charge one unreachable drop per stranded member.
+		n.faults.Unreachable += int64(t.unreach)
 	}
 	if int(at) < len(t.deliver) && t.deliver[at] {
 		n.deliverLocal(at, pkt)
@@ -665,6 +712,9 @@ func (n *Network) dijkstra(src NodeID, next []int32) {
 		done[u] = true
 		for _, li := range n.adjLinks[n.adjStart[u]:n.adjStart[u+1]] {
 			l := n.linkList[li]
+			if l.down {
+				continue // down links carry no traffic and no routes
+			}
 			v := l.To
 			w := int64(l.Delay) + 1 // +1 keeps zero-delay hops countable
 			if nd := dist[u] + w; nd < dist[v] {
@@ -717,27 +767,45 @@ func (n *Network) mcastTree(g GroupID, src NodeID) *mcastTree {
 	children := make([][]int32, cnt)
 	onTree := map[[2]NodeID]bool{}
 	nLinks := 0
+	unreach := 0
+	reachable := make(map[NodeID]bool)
+	var walk []int32 // scratch: edges of the member currently being walked
 	if gr != nil {
 		for mi, in := range gr.member {
 			m := NodeID(mi)
 			if !in || m == src {
 				continue
 			}
-			// Walk the unicast path src -> m, adding edges not yet on the tree.
+			// Walk the unicast path src -> m. Edges are collected first and
+			// committed only when the whole path exists: a member stranded by
+			// a partition contributes no dangling branch, just an unreachable
+			// count (drops are charged per packet at forwarding time).
+			walk = walk[:0]
 			at := src
 			for at != m {
 				li := n.routes[int(at)*cnt+int(m)]
 				if li < 0 {
-					panic(fmt.Sprintf("simnet: no multicast route %v -> %v", src, m))
+					walk = walk[:0]
+					unreach++
+					break
 				}
+				walk = append(walk, li)
+				at = n.linkList[li].To
+			}
+			if at != m {
+				continue
+			}
+			reachable[m] = true
+			hop := src
+			for _, li := range walk {
 				nxt := n.linkList[li].To
-				e := [2]NodeID{at, nxt}
+				e := [2]NodeID{hop, nxt}
 				if !onTree[e] {
 					onTree[e] = true
-					children[at] = append(children[at], li)
+					children[hop] = append(children[hop], li)
 					nLinks++
 				}
-				at = nxt
+				hop = nxt
 			}
 		}
 	}
@@ -745,12 +813,13 @@ func (n *Network) mcastTree(g GroupID, src NodeID) *mcastTree {
 		start:   make([]int32, cnt+1),
 		links:   make([]int32, 0, nLinks),
 		deliver: make([]bool, cnt),
+		unreach: int32(unreach),
 	}
 	for u := 0; u < cnt; u++ {
 		t.start[u] = int32(len(t.links))
 		t.links = append(t.links, children[u]...)
 		if gr != nil && u < len(gr.member) {
-			t.deliver[u] = gr.member[u] && NodeID(u) != src
+			t.deliver[u] = gr.member[u] && NodeID(u) != src && reachable[NodeID(u)]
 		}
 	}
 	t.start[cnt] = int32(len(t.links))

@@ -220,17 +220,15 @@ func TestInfiniteBandwidthLinkSkipsQueue(t *testing.T) {
 	}
 }
 
-func TestNoRoutePanics(t *testing.T) {
+func TestNoRouteIsCountedDrop(t *testing.T) {
 	sch, net := newNet()
 	a := net.AddNode("a")
 	net.AddNode("b")
-	defer func() {
-		if recover() == nil {
-			t.Fatal("sending with no route should panic")
-		}
-	}()
 	net.Send(&Packet{Size: 1, Src: Addr{a, 1}, Dst: Addr{1, 1}})
 	sch.Run()
+	if got := net.Faults().Unreachable; got != 1 {
+		t.Fatalf("unreachable drops = %d, want 1", got)
+	}
 }
 
 func TestDropHookObservesCongestionDrops(t *testing.T) {

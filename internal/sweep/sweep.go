@@ -11,6 +11,7 @@
 package sweep
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -24,6 +25,20 @@ type Config struct {
 	CI      float64 // confidence level for the merged bands; 0 means 0.95
 	Base    int64   // first seed
 	Step    int64   // seed stride; 0 means 1
+	Check   bool    // enable run-level invariant checking in runners that support it
+}
+
+// SeedError records one seed whose run panicked. The sweep recovers,
+// excludes the seed from the merged bands and carries on — one broken
+// seed must not cost the other N-1.
+type SeedError struct {
+	Seed   int64
+	Worker int
+	Msg    string
+}
+
+func (e SeedError) Error() string {
+	return fmt.Sprintf("seed %d (worker %d) panicked: %s", e.Seed, e.Worker, e.Msg)
 }
 
 // Normalized returns the config with defaults applied.
@@ -65,17 +80,21 @@ type Result struct {
 	Seeds   int
 	Workers int
 	CI      float64
+	Errors  []SeedError // seeds that panicked, excluded from Bands
 }
 
 // Run executes fn for every seed across the configured workers and merges
-// the per-seed series into bands.
+// the per-seed series into bands. Seeds whose run panics are recovered,
+// reported in Errors and excluded from the merge.
 func Run(cfg Config, fn RunFunc) *Result {
 	cfg = cfg.Normalized()
+	runs, errs := RunRaw(cfg, fn)
 	return &Result{
-		Bands:   stats.MergeRuns(RunRaw(cfg, fn), cfg.CI),
+		Bands:   stats.MergeRuns(runs, cfg.CI),
 		Seeds:   cfg.Seeds,
 		Workers: cfg.Workers,
 		CI:      cfg.CI,
+		Errors:  errs,
 	}
 }
 
@@ -85,11 +104,31 @@ func Run(cfg Config, fn RunFunc) *Result {
 // RunRaw outputs is byte-identical to one full Run over the whole range.
 // This is the primitive behind seed-range sharding, where one expensive
 // scenario's seeds are split across machines.
-func RunRaw(cfg Config, fn RunFunc) [][]*stats.Series {
+//
+// A seed whose fn panics is recovered: its slot stays nil (MergeRuns
+// skips nil runs) and a SeedError is returned. The error list is in seed
+// order, independent of worker scheduling.
+func RunRaw(cfg Config, fn RunFunc) ([][]*stats.Series, []SeedError) {
 	cfg = cfg.Normalized()
 	runs := make([][]*stats.Series, cfg.Seeds)
-	forEach(cfg, func(worker, i int) { runs[i] = fn(worker, cfg.Seed(i)) })
-	return runs
+	fails := make([]*SeedError, cfg.Seeds)
+	forEach(cfg, func(worker, i int) {
+		seed := cfg.Seed(i)
+		defer func() {
+			if r := recover(); r != nil {
+				runs[i] = nil
+				fails[i] = &SeedError{Seed: seed, Worker: worker, Msg: fmt.Sprint(r)}
+			}
+		}()
+		runs[i] = fn(worker, seed)
+	})
+	var errs []SeedError
+	for _, f := range fails {
+		if f != nil {
+			errs = append(errs, *f)
+		}
+	}
+	return runs, errs
 }
 
 // Scalars evaluates a scalar metric for every seed and returns the values

@@ -139,3 +139,49 @@ func TestRunManyWorkersRace(t *testing.T) {
 		t.Fatalf("merged %d contributions, want 64", total)
 	}
 }
+
+func TestPanickingSeedIsRecoveredAndExcluded(t *testing.T) {
+	// One seed in the middle panics: the sweep must finish, report that
+	// seed and merge the survivors as if the seed were never requested.
+	mk := func(seed int64) []*stats.Series {
+		s := &stats.Series{Name: "a"}
+		s.Add(0, float64(seed))
+		return []*stats.Series{s}
+	}
+	boom := func(worker int, seed int64) []*stats.Series {
+		if seed == 3 {
+			panic(fmt.Sprintf("injected failure for seed %d", seed))
+		}
+		return mk(seed)
+	}
+	for _, workers := range []int{1, 4} {
+		r := Run(Config{Seeds: 5, Workers: workers, Base: 1}, boom)
+		if len(r.Errors) != 1 {
+			t.Fatalf("workers=%d: errors = %v, want exactly one", workers, r.Errors)
+		}
+		e := r.Errors[0]
+		if e.Seed != 3 || e.Msg != "injected failure for seed 3" {
+			t.Fatalf("workers=%d: wrong seed error: %+v", workers, e)
+		}
+		if len(r.Bands) != 1 {
+			t.Fatalf("workers=%d: bands = %d, want 1", workers, len(r.Bands))
+		}
+		p := r.Bands[0].Points[0]
+		// Survivors are seeds 1,2,4,5: mean 3, min 1, max 5, n 4.
+		if p.N != 4 || p.Mean != 3 || p.Min != 1 || p.Max != 5 {
+			t.Fatalf("workers=%d: failed seed leaked into merge: %+v", workers, p)
+		}
+	}
+}
+
+func TestAllSeedsPanicStillTerminates(t *testing.T) {
+	r := Run(Config{Seeds: 3, Workers: 2}, func(w int, seed int64) []*stats.Series {
+		panic("total failure")
+	})
+	if len(r.Errors) != 3 {
+		t.Fatalf("errors = %d, want 3", len(r.Errors))
+	}
+	if len(r.Bands) != 0 {
+		t.Fatalf("bands from failed seeds: %v", r.Bands)
+	}
+}

@@ -43,6 +43,16 @@ type Config struct {
 	StorePrevCLR     bool // Appendix C: remember the previous CLR
 	PrevCLRTimeout   sim.Time
 
+	// HalveOnSilence applies the no-feedback failure mode (section 5):
+	// once the CLR has timed out or left and no surviving receiver could
+	// be elected, the sender halves its rate on every further feedback
+	// round that produces no reports at all, down to MinRate. A live CLR
+	// (or any report in the round) disarms it, so tolerated report-path
+	// loss is unaffected. Off by default: suppression can legitimately
+	// leave the sender CLR-less for a round during churn, and the figure
+	// scenarios predate the halving; the fault presets turn it on.
+	HalveOnSilence bool
+
 	// UseClockSync seeds receivers' RTT estimators from synchronised
 	// clocks (section 2.4.1) instead of the 500 ms initial RTT.
 	UseClockSync bool
@@ -68,6 +78,7 @@ func DefaultConfig() Config {
 		SlowstartFactor:  2,
 		CLRTimeoutRounds: 10,
 		PrevCLRTimeout:   2 * sim.Second,
+		HalveOnSilence:   false,
 	}
 }
 

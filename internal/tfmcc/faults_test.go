@@ -1,6 +1,7 @@
 package tfmcc
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/sim"
@@ -172,4 +173,130 @@ func TestCrashingCLRNeverRaisesRateUnsafely(t *testing.T) {
 		}
 		prev = now
 	}
+}
+
+func TestSilenceHalvingAfterCrash(t *testing.T) {
+	// With HalveOnSilence on, crashing every receiver must walk the rate
+	// down by half per feedback round once the CLR times out, and floor at
+	// MinRate — the paper's no-feedback failure mode.
+	cfg := DefaultConfig()
+	cfg.HalveOnSilence = true
+	sch, _, sess := singleBottleneck(3, 125000, 20*sim.Millisecond, 30, cfg, 27)
+	sess.Start()
+	sch.RunUntil(60 * sim.Second)
+	rateAtCrash := sess.Sender.Rate()
+	for _, r := range sess.Receivers {
+		r.Crash()
+	}
+	sch.RunUntil(200 * sim.Second)
+	if sess.Sender.SilenceHalvings == 0 {
+		t.Fatal("no silence halvings despite every receiver crashing")
+	}
+	if got := sess.Sender.Rate(); got > rateAtCrash/2 {
+		t.Fatalf("rate %.0f did not degrade after total crash (was %.0f)", got, rateAtCrash)
+	}
+	if got := sess.Sender.Rate(); got < cfg.MinRate {
+		t.Fatalf("rate %.0f fell below MinRate %.0f", got, cfg.MinRate)
+	}
+	// Crash, unlike Leave, sends nothing.
+	for i, r := range sess.Receivers {
+		if !r.Crashed() || !r.Left() {
+			t.Fatalf("receiver %d not marked crashed+left", i)
+		}
+	}
+}
+
+func TestCLRCrashReelectsSurvivor(t *testing.T) {
+	// Crash only the CLR: the sender must re-elect a surviving receiver
+	// after the CLR timeout and keep transmitting at a sane rate, with
+	// HalveOnSilence enabled (the failure mode must not prevent recovery).
+	cfg := DefaultConfig()
+	cfg.HalveOnSilence = true
+	loss := []float64{0.08, 0.01}
+	delay := []sim.Time{30 * sim.Millisecond, 30 * sim.Millisecond}
+	sch, _, sess := starLossy(loss, delay, cfg, 28)
+	sess.Start()
+	sch.RunUntil(90 * sim.Second)
+	if sess.Sender.CLR() != 0 {
+		t.Skipf("CLR = %v, scenario needs receiver 0", sess.Sender.CLR())
+	}
+	sess.Receivers[0].Crash()
+	sch.RunUntil(220 * sim.Second)
+	if clr := sess.Sender.CLR(); clr != 1 {
+		t.Fatalf("CLR after crash = %v, want survivor 1", clr)
+	}
+	if got := sess.Sender.Rate(); got < cfg.MinRate {
+		t.Fatalf("no recovery after CLR crash: rate %.0f", got)
+	}
+	if v := sess.CLRInvariant(); v != "" {
+		t.Fatalf("CLR invariant violated after recovery: %s", v)
+	}
+}
+
+func TestMalformedReportsDiscarded(t *testing.T) {
+	// Corrupted reports — nonsense rates, bogus IDs, stale rounds — must
+	// be counted and dropped before they touch CLR or rate state.
+	cfg := DefaultConfig()
+	sch, net, sess := singleBottleneck(2, 125000, 20*sim.Millisecond, 30, cfg, 29)
+	sess.Start()
+	sch.RunUntil(30 * sim.Second)
+	snd := sess.Sender
+	clrBefore := snd.CLR()
+	rateBefore := snd.Rate()
+	bad := []Report{
+		{From: -3, Rate: 1000, Round: snd.Round()},
+		{From: 0, Rate: 0, Round: snd.Round()},
+		{From: 0, Rate: -50, Round: snd.Round()},
+		{From: 0, Rate: math.NaN(), Round: snd.Round()},
+		{From: 0, Rate: math.Inf(1), Round: snd.Round()},
+		{From: 0, Rate: 1000, Round: snd.Round() + 3},
+		{From: 0, Rate: 1000, Round: snd.Round() - staleReportRounds - 1},
+	}
+	for i := range bad {
+		pkt := net.AllocPacket()
+		*reportBox(pkt) = bad[i]
+		snd.Recv(pkt)
+		net.ReleasePacket(pkt)
+	}
+	if snd.ReportsDiscarded != int64(len(bad)) {
+		t.Fatalf("ReportsDiscarded = %d, want %d", snd.ReportsDiscarded, len(bad))
+	}
+	if snd.CLR() != clrBefore || snd.Rate() != rateBefore {
+		t.Fatal("a discarded report moved CLR or rate state")
+	}
+}
+
+func TestStaleDataDiscardedByReceiver(t *testing.T) {
+	// Receivers must ignore data packets carrying impossible or long-stale
+	// header state rather than folding it into their estimators.
+	cfg := DefaultConfig()
+	sch, net, sess := singleBottleneck(1, 125000, 20*sim.Millisecond, 30, cfg, 30)
+	sess.Start()
+	sch.RunUntil(30 * sim.Second)
+	r := sess.Receivers[0]
+	recvBefore := r.PacketsRecv
+	bad := []Data{
+		{Seq: -1, Rate: 1000, Round: r.round},
+		{Seq: 1, Rate: -5, Round: r.round},
+		{Seq: 1, Rate: math.NaN(), Round: r.round},
+		{Seq: 1, Rate: 1000, Round: r.round - staleDataRounds - 1},
+	}
+	for i := range bad {
+		pkt := net.AllocPacket()
+		d, ok := pkt.Payload.(*Data)
+		if !ok {
+			d = new(Data)
+			pkt.Payload = d
+		}
+		*d = bad[i]
+		r.Recv(pkt)
+		net.ReleasePacket(pkt)
+	}
+	if r.StaleDiscards != int64(len(bad)) {
+		t.Fatalf("StaleDiscards = %d, want %d", r.StaleDiscards, len(bad))
+	}
+	if r.PacketsRecv != recvBefore {
+		t.Fatal("a discarded data packet was counted as received")
+	}
+	_ = sch
 }

@@ -42,7 +42,9 @@ type Receiver struct {
 	isCLR     bool
 	clrNextAt sim.Time
 
-	left bool
+	left    bool
+	crashed bool
+	leftAt  sim.Time // when the receiver left or crashed (0 = still joined)
 
 	// Appendix A/B bookkeeping: the first loss event was aggregated and
 	// initialised using the conservative initial RTT.
@@ -54,11 +56,16 @@ type Receiver struct {
 	Losses          int64
 	LossEvents      int64
 	PacketsRecv     int64
+	StaleDiscards   int64        // stale/malformed data packets discarded unprocessed
 	OnFirstRTT      func()       // optional hook fired at the first valid measurement
 	Meter           *stats.Meter // optional throughput meter
 	Trace           *trace.Log   // optional event trace (losses, reports)
 	lastSuppress    float64
 }
+
+// staleDataRounds bounds how far behind the receiver's current feedback
+// round a data packet may lag before it is discarded as stale.
+const staleDataRounds = 2
 
 // receiverArenaKey pools receivers on reuse-enabled networks: the
 // receiver is by far the heaviest per-scenario allocation (the receive
@@ -131,12 +138,15 @@ func (r *Receiver) rewind(id ReceiverID, net *simnet.Network, node simnet.NodeID
 	r.isCLR = false
 	r.clrNextAt = 0
 	r.left = false
+	r.crashed = false
+	r.leftAt = 0
 	r.firstLossWithInitRTT = false
 	r.ReportsSent = 0
 	r.SuppressCancels = 0
 	r.Losses = 0
 	r.LossEvents = 0
 	r.PacketsRecv = 0
+	r.StaleDiscards = 0
 	r.OnFirstRTT = nil
 	r.Meter = nil
 	r.Trace = nil
@@ -178,12 +188,38 @@ func (r *Receiver) CalcRate() float64 {
 	return r.cfg.Model.Throughput(p, r.rtte.RTT().Seconds())
 }
 
+// Left reports whether the receiver has left the session (gracefully or
+// by crashing).
+func (r *Receiver) Left() bool { return r.left }
+
+// Crashed reports whether the receiver was killed by a fault event.
+func (r *Receiver) Crashed() bool { return r.crashed }
+
+// LeftAt returns when the receiver left or crashed (0 = still joined).
+func (r *Receiver) LeftAt() sim.Time { return r.leftAt }
+
+// Crash kills the receiver: it stops processing traffic and leaves the
+// multicast group, but — unlike Leave — sends no departure report. The
+// sender only discovers the silence through its CLR feedback timeout,
+// which is exactly the failure mode the paper's CLR re-election handles.
+func (r *Receiver) Crash() {
+	if r.left {
+		return
+	}
+	r.left = true
+	r.crashed = true
+	r.leftAt = r.sch.Now()
+	r.cancelTimer()
+	r.net.Leave(r.group, r.addr.Node)
+}
+
 // Leave announces departure to the sender and leaves the multicast group.
 func (r *Receiver) Leave() {
 	if r.left {
 		return
 	}
 	r.left = true
+	r.leftAt = r.sch.Now()
 	r.cancelTimer()
 	pkt := r.net.AllocPacket()
 	pkt.Size = r.cfg.ReportSize
@@ -208,6 +244,17 @@ func (r *Receiver) Recv(pkt *simnet.Packet) {
 		return
 	}
 	d := *dp
+	// Discard malformed and badly stale data instead of acting on it. A
+	// data packet more than staleDataRounds behind the receiver's round is
+	// stale beyond anything in-order delivery or a mid-run delay change can
+	// produce (those overtake by at most a fraction of a round) — it is
+	// reordering-module debris or corruption, and feeding it into the loss
+	// detector or round state would poison the estimators.
+	if d.Seq < 0 || d.Rate < 0 || math.IsNaN(d.Rate) ||
+		(r.round >= 0 && d.Round < r.round-staleDataRounds) {
+		r.StaleDiscards++
+		return
+	}
 	now := r.sch.Now()
 	r.PacketsRecv++
 	if r.Meter != nil {

@@ -1,6 +1,7 @@
 package tfmcc
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/sim"
@@ -55,10 +56,17 @@ type Sender struct {
 
 	rampTimer sim.Timer
 
+	// roundReports counts valid (non-leave, non-discarded) reports received
+	// in the current feedback round; a round that ends at zero with no CLR
+	// triggers the no-feedback rate halving (Config.HalveOnSilence).
+	roundReports int
+
 	// Stats.
-	PacketsSent int64
-	ReportsRecv int64
-	CLRChanges  int64
+	PacketsSent      int64
+	ReportsRecv      int64
+	CLRChanges       int64
+	ReportsDiscarded int64 // stale/malformed reports dropped unprocessed
+	SilenceHalvings  int64 // rate halvings from feedback-free rounds
 
 	// Trace, when set, records rate changes, CLR switches, rounds and
 	// received feedback.
@@ -89,6 +97,13 @@ const (
 	echoClassOther
 	echoClassCLR
 )
+
+// staleReportRounds bounds how far behind the sender's round a report may
+// claim to be before it is discarded as stale. Healthy receivers lag the
+// sender by at most about one round of propagation; four rounds of slack
+// tolerates any transient reordering while still rejecting reports held
+// captive by a partition.
+const staleReportRounds = 4
 
 // senderArenaKey pools senders on reuse-enabled networks, so rewound
 // runs recycle the sender struct, its report map and echo queue instead
@@ -166,9 +181,12 @@ func (s *Sender) rewind(net *simnet.Network, node simnet.NodeID, port simnet.Por
 	s.clrEcho = echoEntry{}
 	clear(s.reports)
 	s.rampTimer = sim.Timer{}
+	s.roundReports = 0
 	s.PacketsSent = 0
 	s.ReportsRecv = 0
 	s.CLRChanges = 0
+	s.ReportsDiscarded = 0
+	s.SilenceHalvings = 0
 	s.Trace = nil
 	net.Bind(s.addr, s)
 }
@@ -201,6 +219,45 @@ func (s *Sender) Round() int { return s.round }
 
 // MaxRTT returns the sender's view of the maximum receiver RTT.
 func (s *Sender) MaxRTT() sim.Time { return s.maxRTT }
+
+// RoundT returns the current feedback round duration.
+func (s *Sender) RoundT() sim.Time { return s.roundT }
+
+// LastCLRReport returns the arrival time of the last report from the
+// current CLR (zero if none has arrived yet).
+func (s *Sender) LastCLRReport() sim.Time { return s.lastCLRReport }
+
+// Running reports whether the sender has been started and not stopped.
+func (s *Sender) Running() bool { return s.running }
+
+// InvariantViolation checks the sender's rate against the protocol's
+// safety bounds and returns a description of the first violated one, or
+// "" when all hold. Outside slowstart the rate must never exceed the
+// CLR-authorized target (modulo the MinRate floor); it must always be a
+// positive finite number and respect the MaxRate ceiling.
+func (s *Sender) InvariantViolation() string {
+	if !s.running {
+		return ""
+	}
+	r := s.rate
+	if math.IsNaN(r) || math.IsInf(r, 0) || r <= 0 {
+		return fmt.Sprintf("sender rate %v is not a positive finite number", r)
+	}
+	if s.cfg.MaxRate > 0 && r > s.cfg.MaxRate*(1+rateTolerance) {
+		return fmt.Sprintf("sender rate %.1f B/s exceeds MaxRate %.1f B/s", r, s.cfg.MaxRate)
+	}
+	if !s.slowstart {
+		bound := math.Max(s.target, s.cfg.MinRate)
+		if r > bound*(1+rateTolerance) {
+			return fmt.Sprintf("sender rate %.1f B/s exceeds authorized bound %.1f B/s (target %.1f, MinRate %.1f)",
+				r, bound, s.target, s.cfg.MinRate)
+		}
+	}
+	return ""
+}
+
+// rateTolerance absorbs float rounding in rate comparisons.
+const rateTolerance = 1e-9
 
 // Closure-free scheduler callbacks: one package-level function per event
 // kind, with the sender as the argument, so the steady-state send loop
@@ -314,6 +371,19 @@ func (s *Sender) Recv(pkt *simnet.Packet) {
 		s.onLeave(rep.From, now)
 		return
 	}
+
+	// Discard corrupted/stale reports instead of acting on them: a report
+	// with a nonsensical rate or sender ID is corruption debris, and one
+	// more than staleReportRounds behind the current round (or claiming a
+	// future round) was delayed far beyond what healthy transit allows —
+	// adopting its rate (or electing its sender CLR) would steer the
+	// session by dead state.
+	if rep.From < 0 || rep.Rate <= 0 || math.IsNaN(rep.Rate) || math.IsInf(rep.Rate, 0) ||
+		rep.Round > s.round || rep.Round < s.round-staleReportRounds {
+		s.ReportsDiscarded++
+		return
+	}
+	s.roundReports++
 
 	// Sender-side RTT measurement (section 2.4.4): adjust the reported
 	// rate when the receiver is still using the initial RTT.
@@ -628,6 +698,19 @@ func (s *Sender) advanceRound() {
 		now-s.lastCLRReport > s.roundT.Scale(float64(s.cfg.CLRTimeoutRounds)) {
 		s.onLeave(s.clr, now)
 	}
+
+	// No-feedback failure mode (section 5): with the CLR gone, no survivor
+	// elected and an entire round without a single valid report, halve the
+	// rate — the receiver set may be unreachable, and holding the old rate
+	// would flood a healing network. Gated on clr == noReceiver so mere
+	// report-path loss with a live CLR never triggers it.
+	if s.cfg.HalveOnSilence && !s.slowstart &&
+		s.clr == noReceiver && s.roundReports == 0 {
+		s.setRate(s.rate / 2)
+		s.target = s.rate
+		s.SilenceHalvings++
+	}
+	s.roundReports = 0
 
 	s.round++
 	s.suppressRate = math.Inf(1)

@@ -1,6 +1,8 @@
 package tfmcc
 
 import (
+	"fmt"
+
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
@@ -67,6 +69,36 @@ func (s *Session) AddReceiver(node simnet.NodeID) *Receiver {
 
 // Start begins the transfer.
 func (s *Session) Start() { s.Sender.Start() }
+
+// CLRInvariant checks that the session's CLR is a plausible live
+// receiver and returns a description of the first violation, or "" when
+// the invariant holds. A CLR that has been silent for well past the
+// timeout horizon (CLRTimeoutRounds plus slack for the round in
+// progress) means the failure-detection path is wedged; an out-of-range
+// CLR index means the sender adopted a report from a receiver the
+// session never created.
+func (s *Session) CLRInvariant() string {
+	snd := s.Sender
+	if snd == nil || !snd.Running() {
+		return ""
+	}
+	clr := snd.CLR()
+	if clr == noReceiver {
+		return ""
+	}
+	if int(clr) < 0 || int(clr) >= len(s.Receivers) {
+		return fmt.Sprintf("CLR id %d out of range (session has %d receivers)", clr, len(s.Receivers))
+	}
+	last := snd.LastCLRReport()
+	roundT := snd.RoundT()
+	if last > 0 && roundT > 0 {
+		horizon := roundT.Scale(float64(s.Cfg.CLRTimeoutRounds + 2))
+		if silent := snd.sch.Now() - last; silent > horizon {
+			return fmt.Sprintf("CLR %d silent for %v (> timeout horizon %v) without re-election", clr, silent, horizon)
+		}
+	}
+	return ""
+}
 
 // ValidRTTCount returns how many receivers have a real RTT measurement
 // (the Figure 12 metric).
