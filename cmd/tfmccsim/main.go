@@ -38,6 +38,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/hypothesis"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/sweep"
@@ -45,16 +46,19 @@ import (
 
 func main() {
 	var (
-		figure  = flag.String("figure", "", "figure or preset id to reproduce (e.g. 9, flashcrowd)")
-		scen    = flag.String("scenario", "", "run a Spec-backed entry through the scenario executor (with overrides)")
-		all     = flag.Bool("all", false, "run every figure")
-		list    = flag.Bool("list", false, "list available figures and presets")
-		tsv     = flag.Bool("tsv", false, "print full series as TSV instead of a summary")
-		seed    = flag.Int64("seed", 1, "random seed (first seed of a sweep)")
-		seeds   = flag.Int("seeds", 1, "number of independent seeds to sweep and merge")
-		workers = flag.Int("workers", runtime.NumCPU(), "parallel sweep workers (capped at -seeds)")
-		ci      = flag.Float64("ci", 0.95, "confidence level for the merged bands")
-		check   = flag.Bool("check", false, "run the invariant checker alongside the simulation; exit 1 on violations")
+		figure   = flag.String("figure", "", "figure or preset id to reproduce (e.g. 9, flashcrowd)")
+		scen     = flag.String("scenario", "", "run a Spec-backed entry through the scenario executor (with overrides)")
+		scenFile = flag.String("scenario-file", "", "run a JSON spec document through the scenario executor (with overrides)")
+		specOut  = flag.String("spec-out", "", "with -scenario: write the spec (overrides applied) as JSON to this file ('-' for stdout) instead of running it")
+		hyp      = flag.String("hypothesis", "", "judge a hypothesis by id or JSON file; exit 1 on a failed expectation")
+		all      = flag.Bool("all", false, "run every figure")
+		list     = flag.Bool("list", false, "list available figures and presets")
+		tsv      = flag.Bool("tsv", false, "print full series as TSV instead of a summary")
+		seed     = flag.Int64("seed", 1, "random seed (first seed of a sweep)")
+		seeds    = flag.Int("seeds", 1, "number of independent seeds to sweep and merge")
+		workers  = flag.Int("workers", runtime.NumCPU(), "parallel sweep workers (capped at -seeds)")
+		ci       = flag.Float64("ci", 0.95, "confidence level for the merged bands")
+		check    = flag.Bool("check", false, "run the invariant checker alongside the simulation; exit 1 on violations")
 
 		duration  = flag.Float64("duration", 0, "override: simulated seconds")
 		corebw    = flag.Float64("corebw", 0, "override: core link bandwidth in Mbit/s")
@@ -69,25 +73,54 @@ func main() {
 	)
 	flag.Parse()
 
+	ov := scenario.Overrides{
+		Duration:  sim.FromSeconds(*duration),
+		CoreBW:    *corebw * 125000,
+		CoreDelay: sim.Time(*coredelay * float64(sim.Millisecond)),
+		CoreLoss:  *coreloss,
+		CoreQueue: *corequeue,
+		EdgeLoss:  *edgeloss,
+		Receivers: *receivers,
+		Fanout:    *fanout,
+		Depth:     *depth,
+		Hops:      *hops,
+	}
+
 	switch {
 	case *list:
 		for _, e := range experiments.Entries() {
 			fmt.Printf("%-10s %-26s cost=%-6.2f %s\n",
 				e.ID, "["+strings.Join(e.Tags, ",")+"]", e.Cost, e.Title)
 		}
-	case *scen != "":
-		ov := scenario.Overrides{
-			Duration:  sim.FromSeconds(*duration),
-			CoreBW:    *corebw * 125000,
-			CoreDelay: sim.Time(*coredelay * float64(sim.Millisecond)),
-			CoreLoss:  *coreloss,
-			CoreQueue: *corequeue,
-			EdgeLoss:  *edgeloss,
-			Receivers: *receivers,
-			Fanout:    *fanout,
-			Depth:     *depth,
-			Hops:      *hops,
+	case *hyp != "":
+		judge(*hyp, *workers)
+	case *scenFile != "":
+		spec, err := scenario.LoadSpec(*scenFile)
+		if err == nil {
+			spec, err = spec.Apply(ov)
 		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ctx := experiments.NewRunCtx()
+		if *check {
+			ctx.EnableInvariants()
+		}
+		res, err := experiments.RunSpecKeyed(ctx, "file-"+*scenFile, spec, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *tsv {
+			fmt.Print(res.TSV())
+		} else {
+			fmt.Print(res.Summary())
+		}
+		reportViolations(violationStrings(ctx), nil)
+	case *scen != "" && *specOut != "":
+		writeSpec(*scen, ov, *specOut)
+	case *scen != "":
 		ctx := experiments.NewRunCtx()
 		if *check {
 			ctx.EnableInvariants()
@@ -147,6 +180,55 @@ func run(id string, seed int64, seeds, workers int, ci float64, tsv, check bool)
 		fmt.Print(res.Summary())
 	}
 	reportViolations(violationStrings(ctx), nil)
+}
+
+// judge resolves a hypothesis — a committed-suite id or a JSON document
+// path — runs it and exits 1 when any expectation fails.
+func judge(ref string, workers int) {
+	h, ok := hypothesis.ByID(ref)
+	if !ok {
+		var err error
+		h, err = hypothesis.Load(ref)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%q is neither a suite hypothesis id (have %v) nor a loadable file: %v\n",
+				ref, hypothesis.SuiteIDs(), err)
+			os.Exit(1)
+		}
+	}
+	v, err := hypothesis.Run(h, hypothesis.Options{Workers: workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(v.Report())
+	if !v.Pass {
+		os.Exit(1)
+	}
+}
+
+// writeSpec exports a registry entry's scenario spec (overrides applied)
+// as a JSON document -scenario-file can run.
+func writeSpec(id string, ov scenario.Overrides, path string) {
+	e, ok := experiments.Lookup(id)
+	if !ok || e.Spec == nil {
+		fmt.Fprintf(os.Stderr, "%q is not a Spec-backed entry (have %v)\n", id, experiments.ScenarioIDs())
+		os.Exit(1)
+	}
+	spec, err := e.Spec().Apply(ov)
+	if err == nil {
+		var enc []byte
+		if enc, err = spec.Encode(); err == nil {
+			if path == "-" {
+				_, err = os.Stdout.Write(enc)
+			} else {
+				err = os.WriteFile(path, enc, 0o644)
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
 func violationStrings(ctx *experiments.RunCtx) []string {

@@ -1,6 +1,7 @@
 package benchreport
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -473,4 +474,42 @@ func mustEncode(t *testing.T, r *Report) []byte {
 		t.Fatal(err)
 	}
 	return enc
+}
+
+// TestRecoveryFieldsJSONAndMerge pins the recovery metrics' report
+// contract: zero values vanish from the JSON (BENCH_engine.json stays
+// byte-stable for fault-free scenarios), and a seed-range merge sums the
+// episode counts while taking the worst (max) episode durations.
+func TestRecoveryFieldsJSONAndMerge(t *testing.T) {
+	zero, err := json.Marshal(Metrics{ID: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"clr_losses", "reelections", "rate_recoveries", "reelect_ns", "rate_recover_ns"} {
+		if strings.Contains(string(zero), field) {
+			t.Errorf("zero recovery field %q serialised: %s", field, zero)
+		}
+	}
+
+	frag := func(shard string, losses, reelectNS int64) *Report {
+		return &Report{
+			Seeds: 4, SeedShard: shard, SeedBase: map[string]int64{"1/2": 1, "2/2": 3}[shard],
+			Scenarios: []Metrics{{
+				ID: "x", Runs: 2,
+				CLRLosses: losses, Reelections: losses, RateRecoveries: losses,
+				ReelectNS: reelectNS, RateRecoverNS: reelectNS + 5,
+			}},
+		}
+	}
+	merged, err := Merge([]*Report{frag("1/2", 2, 100), frag("2/2", 1, 400)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := merged.Scenarios[0]
+	if m.CLRLosses != 3 || m.Reelections != 3 || m.RateRecoveries != 3 {
+		t.Errorf("merged counts = %d/%d/%d, want 3/3/3", m.CLRLosses, m.Reelections, m.RateRecoveries)
+	}
+	if m.ReelectNS != 400 || m.RateRecoverNS != 405 {
+		t.Errorf("merged maxima = %d/%d, want 400/405", m.ReelectNS, m.RateRecoverNS)
+	}
 }

@@ -24,6 +24,11 @@ func (m *Metrics) finish(wall time.Duration, st experiments.EngineStats, allocs 
 	m.Unreachable = st.Unreachable
 	m.Corrupted = st.Corrupted
 	m.Duplicated = st.Duplicated
+	m.CLRLosses = st.CLRLosses
+	m.Reelections = st.Reelections
+	m.RateRecoveries = st.RateRecoveries
+	m.ReelectNS = int64(st.ReelectNS)
+	m.RateRecoverNS = int64(st.RateRecoverNS)
 	m.Allocs = allocs
 	if sec := wall.Seconds(); sec > 0 {
 		m.EventsPerSec = float64(st.Events) / sec

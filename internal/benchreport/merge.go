@@ -193,6 +193,13 @@ func mergeSeeds(frags []*Report) (*Report, error) {
 			acc.Unreachable += m.Unreachable
 			acc.Corrupted += m.Corrupted
 			acc.Duplicated += m.Duplicated
+			acc.CLRLosses += m.CLRLosses
+			acc.Reelections += m.Reelections
+			acc.RateRecoveries += m.RateRecoveries
+			// The _ns fields are per-sweep maxima, so across seed ranges
+			// the merged value is the max of the fragment maxima.
+			acc.ReelectNS = max(acc.ReelectNS, m.ReelectNS)
+			acc.RateRecoverNS = max(acc.RateRecoverNS, m.RateRecoverNS)
 			acc.Violations = append(acc.Violations, m.Violations...)
 			acc.Failures = append(acc.Failures, m.Failures...)
 			acc.Allocs += m.Allocs

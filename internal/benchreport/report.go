@@ -46,6 +46,15 @@ type Metrics struct {
 	Unreachable int64 `json:"unreachable,omitempty"`
 	Corrupted   int64 `json:"corrupted,omitempty"`
 	Duplicated  int64 `json:"duplicated,omitempty"`
+	// Recovery-time counters (simulation-deterministic, zero — and
+	// omitted — unless a run lost its CLR without an immediate successor).
+	// Counts sum across the sweep's seeds; the _ns fields are the worst
+	// (maximum) episode of any seed, in simulated nanoseconds.
+	CLRLosses      int64 `json:"clr_losses,omitempty"`
+	Reelections    int64 `json:"reelections,omitempty"`
+	RateRecoveries int64 `json:"rate_recoveries,omitempty"`
+	ReelectNS      int64 `json:"reelect_ns,omitempty"`
+	RateRecoverNS  int64 `json:"rate_recover_ns,omitempty"`
 	// Violations holds run-level invariant violations (only collected
 	// when the run enables checking); Failures records seeds whose run
 	// panicked and was excluded from the merge. Both deterministic.

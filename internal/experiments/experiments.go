@@ -163,6 +163,21 @@ func (c *RunCtx) endRun() {
 // with this context since the last ResetStats.
 func (c *RunCtx) Stats() EngineStats { return c.stats }
 
+// harvestRecovery folds a sender's CLR-loss recovery counters into the
+// context totals. Called by the scenario-spec runner right after the run,
+// before any arena rewind can reset the sender.
+func (c *RunCtx) harvestRecovery(s *tfmcc.Sender) {
+	c.stats.CLRLosses += s.CLRLosses
+	c.stats.Reelections += s.Reelections
+	c.stats.RateRecoveries += s.RateRecoveries
+	if s.ReelectTime > c.stats.ReelectNS {
+		c.stats.ReelectNS = s.ReelectTime
+	}
+	if s.RateRecovery > c.stats.RateRecoverNS {
+		c.stats.RateRecoverNS = s.RateRecovery
+	}
+}
+
 // ResetStats zeroes the accumulated engine counters and violations.
 func (c *RunCtx) ResetStats() {
 	c.stats = EngineStats{}
@@ -403,6 +418,16 @@ type EngineStats struct {
 	Unreachable      int64  // sends dropped for lack of a route (partitions, down links)
 	Corrupted        int64  // packets dropped as corrupted by link impairment
 	Duplicated       int64  // extra copies injected by link impairment
+
+	// Recovery counters, harvested from the TFMCC sender of scenario-spec
+	// runs (RunSpec). Counts sum across runs; the durations are maxima, so
+	// a merged sweep reports the worst episode of any seed. All zero — and
+	// omitted from BENCH_engine.json — unless a run actually lost its CLR.
+	CLRLosses      int64    // CLR lost with no immediately elected successor
+	Reelections    int64    // successors elected after such a loss
+	RateRecoveries int64    // losses whose rate re-attained the pre-loss level
+	ReelectNS      sim.Time // max loss-to-re-election sim-time
+	RateRecoverNS  sim.Time // max loss-to-rate-re-attainment sim-time
 }
 
 // Add folds another stats sample into s.
@@ -413,4 +438,13 @@ func (s *EngineStats) Add(o EngineStats) {
 	s.Unreachable += o.Unreachable
 	s.Corrupted += o.Corrupted
 	s.Duplicated += o.Duplicated
+	s.CLRLosses += o.CLRLosses
+	s.Reelections += o.Reelections
+	s.RateRecoveries += o.RateRecoveries
+	if o.ReelectNS > s.ReelectNS {
+		s.ReelectNS = o.ReelectNS
+	}
+	if o.RateRecoverNS > s.RateRecoverNS {
+		s.RateRecoverNS = o.RateRecoverNS
+	}
 }

@@ -42,6 +42,55 @@ func mutateSpec(spec *scenario.Spec, mut []byte) {
 	}
 }
 
+// FuzzSpecJSON feeds mutated serialised specs to the strict JSON
+// loader. The contract: arbitrary bytes either fail to decode with an
+// error or decode to a spec whose re-encoding is a byte fixpoint
+// (Marshal → Unmarshal → Marshal), and decoding is deterministic —
+// the same bytes always yield the same error or the same document.
+func FuzzSpecJSON(f *testing.F) {
+	for _, id := range ScenarioIDs() {
+		e, ok := Lookup(id)
+		if !ok || e.Spec == nil {
+			continue
+		}
+		enc, err := e.Spec().Encode()
+		if err != nil {
+			f.Fatalf("%s: %v", id, err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte(`{"name":"x","duration_ns":1}{"trailing":true}`))
+	f.Add([]byte(`{"name":"x","unknown_field":1}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		spec, err := scenario.DecodeSpec(raw)
+		spec2, err2 := scenario.DecodeSpec(raw)
+		if (err == nil) != (err2 == nil) || (err != nil && err.Error() != err2.Error()) {
+			t.Fatalf("non-deterministic decode: %v vs %v", err, err2)
+		}
+		if err != nil {
+			return
+		}
+		enc, err := spec.Encode()
+		if err != nil {
+			return // e.g. NaN smuggled in via a float field: marshal refuses
+		}
+		dec, err := scenario.DecodeSpec(enc)
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v", err)
+		}
+		enc2, err := dec.Encode()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if string(enc) != string(enc2) {
+			t.Fatalf("Marshal->Unmarshal->Marshal is not a fixpoint (%d vs %d bytes)", len(enc), len(enc2))
+		}
+		if enc3, _ := spec2.Encode(); string(enc) != string(enc3) {
+			t.Fatalf("same bytes decoded to different documents")
+		}
+	})
+}
+
 // FuzzScenarioSpec drives randomly mutated scenario specs — every
 // registered Spec-backed entry with fuzz-chosen fault events spliced in —
 // through the executor. The contract under test: a spec either fails to

@@ -31,7 +31,23 @@ func init() {
 // runners do their own post-processing; presets (and command-line
 // override runs) share this one.
 func RunSpec(c *RunCtx, id string, spec *scenario.Spec, seed int64) *Result {
-	sc := mustScenario(scenario.Run(c.ScenarioEnv(seed), spec))
+	res, err := RunSpecErr(c, id, spec, seed)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunSpecErr is RunSpec with build failures as structured errors instead
+// of panics — the form data-loaded specs (JSON files, fuzz inputs,
+// hypothesis workloads) go through, where a malformed spec is an input
+// problem rather than a programmer bug.
+func RunSpecErr(c *RunCtx, id string, spec *scenario.Spec, seed int64) (*Result, error) {
+	sc, err := scenario.Run(c.ScenarioEnv(seed), spec)
+	if err != nil {
+		return nil, err
+	}
+	c.harvestRecovery(sc.Sess.Sender)
 	res := &Result{Figure: id, Title: spec.Title, Series: sc.Series()}
 	half := spec.Duration / 2
 	for _, s := range res.Series {
@@ -41,7 +57,15 @@ func RunSpec(c *RunCtx, id string, spec *scenario.Spec, seed int64) *Result {
 	res.Notes = append(res.Notes, fmt.Sprintf(
 		"topology %s, %d receivers declared, %d flows, %d timed events, %.0fs",
 		spec.Topology.Kind, len(sc.Recvs), len(sc.Flows), len(spec.Events), spec.Duration.Seconds()))
-	return res
+	return res, nil
+}
+
+// RunSpecKeyed runs an arbitrary (typically data-loaded) spec under its
+// own arena key, the way RunOverridden does for registry-backed specs:
+// repeated runs of the same key rewind the cached topology.
+func RunSpecKeyed(c *RunCtx, key string, spec *scenario.Spec, seed int64) (*Result, error) {
+	defer c.begin("spec-" + key)()
+	return RunSpecErr(c, key, spec, seed)
 }
 
 // RunOverridden runs a Spec-backed registry entry with command-line

@@ -37,10 +37,11 @@ func Presets() []Preset {
 	}
 }
 
-// faultConfig is the session config the fault presets share: the
-// default parameter set plus the section 5 no-feedback failure mode, so
-// total feedback silence degrades the rate instead of freezing it.
-func faultConfig() *tfmcc.Config {
+// FaultSessionConfig is the session config the fault presets (and the
+// chaos schedule generator) share: the default parameter set plus the
+// section 5 no-feedback failure mode, so total feedback silence degrades
+// the rate instead of freezing it.
+func FaultSessionConfig() *tfmcc.Config {
 	cfg := tfmcc.DefaultConfig()
 	cfg.HalveOnSilence = true
 	return &cfg
@@ -77,7 +78,7 @@ func CLRFail() *Spec {
 		Name:     "clrfail",
 		Title:    "CLR crash, silence halving and re-election",
 		Topology: Topology{Kind: Star},
-		Session:  Session{Cfg: faultConfig()},
+		Session:  Session{Cfg: FaultSessionConfig()},
 		Steps:    steps,
 		Events: []Event{
 			CrashEvent(60*sim.Second, n-1),
@@ -107,7 +108,7 @@ func Partition() *Spec {
 		Title: "Core partition and heal",
 		Topology: Topology{Kind: Dumbbell,
 			Core: LinkP{BW: 4 * 125000, Delay: 20 * sim.Millisecond, Queue: 60}},
-		Session: Session{Cfg: faultConfig()},
+		Session: Session{Cfg: FaultSessionConfig()},
 		Steps:   steps,
 		Events: []Event{
 			PartitionEvent(60*sim.Second, DuplexRefs(CoreLink(0))...),
@@ -141,7 +142,7 @@ func CorruptFB() *Spec {
 		Name:     "corruptfb",
 		Title:    "Corrupted and reordered feedback path",
 		Topology: Topology{Kind: Star},
-		Session:  Session{Cfg: faultConfig()},
+		Session:  Session{Cfg: FaultSessionConfig()},
 		Steps:    steps,
 		Events: []Event{
 			ImpairEvent(60*sim.Second, Impair{

@@ -24,17 +24,24 @@ import (
 type Port = simnet.Port
 
 // LinkP are the per-direction properties of one link.
+//
+// The json tags on this and every other spec type define the scenario
+// wire format (see json.go): times are integer nanoseconds with an _ns
+// suffix, zero-valued fields are omitted, and the zero value of every
+// omitted field is its meaning — so Marshal→Unmarshal→Marshal is a
+// byte-level fixpoint.
 type LinkP struct {
-	BW    float64  // bytes/second; 0 = infinite
-	Delay sim.Time // propagation delay
-	Loss  float64  // Bernoulli drop probability on entry
-	Queue int      // queue limit in packets (ignored for infinite links)
+	BW    float64  `json:"bw,omitempty"`       // bytes/second; 0 = infinite
+	Delay sim.Time `json:"delay_ns,omitempty"` // propagation delay
+	Loss  float64  `json:"loss,omitempty"`     // Bernoulli drop probability on entry
+	Queue int      `json:"queue,omitempty"`    // queue limit in packets (ignored for infinite links)
 }
 
 // Hop is one duplex segment of an access path: Down carries traffic
 // towards the receiver, Up back towards the core.
 type Hop struct {
-	Down, Up LinkP
+	Down LinkP `json:"down,omitzero"`
+	Up   LinkP `json:"up,omitzero"`
 }
 
 // FastHop is the standard uncongested access link: infinite bandwidth,
@@ -51,7 +58,8 @@ func SymHop(p LinkP) Hop { return Hop{Down: p, Up: p} }
 // {Min, Min+1, ..., Min+Span-1} milliseconds using the environment's
 // protocol RNG, one draw per site in step order.
 type Jitter struct {
-	MinMs, SpanMs int
+	MinMs  int `json:"min_ms,omitempty"`
+	SpanMs int `json:"span_ms,omitempty"`
 }
 
 // Kind selects a topology generator.
@@ -94,25 +102,59 @@ func (k Kind) String() string {
 
 // Topology declares the generated core of a scenario.
 type Topology struct {
-	Kind Kind
-	Core LinkP // bottleneck (Dumbbell) / interior links (Tree, Chain, TransitStub)
+	Kind Kind  `json:"kind,omitempty"`
+	Core LinkP `json:"core,omitzero"` // bottleneck (Dumbbell) / interior links (Tree, Chain, TransitStub)
 
-	Fanout, Depth int // Tree
+	Fanout int `json:"fanout,omitempty"` // Tree
+	Depth  int `json:"depth,omitempty"`  // Tree
 
-	Hops int // Chain: number of core links
+	Hops int `json:"hops,omitempty"` // Chain: number of core links
 
-	Transit  int   // TransitStub: transit routers
-	Stubs    int   // TransitStub: stub routers per transit node
-	StubLink LinkP // TransitStub: transit->stub duplex properties
+	Transit  int   `json:"transit,omitempty"`  // TransitStub: transit routers
+	Stubs    int   `json:"stubs,omitempty"`    // TransitStub: stub routers per transit node
+	StubLink LinkP `json:"stub_link,omitzero"` // TransitStub: transit->stub duplex properties
+}
+
+// CoreLinkPairs returns the number of core link pairs the topology will
+// generate — the valid CoreLink indices — applying the same parameter
+// clamping as buildTopology. Chaos schedule generators use it to target
+// core links without building the topology first.
+func (t Topology) CoreLinkPairs() int {
+	switch t.Kind {
+	case Dumbbell:
+		return 1
+	case Star:
+		return 0
+	case Tree:
+		fanout := t.Fanout
+		if fanout < 2 {
+			fanout = 2
+		}
+		pairs, width := 0, 1
+		for d := 0; d < t.Depth; d++ {
+			width *= fanout
+			pairs += width
+			if pairs > maxCoreNodes {
+				return pairs
+			}
+		}
+		return pairs
+	case Chain:
+		return max(t.Hops, 1)
+	case TransitStub:
+		transit := max(t.Transit, 1)
+		return (transit - 1) + transit*max(t.Stubs, 1)
+	}
+	return 0
 }
 
 // Session configures the TFMCC session every scenario carries. The
 // source node hangs off the topology's sender attach point over a fast
 // access duplex, exactly like the hand-wired figures.
 type Session struct {
-	Group simnet.GroupID // default 1
-	Port  simnet.Port    // default 100
-	Cfg   *tfmcc.Config  // nil = tfmcc.DefaultConfig()
+	Group simnet.GroupID `json:"group,omitempty"` // default 1
+	Port  simnet.Port    `json:"port,omitempty"`  // default 100
+	Cfg   *tfmcc.Config  `json:"cfg,omitempty"`   // nil = tfmcc.DefaultConfig()
 }
 
 // RefKind discriminates NodeRef targets.
@@ -133,8 +175,8 @@ const (
 
 // NodeRef names a node of the built scenario symbolically.
 type NodeRef struct {
-	Kind  RefKind
-	Index int
+	Kind  RefKind `json:"kind,omitempty"`
+	Index int     `json:"index,omitempty"`
 }
 
 // Core references the i-th core node of the topology.
@@ -151,9 +193,9 @@ func SiteMid(i int) NodeRef { return NodeRef{RefSiteMid, i} }
 
 // LinkRef names a link of the built scenario symbolically.
 type LinkRef struct {
-	Site int  // site index, or -1 for a core link
-	Hop  int  // hop index within the site, or core-link index
-	Up   bool // reverse (towards-core / right-to-left) direction
+	Site int  `json:"site,omitempty"` // site index, or -1 for a core link
+	Hop  int  `json:"hop,omitempty"`  // hop index within the site, or core-link index
+	Up   bool `json:"up,omitempty"`   // reverse (towards-core / right-to-left) direction
 }
 
 // CoreLink references the i-th core link pair (down direction unless Up).
@@ -165,53 +207,55 @@ func SiteLink(s, h int, up bool) LinkRef { return LinkRef{Site: s, Hop: h, Up: u
 // SiteSpec attaches an access path (1 or 2 hops) to the topology,
 // creating this scenario's next site. Sites are numbered in step order.
 type SiteSpec struct {
-	Parent NodeRef // where the first hop hangs; zero value = AttachPoint(0)
-	Hops   []Hop   // 1 or 2 hops; the last node created is the site leaf
-	Jitter *Jitter // optional randomised first-hop delay
+	Parent NodeRef `json:"parent,omitzero"`  // where the first hop hangs; zero value = AttachPoint(0)
+	Hops   []Hop   `json:"hops,omitempty"`   // 1 or 2 hops; the last node created is the site leaf
+	Jitter *Jitter `json:"jitter,omitempty"` // optional randomised first-hop delay
 }
 
 // RecvSpec joins a TFMCC receiver. Receivers are numbered in step order;
 // scheduled joins (JoinAt > 0) instantiate the receiver when the event
 // fires, exactly like the hand-wired figures did.
 type RecvSpec struct {
-	At      NodeRef  // attachment node, typically Site(i)
-	JoinAt  sim.Time // 0 = join during construction
-	LeaveAt sim.Time // 0 = never leave
-	Meter   string   // series name; "" = unmetered
+	At      NodeRef  `json:"at,omitzero"`           // attachment node, typically Site(i)
+	JoinAt  sim.Time `json:"join_at_ns,omitempty"`  // 0 = join during construction
+	LeaveAt sim.Time `json:"leave_at_ns,omitempty"` // 0 = never leave
+	Meter   string   `json:"meter,omitempty"`       // series name; "" = unmetered
 }
 
 // TCPSpec wires a TCP NewReno flow: a fresh source node fast-linked to
 // From, a fresh sink node fast-linked behind To.
 type TCPSpec struct {
-	Name     string // unique flow key (events, aggregates)
-	From, To NodeRef
-	Port     simnet.Port
-	StartAt  sim.Time // 0 = start during construction
-	StopAt   sim.Time // 0 = never stop
-	Meter    string   // goodput series name; "" = unmetered
-	Cfg      *tcpsim.Config
+	Name    string         `json:"name"` // unique flow key (events, aggregates)
+	From    NodeRef        `json:"from,omitzero"`
+	To      NodeRef        `json:"to,omitzero"`
+	Port    simnet.Port    `json:"port,omitempty"`
+	StartAt sim.Time       `json:"start_at_ns,omitempty"` // 0 = start during construction
+	StopAt  sim.Time       `json:"stop_at_ns,omitempty"`  // 0 = never stop
+	Meter   string         `json:"meter,omitempty"`       // goodput series name; "" = unmetered
+	Cfg     *tcpsim.Config `json:"cfg,omitempty"`
 }
 
 // CBRSpec wires a constant-bit-rate background source between fresh
 // endpoint nodes, like TCPSpec.
 type CBRSpec struct {
-	Name     string
-	From, To NodeRef
-	Port     simnet.Port
-	Rate     float64 // bytes/second
-	Size     int     // packet size in bytes
-	StartAt  sim.Time
-	StopAt   sim.Time
-	Meter    string
+	Name    string      `json:"name"`
+	From    NodeRef     `json:"from,omitzero"`
+	To      NodeRef     `json:"to,omitzero"`
+	Port    simnet.Port `json:"port,omitempty"`
+	Rate    float64     `json:"rate,omitempty"` // bytes/second
+	Size    int         `json:"size,omitempty"` // packet size in bytes
+	StartAt sim.Time    `json:"start_at_ns,omitempty"`
+	StopAt  sim.Time    `json:"stop_at_ns,omitempty"`
+	Meter   string      `json:"meter,omitempty"`
 }
 
 // AggSpec samples the sum of the named flows' most recent meter readings
 // once per Every (default 1 s) into a new series — the "aggregated TCP"
 // curves of figures 15/16/21.
 type AggSpec struct {
-	Name  string
-	Flows []string
-	Every sim.Time
+	Name  string   `json:"name"`
+	Flows []string `json:"flows,omitempty"`
+	Every sim.Time `json:"every_ns,omitempty"`
 }
 
 // SampleKind selects what a SampleSpec records.
@@ -228,9 +272,9 @@ const (
 
 // SampleSpec periodically samples a session-level quantity into a series.
 type SampleSpec struct {
-	Name  string
-	What  SampleKind
-	Every sim.Time // default 1 s
+	Name  string     `json:"name"`
+	What  SampleKind `json:"what,omitempty"`
+	Every sim.Time   `json:"every_ns,omitempty"` // default 1 s
 }
 
 // Step is one ordered construction action. Exactly one field is set.
@@ -238,12 +282,12 @@ type SampleSpec struct {
 // RNG consumption and same-instant event ordering — the properties that
 // make a scenario byte-reproducible.
 type Step struct {
-	Site   *SiteSpec
-	Recv   *RecvSpec
-	TCP    *TCPSpec
-	CBR    *CBRSpec
-	Agg    *AggSpec
-	Sample *SampleSpec
+	Site   *SiteSpec   `json:"site,omitempty"`
+	Recv   *RecvSpec   `json:"recv,omitempty"`
+	TCP    *TCPSpec    `json:"tcp,omitempty"`
+	CBR    *CBRSpec    `json:"cbr,omitempty"`
+	Agg    *AggSpec    `json:"agg,omitempty"`
+	Sample *SampleSpec `json:"sample,omitempty"`
 }
 
 // Population declares a uniform receiver block: Count single-hop sites
@@ -251,21 +295,21 @@ type Step struct {
 // explicit Steps. It exists so large uniform scenarios stay compact and
 // so the receiver count is overridable from the command line.
 type Population struct {
-	Count     int
-	Parent    NodeRef // zero value = AttachPoint(0)
-	PerAttach bool    // round-robin receivers over all attach points
-	Direct    bool    // no access hop: join on the parent node itself
-	Hop       Hop     // access hop (ignored when Direct); zero value = FastHop
-	Jitter    *Jitter
-	Meter     string // meter name for receiver 0; "" = none
+	Count     int     `json:"count,omitempty"`
+	Parent    NodeRef `json:"parent,omitzero"`      // zero value = AttachPoint(0)
+	PerAttach bool    `json:"per_attach,omitempty"` // round-robin receivers over all attach points
+	Direct    bool    `json:"direct,omitempty"`     // no access hop: join on the parent node itself
+	Hop       Hop     `json:"hop,omitzero"`         // access hop (ignored when Direct); zero value = FastHop
+	Jitter    *Jitter `json:"jitter,omitempty"`
+	Meter     string  `json:"meter,omitempty"` // meter name for receiver 0; "" = none
 }
 
 // SetLink is a timed link-property mutation. Nil fields stay unchanged.
 type SetLink struct {
-	Link  LinkRef
-	BW    *float64
-	Delay *sim.Time
-	Loss  *float64
+	Link  LinkRef   `json:"link,omitzero"`
+	BW    *float64  `json:"bw,omitempty"`
+	Delay *sim.Time `json:"delay_ns,omitempty"`
+	Loss  *float64  `json:"loss,omitempty"`
 }
 
 // Impair configures a link's fault-injection modules (see
@@ -275,39 +319,82 @@ type SetLink struct {
 // reordered packet; 0 means four times the link's delay at event time
 // (at least 1 ms).
 type Impair struct {
-	Link         LinkRef
-	Corrupt      float64
-	Duplicate    float64
-	Reorder      float64
-	ReorderDelay sim.Time
+	Link         LinkRef  `json:"link,omitzero"`
+	Corrupt      float64  `json:"corrupt,omitempty"`
+	Duplicate    float64  `json:"duplicate,omitempty"`
+	Reorder      float64  `json:"reorder,omitempty"`
+	ReorderDelay sim.Time `json:"reorder_delay_ns,omitempty"`
 }
 
 // Event is one entry of the timed script. Exactly one action is set.
 type Event struct {
-	At      sim.Time
-	SetLink *SetLink
-	Start   string // start the named flow
-	Stop    string // stop the named flow
+	At      sim.Time `json:"at_ns,omitempty"`
+	SetLink *SetLink `json:"set_link,omitempty"`
+	Start   string   `json:"start,omitempty"` // start the named flow
+	Stop    string   `json:"stop,omitempty"`  // stop the named flow
 
 	// Fault-injection verbs.
-	Down      *LinkRef  // take one link down
-	Up        *LinkRef  // bring one link back up
-	Partition []LinkRef // take a set of links down at once
-	Heal      []LinkRef // bring a set of links back up at once
-	Crash     *int      // crash the i-th declared receiver (no Leave report)
-	Impair    *Impair   // set a link's corrupt/duplicate/reorder modules
+	Down      *LinkRef  `json:"down,omitempty"`      // take one link down
+	Up        *LinkRef  `json:"up,omitempty"`        // bring one link back up
+	Partition []LinkRef `json:"partition,omitempty"` // take a set of links down at once
+	Heal      []LinkRef `json:"heal,omitempty"`      // bring a set of links back up at once
+	Crash     *int      `json:"crash,omitempty"`     // crash the i-th declared receiver (no Leave report)
+	Impair    *Impair   `json:"impair,omitempty"`    // set a link's corrupt/duplicate/reorder modules
 }
 
 // Spec is a complete declarative scenario.
 type Spec struct {
-	Name     string
-	Title    string
-	Topology Topology
-	Session  Session
-	Pop      *Population
-	Steps    []Step
-	Events   []Event
-	Duration sim.Time
+	Name     string      `json:"name,omitempty"`
+	Title    string      `json:"title,omitempty"`
+	Topology Topology    `json:"topology,omitzero"`
+	Session  Session     `json:"session,omitzero"`
+	Pop      *Population `json:"pop,omitempty"`
+	Steps    []Step      `json:"steps,omitempty"`
+	Events   []Event     `json:"events,omitempty"`
+	Duration sim.Time    `json:"duration_ns"`
+}
+
+// DeclaredReceivers returns how many receivers the spec will declare —
+// the valid CrashEvent indices: the population block first (applying
+// expandPopulation's per-attach defaulting), then the explicit Recv
+// steps.
+func (s *Spec) DeclaredReceivers() int {
+	n := 0
+	if s.Pop != nil {
+		n = s.Pop.Count
+		if s.Pop.PerAttach && n == 0 {
+			n = s.Topology.AttachPoints()
+		}
+	}
+	for _, st := range s.Steps {
+		if st.Recv != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// AttachPoints returns how many canonical attach points the topology
+// will generate, applying buildTopology's clamping (companion to
+// CoreLinkPairs).
+func (t Topology) AttachPoints() int {
+	switch t.Kind {
+	case Dumbbell, Star, Chain:
+		return 1
+	case Tree:
+		fanout := max(t.Fanout, 2)
+		width := 1
+		for d := 0; d < t.Depth; d++ {
+			width *= fanout
+			if width > maxCoreNodes {
+				return width
+			}
+		}
+		return width
+	case TransitStub:
+		return max(t.Transit, 1) * max(t.Stubs, 1)
+	}
+	return 0
 }
 
 // BW converts Mbit/s to the bytes/second links use.

@@ -30,6 +30,7 @@ type Sender struct {
 
 	round      int
 	roundT     sim.Time
+	roundStart sim.Time
 	roundTimer sim.Timer
 
 	suppressRate float64
@@ -45,6 +46,14 @@ type Sender struct {
 	clrRTT        sim.Time
 	lastCLRReport sim.Time
 	newCLREcho    bool
+
+	// clrSilentRounds counts consecutive completed feedback rounds in
+	// which the CLR stayed silent. Purely observational (the timeout
+	// decision stays time-based, below): it gives the invariant checker
+	// the paper's own "silent rounds" unit, which stays meaningful when
+	// the low-rate guard stretches a round to tens of seconds and the
+	// instantaneous roundT no longer describes the elapsed silence.
+	clrSilentRounds int
 
 	prevCLR        ReceiverID // Appendix C
 	prevCLRRate    float64
@@ -67,6 +76,23 @@ type Sender struct {
 	CLRChanges       int64
 	ReportsDiscarded int64 // stale/malformed reports dropped unprocessed
 	SilenceHalvings  int64 // rate halvings from feedback-free rounds
+
+	// Recovery metrics: pure observation counters around CLR loss (a crash,
+	// timeout or leave that no surviving report could immediately replace).
+	// They consume no randomness and schedule nothing, so enabling nothing —
+	// they are always on — changes no run output. Durations are maxima over
+	// the run's loss episodes; re-attainment means the rate climbed back to
+	// RateReattainFrac of its value at the moment the CLR was lost.
+	CLRLosses      int64    // CLR lost with no immediately elected successor
+	Reelections    int64    // successors elected after such a loss
+	RateRecoveries int64    // losses whose rate re-attained the pre-loss level
+	ReelectTime    sim.Time // max loss-to-re-election sim-time
+	RateRecovery   sim.Time // max loss-to-rate-re-attainment sim-time
+
+	clrLost     bool     // a loss episode is open (no CLR since clrLostAt)
+	recoverWait bool     // re-elected, waiting for rate re-attainment
+	clrLostAt   sim.Time // when the open episode began
+	lostRate    float64  // sending rate at that moment
 
 	// Trace, when set, records rate changes, CLR switches, rounds and
 	// received feedback.
@@ -162,7 +188,9 @@ func (s *Sender) rewind(net *simnet.Network, node simnet.NodeID, port simnet.Por
 	s.minRecvRound = math.Inf(1)
 	s.round = 0
 	s.roundT = 0
+	s.roundStart = 0
 	s.roundTimer = sim.Timer{}
+	s.clrSilentRounds = 0
 	s.suppressRate = math.Inf(1)
 	s.suppressLoss = false
 	s.maxRTT = cfg.RTT.InitialRTT
@@ -187,6 +215,15 @@ func (s *Sender) rewind(net *simnet.Network, node simnet.NodeID, port simnet.Por
 	s.CLRChanges = 0
 	s.ReportsDiscarded = 0
 	s.SilenceHalvings = 0
+	s.CLRLosses = 0
+	s.Reelections = 0
+	s.RateRecoveries = 0
+	s.ReelectTime = 0
+	s.RateRecovery = 0
+	s.clrLost = false
+	s.recoverWait = false
+	s.clrLostAt = 0
+	s.lostRate = 0
 	s.Trace = nil
 	net.Bind(s.addr, s)
 }
@@ -223,6 +260,13 @@ func (s *Sender) MaxRTT() sim.Time { return s.maxRTT }
 // RoundT returns the current feedback round duration.
 func (s *Sender) RoundT() sim.Time { return s.roundT }
 
+// RoundStart returns when the current feedback round opened.
+func (s *Sender) RoundStart() sim.Time { return s.roundStart }
+
+// CLRSilentRounds returns how many consecutive completed feedback
+// rounds passed without a report from the current CLR.
+func (s *Sender) CLRSilentRounds() int { return s.clrSilentRounds }
+
 // LastCLRReport returns the arrival time of the last report from the
 // current CLR (zero if none has arrived yet).
 func (s *Sender) LastCLRReport() sim.Time { return s.lastCLRReport }
@@ -258,6 +302,12 @@ func (s *Sender) InvariantViolation() string {
 
 // rateTolerance absorbs float rounding in rate comparisons.
 const rateTolerance = 1e-9
+
+// RateReattainFrac is the fraction of the pre-loss sending rate at which a
+// recovery episode counts as re-attained. Full equality would never trigger
+// (the equation-based rate keeps drifting); 80% is the recovery criterion
+// the hypothesis harness judges against.
+const RateReattainFrac = 0.8
 
 // Closure-free scheduler callbacks: one package-level function per event
 // kind, with the sender as the argument, so the steady-state send loop
@@ -509,6 +559,16 @@ func (s *Sender) steadyReport(rep Report, adj float64, now sim.Time) {
 }
 
 func (s *Sender) setCLR(id ReceiverID, rate float64, rttEst sim.Time, now sim.Time) {
+	if s.clrLost {
+		// This election closes an open loss episode.
+		s.clrLost = false
+		s.Reelections++
+		if d := now - s.clrLostAt; d > s.ReelectTime {
+			s.ReelectTime = d
+		}
+		s.recoverWait = true
+		s.noteReattained(now)
+	}
 	if s.clr != id {
 		s.CLRChanges++
 		s.newCLREcho = true
@@ -569,7 +629,18 @@ func (s *Sender) onLeave(id ReceiverID, now sim.Time) {
 	}
 	s.clr = noReceiver
 	s.clrEcho = echoEntry{}
+	lostRate := s.rate
 	s.pickBackupCLR(now)
+	if id != noReceiver && s.clr == noReceiver && !s.clrLost {
+		// No surviving report could replace the CLR: open a loss episode.
+		// Its closure (setCLR) and the subsequent rate re-attainment feed
+		// the RecoverWithin/CLRReelectedBy hypothesis judging.
+		s.clrLost = true
+		s.recoverWait = false
+		s.clrLostAt = now
+		s.lostRate = lostRate
+		s.CLRLosses++
+	}
 }
 
 // pickBackupCLR selects the lowest-rate receiver heard from recently.
@@ -612,6 +683,22 @@ func (s *Sender) setRate(r float64) {
 		s.Trace.Add(s.sch.Now(), trace.CatRate, -1, r)
 	}
 	s.rate = r
+	if s.recoverWait {
+		s.noteReattained(s.sch.Now())
+	}
+}
+
+// noteReattained closes a recovery episode's rate leg once the sending
+// rate is back at RateReattainFrac of its pre-loss level.
+func (s *Sender) noteReattained(now sim.Time) {
+	if !s.recoverWait || s.rate < RateReattainFrac*s.lostRate {
+		return
+	}
+	s.recoverWait = false
+	s.RateRecoveries++
+	if d := now - s.clrLostAt; d > s.RateRecovery {
+		s.RateRecovery = d
+	}
 }
 
 // ensureRamp arms the additive-increase clock: at most one packet per RTT
@@ -693,6 +780,14 @@ func (s *Sender) advanceRound() {
 	s.roundRTT = 0
 	s.roundNoRTT = false
 
+	// Silent-round accounting for the liveness invariant: the round that
+	// just closed counts as silent when no CLR report arrived inside it.
+	if s.clr == noReceiver || s.lastCLRReport >= s.roundStart {
+		s.clrSilentRounds = 0
+	} else {
+		s.clrSilentRounds++
+	}
+
 	// CLR timeout: assume the CLR left if it has been silent too long.
 	if s.clr != noReceiver && s.lastCLRReport > 0 &&
 		now-s.lastCLRReport > s.roundT.Scale(float64(s.cfg.CLRTimeoutRounds)) {
@@ -713,6 +808,7 @@ func (s *Sender) advanceRound() {
 	s.roundReports = 0
 
 	s.round++
+	s.roundStart = now
 	s.suppressRate = math.Inf(1)
 	s.suppressLoss = false
 	s.roundT = s.cfg.feedbackConfig(s.maxRTT, s.rate).T

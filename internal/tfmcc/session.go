@@ -72,15 +72,26 @@ func (s *Session) Start() { s.Sender.Start() }
 
 // CLRInvariant checks that the session's CLR is a plausible live
 // receiver and returns a description of the first violation, or "" when
-// the invariant holds. A CLR that has been silent for well past the
-// timeout horizon (CLRTimeoutRounds plus slack for the round in
-// progress) means the failure-detection path is wedged; an out-of-range
-// CLR index means the sender adopted a report from a receiver the
-// session never created.
+// the invariant holds. An out-of-range CLR index means the sender
+// adopted a report from a receiver the session never created. Liveness
+// is judged in the paper's own unit, completed feedback rounds: a CLR
+// silent for well past CLRTimeoutRounds of them means the
+// failure-detection path is wedged. (Wall-clock silence against the
+// instantaneous round duration would false-positive whenever the
+// low-rate guard stretches a round to tens of seconds and the rate —
+// and with it roundT — recovers mid-silence.) A round that has overrun
+// its own duration by a wide margin means the round timer itself is
+// wedged, which would also freeze the timeout path; that is checked in
+// wall-clock terms relative to the round in progress.
 func (s *Session) CLRInvariant() string {
 	snd := s.Sender
 	if snd == nil || !snd.Running() {
 		return ""
+	}
+	if roundT := snd.RoundT(); roundT > 0 && snd.RoundStart() > 0 {
+		if over := snd.sch.Now() - snd.RoundStart(); over > roundT.Scale(3) {
+			return fmt.Sprintf("feedback round open for %v (round duration %v): round timer wedged", over, roundT)
+		}
 	}
 	clr := snd.CLR()
 	if clr == noReceiver {
@@ -89,13 +100,8 @@ func (s *Session) CLRInvariant() string {
 	if int(clr) < 0 || int(clr) >= len(s.Receivers) {
 		return fmt.Sprintf("CLR id %d out of range (session has %d receivers)", clr, len(s.Receivers))
 	}
-	last := snd.LastCLRReport()
-	roundT := snd.RoundT()
-	if last > 0 && roundT > 0 {
-		horizon := roundT.Scale(float64(s.Cfg.CLRTimeoutRounds + 2))
-		if silent := snd.sch.Now() - last; silent > horizon {
-			return fmt.Sprintf("CLR %d silent for %v (> timeout horizon %v) without re-election", clr, silent, horizon)
-		}
+	if silent := snd.CLRSilentRounds(); silent > s.Cfg.CLRTimeoutRounds+2 {
+		return fmt.Sprintf("CLR %d silent for %d rounds (> timeout of %d rounds) without re-election", clr, silent, s.Cfg.CLRTimeoutRounds)
 	}
 	return ""
 }
