@@ -28,7 +28,7 @@ type syncReceiver struct {
 	have     map[int]bool
 	done     bool
 	doneAt   sim.Time
-	rcv      *tfmcc.Receiver
+	rcv      tfmcc.ReceiverModel
 	lastSeq  int64
 	receives int64
 }
@@ -68,7 +68,7 @@ func main() {
 				// All packets up to PacketsRecv arrived; chunks are
 				// assigned round-robin by arrival order. This models an
 				// application reading the TFMCC delivery stream.
-				for m.receives < m.rcv.PacketsRecv {
+				for m.receives < m.rcv.Stats().PacketsRecv {
 					chunk := int(m.lastSeq % numChunks)
 					m.have[chunk] = true
 					m.lastSeq++

@@ -18,8 +18,8 @@ func TestPlanEnumeration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(plan) != 31 { // 20 figures + 10 scenario presets + session
-		t.Fatalf("full plan has %d items, want 31", len(plan))
+	if len(plan) != 35 { // 21 figures + 13 scenario presets + session
+		t.Fatalf("full plan has %d items, want 35", len(plan))
 	}
 	for i, it := range plan {
 		if it.Seq != i {
@@ -36,8 +36,8 @@ func TestPlanEnumeration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(noSess) != 30 {
-		t.Fatalf("sessionless plan has %d items, want 30", len(noSess))
+	if len(noSess) != 34 {
+		t.Fatalf("sessionless plan has %d items, want 34", len(noSess))
 	}
 	// Scenario presets keep their names as report ids and are selectable.
 	sel, err := NewPlan([]string{"flashcrowd"}, false)

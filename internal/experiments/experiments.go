@@ -287,10 +287,10 @@ func (e *env) addTCP(name string, in, out simnet.NodeID, port simnet.Port) (*tcp
 	return snd, m
 }
 
-// meterReceiver attaches a throughput meter to a TFMCC receiver.
-func (e *env) meterReceiver(name string, r *tfmcc.Receiver) *stats.Meter {
+// meterReceiver attaches a throughput meter to a TFMCC receiver model.
+func (e *env) meterReceiver(name string, r tfmcc.ReceiverModel) *stats.Meter {
 	m := e.newMeter(name)
-	r.Meter = m
+	r.SetMeter(m)
 	m.Start()
 	return m
 }

@@ -8,7 +8,8 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"1", "2", "3", "4", "5", "6", "7", "9", "10", "11",
 		"12", "13", "14", "15", "16", "17", "18", "19", "20", "21",
-		"chainloss", "clrfail", "corruptfb", "deeptree", "degrade", "flashcrowd",
+		"chainloss", "clrfail", "cohort16", "cohort64", "cohort256", "cohortconv",
+		"corruptfb", "deeptree", "degrade", "flashcrowd",
 		"massleave", "partition", "tcpburst", "wireless"}
 	for _, id := range want {
 		e, ok := Lookup(id)

@@ -56,7 +56,7 @@ func RunSpecErr(c *RunCtx, id string, spec *scenario.Spec, seed int64) (*Result,
 	}
 	res.Notes = append(res.Notes, fmt.Sprintf(
 		"topology %s, %d receivers declared, %d flows, %d timed events, %.0fs",
-		spec.Topology.Kind, len(sc.Recvs), len(sc.Flows), len(spec.Events), spec.Duration.Seconds()))
+		spec.Topology.Kind, spec.DeclaredReceivers(), len(sc.Flows), len(spec.Events), spec.Duration.Seconds()))
 	return res, nil
 }
 

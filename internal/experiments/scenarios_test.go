@@ -5,20 +5,22 @@ import (
 	"testing"
 
 	"repro/internal/scenario"
+	"repro/internal/sweep"
 )
 
 // TestScenarioRewindVsFresh pins the arena interplay of the scenario
 // executor: running a preset on a warm context (rewound scheduler,
 // replayed topology, pooled protocol state) must reproduce a fresh
-// context's output byte for byte. The preset selection covers the three
+// context's output byte for byte. The preset selection covers the four
 // hard cases — runtime link mutation against Reset's op-log replay
 // (degrade), receiver churn against multicast-tree caching (flashcrowd),
-// and flow stop/start with CBR traffic (tcpburst).
+// flow stop/start with CBR traffic (tcpburst), and the pooled analytic
+// cohort receiver (cohort64).
 func TestScenarioRewindVsFresh(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-simulation scenarios")
 	}
-	for _, id := range []string{"degrade", "flashcrowd", "tcpburst"} {
+	for _, id := range []string{"degrade", "flashcrowd", "tcpburst", "cohort64"} {
 		ctx := NewRunCtx()
 		cold, err := RunWith(ctx, id, 1)
 		if err != nil {
@@ -91,6 +93,56 @@ func TestDegradeEventsShapeRate(t *testing.T) {
 	}
 	if after < 1.5*during {
 		t.Fatalf("restore did not recover: during=%.0f after=%.0f", during, after)
+	}
+}
+
+// TestCohortSweepWorkerInvariance: a multi-seed sweep over a cohort
+// preset must merge to byte-identical TSV regardless of worker count —
+// the cohort's feedback draws come from the per-run protocol stream, so
+// no worker-shared state may leak into them.
+func TestCohortSweepWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-simulation scenarios")
+	}
+	base, err := Sweep("cohort64", sweep.Config{Seeds: 4, Workers: 1, Base: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Sweep("cohort64", sweep.Config{Seeds: 4, Workers: 2, Base: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.TSV() != multi.TSV() {
+		t.Fatal("cohort sweep output differs between workers=1 and workers=2")
+	}
+}
+
+// TestCohortOverrideReplacesReceivers: -cohort N folds any spec's
+// declared receivers into one analytic cohort, inheriting the first
+// receiver's attach point and meter, and the run stays deterministic.
+func TestCohortOverrideReplacesReceivers(t *testing.T) {
+	ov := scenario.None()
+	ov.Duration = 20e9
+	ov.Cohort = 500
+	a, err := RunOverridden(NewRunCtx(), "degrade", ov, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOverridden(NewRunCtx(), "degrade", ov, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TSV() != b.TSV() {
+		t.Fatal("cohort-overridden scenario not seed-deterministic")
+	}
+	found := false
+	for _, n := range a.Notes {
+		if strings.Contains(n, "500 receivers declared") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("notes do not count cohort members: %v", a.Notes)
 	}
 }
 

@@ -43,9 +43,10 @@ func miniSession(c *RunCtx, seed int64) *Result {
 	cnt.Add(0, float64(sess.Sender.Rate()))
 	cnt.Add(0, float64(e.sch.Processed()))
 	for _, r := range sess.Receivers {
-		cnt.Add(0, float64(r.PacketsRecv))
-		cnt.Add(0, float64(r.Losses))
-		cnt.Add(0, float64(r.ReportsSent))
+		st := r.Stats()
+		cnt.Add(0, float64(st.PacketsRecv))
+		cnt.Add(0, float64(st.Losses))
+		cnt.Add(0, float64(st.ReportsSent))
 	}
 	res.Series = append(res.Series, cnt)
 	return res

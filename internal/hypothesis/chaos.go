@@ -107,7 +107,10 @@ func (p *ChaosPlan) Apply(spec *scenario.Spec) (*scenario.Spec, error) {
 			sites++
 		}
 	}
-	receivers := spec.DeclaredReceivers()
+	// Crash targets are endpoint slots (a cohort is one slot no matter
+	// how many members it models), so budget and index draw both use the
+	// endpoint count.
+	receivers := spec.DeclaredEndpoints()
 	crashBudget := int(lvl.crashFrac * float64(receivers))
 
 	rng := sim.NewRand(p.seed())

@@ -119,10 +119,35 @@ func Suite() []*Hypothesis {
 				{NoInvariantViolations: &NoInvariantViolations{}},
 			},
 		},
+		cohortConvergence("cohort16-converges", "cohort16", 16),
+		cohortConvergence("cohort64-converges", "cohort64", 64),
+		cohortConvergence("cohort256-converges", "cohort256", 256),
 		chaosSanity("chaos-deeptree-l1", "deeptree", 1, 11, 3),
 		chaosSanity("chaos-massleave-l2", "massleave", 2, 7, 2),
 		chaosSanity("chaos-partition-l2", "partition", 2, 5, 2),
 		chaosSanity("chaos-corruptfb-l3", "corruptfb", 3, 3, 2),
+	}
+}
+
+// cohortConvergence bands a cohort preset's sampled sender rate inside
+// the envelope its explicit-population twin occupies in the same
+// figure 9 setting (fair share ≈ 62.5 kB/s among 16 flows). The twins'
+// steady means measure 53-64 kB/s with per-sample extremes of
+// 26-96 kB/s across seeds 1-3, so [15, 150] kB/s holds the cohort to
+// the same regime — it can neither collapse towards MinRate nor run
+// away past its fair share — with comfortable stochastic headroom.
+func cohortConvergence(id, scenarioID string, n int) *Hypothesis {
+	return &Hypothesis{
+		ID: id,
+		Title: fmt.Sprintf(
+			"A cohort of %d receivers holds the steady-rate band of %d explicit receivers (figure 9 setting)", n, n),
+		Workload: Workload{Scenario: scenarioID},
+		Seeds:    SeedSet{Base: 1, Count: 3},
+		Expect: []Expectation{
+			{RateFloor: &RateBound{Series: "sender rate", From: 60 * sim.Second, Bound: 15000}},
+			{RateCeiling: &RateBound{Series: "sender rate", From: 60 * sim.Second, Bound: 150000}},
+			{NoInvariantViolations: &NoInvariantViolations{}},
+		},
 	}
 }
 

@@ -38,11 +38,12 @@ func (e Env) NewMeter(name string) *stats.Meter {
 		func(m *stats.Meter) { m.Reset(name, e.Sch, sim.Second) })
 }
 
-// RecvSlot is one declared receiver of a built scenario. R and Meter are
-// nil until the receiver's join time (receivers declared with JoinAt > 0
-// are instantiated when the event fires).
+// RecvSlot is one declared receiver endpoint of a built scenario — an
+// explicit receiver or a whole cohort. R and Meter are nil until the
+// receiver's join time (receivers declared with JoinAt > 0 are
+// instantiated when the event fires).
 type RecvSlot struct {
-	R     *tfmcc.Receiver
+	R     tfmcc.ReceiverModel
 	Meter *stats.Meter
 }
 
@@ -216,6 +217,11 @@ func Build(env Env, spec *Spec) (*Scenario, error) {
 			err = fmt.Errorf("scenario %s: step %d is empty", spec.Name, i)
 		}
 		if err != nil {
+			return nil, err
+		}
+	}
+	if spec.Cohort != nil {
+		if err := sc.buildCohort(spec.Cohort); err != nil {
 			return nil, err
 		}
 	}
@@ -395,7 +401,7 @@ func (sc *Scenario) buildRecv(r *RecvSpec) error {
 		slot.R = rcv
 		if r.Meter != "" {
 			m := sc.Env.NewMeter(r.Meter)
-			rcv.Meter = m
+			rcv.SetMeter(m)
 			m.Start()
 			slot.Meter = m
 		}
@@ -411,6 +417,61 @@ func (sc *Scenario) buildRecv(r *RecvSpec) error {
 				slot.R.Leave()
 			}
 		})
+	}
+	return nil
+}
+
+// maxCohort bounds the analytic receiver block. Cohorts cost O(1)
+// memory regardless of size, so the ceiling only guards against
+// nonsense specs (negative or absurd counts), not resources.
+const maxCohort = 1 << 24
+
+// buildCohort attaches the spec's analytic receiver block. It runs
+// after the explicit steps so At can reference sites the steps built;
+// a Hop builds an implicit single-hop site below At first, mirroring
+// the population expansion.
+func (sc *Scenario) buildCohort(c *CohortSpec) error {
+	if c.Size < 1 || c.Size > maxCohort {
+		return fmt.Errorf("scenario %s: cohort size %d out of range [1, %d]",
+			sc.Spec.Name, c.Size, maxCohort)
+	}
+	if c.JoinAt < 0 {
+		return fmt.Errorf("scenario %s: negative cohort join time", sc.Spec.Name)
+	}
+	if c.LossModel.Spread < 0 {
+		return fmt.Errorf("scenario %s: negative cohort loss spread %v",
+			sc.Spec.Name, c.LossModel.Spread)
+	}
+	attach := c.At
+	if c.Hop != nil {
+		site := len(sc.SiteLeaf)
+		if err := sc.buildSite(&SiteSpec{Parent: c.At, Hops: []Hop{*c.Hop}}); err != nil {
+			return err
+		}
+		attach = Site(site)
+	}
+	at, err := sc.node(attach)
+	if err != nil {
+		return err
+	}
+	slot := &RecvSlot{}
+	sc.Recvs = append(sc.Recvs, slot)
+	size, spread := c.Size, c.LossModel.Spread
+	join := func() {
+		rcv := sc.Sess.AddCohort(at, size)
+		rcv.SetLossSpread(spread)
+		slot.R = rcv
+		if c.Meter != "" {
+			m := sc.Env.NewMeter(c.Meter)
+			rcv.SetMeter(m)
+			m.Start()
+			slot.Meter = m
+		}
+	}
+	if c.JoinAt == 0 {
+		join()
+	} else {
+		sc.Env.Sch.At(c.JoinAt, join)
 	}
 	return nil
 }

@@ -290,6 +290,36 @@ type Step struct {
 	Sample *SampleSpec `json:"sample,omitempty"`
 }
 
+// LossModel declares how a cohort's member loss rates spread around its
+// probe's measurement. The zero value is a homogeneous cohort: every
+// member sees the probe's loss process exactly. Spread > 0 models mild
+// heterogeneity: the worst member's loss event rate is the probe's
+// inflated by (1 + Spread·log2(size)).
+type LossModel struct {
+	Spread float64 `json:"spread,omitempty"`
+}
+
+// CohortSpec declares an aggregate receiver block: Size homogeneous
+// receivers modelled analytically by a single probe endpoint
+// (tfmcc.CohortReceiver), so a spec can declare a million receivers and
+// run in bounded memory. The cohort attaches at At — typically an access
+// site or attach point of a dumbbell/transit-stub topology — either
+// directly (Hop nil) or behind a dedicated single access hop. It is
+// built after the explicit Steps (so At may reference any declared
+// site) and occupies the last RecvSlot.
+//
+// A cohort twin is only valid for members genuinely sharing the probe's
+// path; heterogeneous-RTT populations must be split into one cohort per
+// access site.
+type CohortSpec struct {
+	Size      int       `json:"size"`
+	LossModel LossModel `json:"loss_model,omitzero"`
+	At        NodeRef   `json:"at,omitzero"`
+	Hop       *Hop      `json:"hop,omitempty"`        // optional dedicated access hop below At
+	JoinAt    sim.Time  `json:"join_at_ns,omitempty"` // 0 = join during construction
+	Meter     string    `json:"meter,omitempty"`      // probe throughput series; "" = unmetered
+}
+
 // Population declares a uniform receiver block: Count single-hop sites
 // (or direct attachments) with one receiver each, expanded before the
 // explicit Steps. It exists so large uniform scenarios stay compact and
@@ -349,16 +379,31 @@ type Spec struct {
 	Topology Topology    `json:"topology,omitzero"`
 	Session  Session     `json:"session,omitzero"`
 	Pop      *Population `json:"pop,omitempty"`
+	Cohort   *CohortSpec `json:"cohort,omitempty"`
 	Steps    []Step      `json:"steps,omitempty"`
 	Events   []Event     `json:"events,omitempty"`
 	Duration sim.Time    `json:"duration_ns"`
 }
 
 // DeclaredReceivers returns how many receivers the spec will declare —
-// the valid CrashEvent indices: the population block first (applying
-// expandPopulation's per-attach defaulting), then the explicit Recv
-// steps.
+// cohort members included, so cost weights and shard balancing reflect
+// the modelled population, not the endpoint count: the population block
+// (applying expandPopulation's per-attach defaulting), the explicit Recv
+// steps, and the cohort's full membership.
 func (s *Spec) DeclaredReceivers() int {
+	n := s.DeclaredEndpoints()
+	if s.Cohort != nil && s.Cohort.Size > 1 {
+		n += s.Cohort.Size - 1 // the cohort endpoint stands for Size members
+	}
+	return n
+}
+
+// DeclaredEndpoints returns how many receiver endpoints (RecvSlots) the
+// spec will build — the valid CrashEvent indices: the population block
+// first, then the explicit Recv steps, then the cohort (one slot
+// regardless of membership). Equal to DeclaredReceivers for cohort-free
+// specs.
+func (s *Spec) DeclaredEndpoints() int {
 	n := 0
 	if s.Pop != nil {
 		n = s.Pop.Count
@@ -370,6 +415,9 @@ func (s *Spec) DeclaredReceivers() int {
 		if st.Recv != nil {
 			n++
 		}
+	}
+	if s.Cohort != nil {
+		n++
 	}
 	return n
 }

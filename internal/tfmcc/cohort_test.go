@@ -1,0 +1,148 @@
+package tfmcc
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// cohortBottleneck builds sender -- r1 ==bw== r2 -- leaf with one
+// analytic cohort of the given size on the leaf, runs it for dur and
+// returns the session.
+func cohortBottleneck(size int, dur sim.Time, seed int64) (*Session, *CohortReceiver) {
+	sch := sim.NewScheduler()
+	net := simnet.New(sch, sim.NewRand(seed))
+	snd := net.AddNode("sender")
+	r1 := net.AddNode("r1")
+	r2 := net.AddNode("r2")
+	leaf := net.AddNode("leaf")
+	net.AddDuplex(snd, r1, 0, sim.Millisecond, 0)
+	net.AddDuplex(r1, r2, 125000, 20*sim.Millisecond, 30)
+	net.AddDuplex(r2, leaf, 0, sim.Millisecond, 0)
+	sess := NewSession(net, snd, 1, 100, DefaultConfig(), sim.NewRand(seed+1))
+	c := sess.AddCohort(leaf, size)
+	sess.Start()
+	sch.RunUntil(dur)
+	return sess, c
+}
+
+func TestCohortMemberAccounting(t *testing.T) {
+	sch := sim.NewScheduler()
+	net := simnet.New(sch, sim.NewRand(1))
+	snd := net.AddNode("sender")
+	hub := net.AddNode("hub")
+	net.AddDuplex(snd, hub, 0, sim.Millisecond, 0)
+	sess := NewSession(net, snd, 1, 100, DefaultConfig(), sim.NewRand(2))
+
+	a := net.AddNode("a")
+	net.AddDuplex(hub, a, 0, sim.Millisecond, 0)
+	r := sess.AddReceiver(a)
+	if r.ID() != 0 || r.Members() != 1 {
+		t.Fatalf("explicit receiver: id=%d members=%d, want 0/1", r.ID(), r.Members())
+	}
+	b := net.AddNode("b")
+	net.AddDuplex(hub, b, 0, sim.Millisecond, 0)
+	c := sess.AddCohort(b, 64)
+	if c.ID() != 1 || c.Members() != 64 {
+		t.Fatalf("cohort: id=%d members=%d, want 1/64", c.ID(), c.Members())
+	}
+	// The cohort occupies one id per member, so the next endpoint's id
+	// lands past the whole block and MemberCount sums members.
+	d := net.AddNode("d")
+	net.AddDuplex(hub, d, 0, sim.Millisecond, 0)
+	r2 := sess.AddReceiver(d)
+	if r2.ID() != 65 {
+		t.Fatalf("receiver after cohort: id=%d, want 65", r2.ID())
+	}
+	if got := sess.MemberCount(); got != 66 {
+		t.Fatalf("MemberCount=%d, want 66", got)
+	}
+}
+
+func TestCohortStatsScaleWithMembership(t *testing.T) {
+	_, c := cohortBottleneck(64, 20*sim.Second, 1)
+	st := c.Stats()
+	if st.PacketsRecv == 0 {
+		t.Fatal("cohort received no packets")
+	}
+	if st.PacketsRecv != 64*c.Receiver.PacketsRecv {
+		t.Fatalf("PacketsRecv=%d, want 64x endpoint count %d", st.PacketsRecv, c.Receiver.PacketsRecv)
+	}
+	// Wire-level stats stay endpoint-true: the cohort sends one
+	// endpoint's worth of reports, not 64.
+	if st.ReportsSent != c.Receiver.ReportsSent {
+		t.Fatalf("ReportsSent=%d, want endpoint-true %d", st.ReportsSent, c.Receiver.ReportsSent)
+	}
+}
+
+func TestCohortBecomesCLR(t *testing.T) {
+	sess, c := cohortBottleneck(256, 40*sim.Second, 3)
+	if !c.IsCLR() {
+		t.Fatalf("sole cohort should be CLR, sender has %d", sess.Sender.CLR())
+	}
+	if n := sess.ValidRTTCount(); n != 256 {
+		t.Fatalf("ValidRTTCount=%d, want 256 (cohort members)", n)
+	}
+	if v := sess.CLRInvariant(); v != "" {
+		t.Fatalf("CLR invariant violated: %s", v)
+	}
+}
+
+func TestCohortExpectedFeedbackAccrues(t *testing.T) {
+	_, c := cohortBottleneck(64, 30*sim.Second, 4)
+	em, rounds := c.ExpectedReportsPerRound()
+	if rounds == 0 {
+		t.Fatal("no feedback rounds accrued")
+	}
+	per := em / float64(rounds)
+	// The paper's suppression aims at O(1) expected responses per round
+	// regardless of population size.
+	if per <= 0 || per > 10 {
+		t.Fatalf("E[M] per round = %.2f, want in (0, 10]", per)
+	}
+}
+
+// TestCohortAllocBudget pins the O(1) memory contract: a
+// million-member cohort session must allocate within 2x of a
+// thousand-member one (identical topology, identical run length).
+func TestCohortAllocBudget(t *testing.T) {
+	run := func(size int) func() {
+		return func() { cohortBottleneck(size, 2*sim.Second, 1) }
+	}
+	small := testing.AllocsPerRun(3, run(1_000))
+	large := testing.AllocsPerRun(3, run(1_000_000))
+	if large > 2*small {
+		t.Fatalf("1e6-member cohort allocates %.0f/run vs %.0f for 1e3 — not O(1) in membership", large, small)
+	}
+}
+
+// TestCohortLossSpreadRaisesRate: a positive loss spread models member
+// heterogeneity as a higher aggregate loss-event rate, so the reported
+// rate must drop relative to a spread-free cohort on the same path.
+func TestCohortLossSpreadRaisesRate(t *testing.T) {
+	sch := sim.NewScheduler()
+	net := simnet.New(sch, sim.NewRand(1))
+	snd := net.AddNode("sender")
+	hub := net.AddNode("hub")
+	leaf := net.AddNode("leaf")
+	net.AddDuplex(snd, hub, 0, sim.Millisecond, 0)
+	down, _ := net.AddDuplex(hub, leaf, 0, 10*sim.Millisecond, 0)
+	down.LossProb = 0.02
+	sess := NewSession(net, snd, 1, 100, DefaultConfig(), sim.NewRand(2))
+	c := sess.AddCohort(leaf, 256)
+	c.SetLossSpread(0.1)
+	sess.Start()
+	sch.RunUntil(30 * sim.Second)
+	base := c.Receiver.est.LossEventRate()
+	seen := c.LossEventRate()
+	if base <= 0 {
+		t.Fatal("no loss events measured on a 2% lossy path")
+	}
+	if seen <= base {
+		t.Fatalf("spread did not raise the aggregate loss-event rate: base=%.4f seen=%.4f", base, seen)
+	}
+	if seen > 1 {
+		t.Fatalf("aggregate loss-event rate %.4f exceeds 1", seen)
+	}
+}

@@ -62,7 +62,7 @@ func TestReportPathLossDoesNotStall(t *testing.T) {
 	net.LinkBetween(3, 2).LossProb = 0.3
 	net.LinkBetween(4, 2).LossProb = 0.3
 	m := stats.NewMeter("tfmcc", sch, sim.Second)
-	sess.Receivers[0].Meter = m
+	sess.Receivers[0].SetMeter(m)
 	m.Start()
 	sess.Start()
 	sch.RunUntil(120 * sim.Second)
@@ -90,7 +90,7 @@ func TestTwoTFMCCSessionsShare(t *testing.T) {
 		net.AddDuplex(r2, leaf, 0, sim.Millisecond, 0)
 		rcv := sess.AddReceiver(leaf)
 		m := stats.NewMeter("tfmcc", sch, sim.Second)
-		rcv.Meter = m
+		rcv.SetMeter(m)
 		m.Start()
 		meters = append(meters, m)
 		sess.Start()
@@ -273,8 +273,8 @@ func TestStaleDataDiscardedByReceiver(t *testing.T) {
 	sch, net, sess := singleBottleneck(1, 125000, 20*sim.Millisecond, 30, cfg, 30)
 	sess.Start()
 	sch.RunUntil(30 * sim.Second)
-	r := sess.Receivers[0]
-	recvBefore := r.PacketsRecv
+	r := sess.Receivers[0].(*Receiver)
+	recvBefore := r.Stats().PacketsRecv
 	bad := []Data{
 		{Seq: -1, Rate: 1000, Round: r.round},
 		{Seq: 1, Rate: -5, Round: r.round},
@@ -295,7 +295,7 @@ func TestStaleDataDiscardedByReceiver(t *testing.T) {
 	if r.StaleDiscards != int64(len(bad)) {
 		t.Fatalf("StaleDiscards = %d, want %d", r.StaleDiscards, len(bad))
 	}
-	if r.PacketsRecv != recvBefore {
+	if r.Stats().PacketsRecv != recvBefore {
 		t.Fatal("a discarded data packet was counted as received")
 	}
 	_ = sch

@@ -46,6 +46,13 @@ type Receiver struct {
 	crashed bool
 	leftAt  sim.Time // when the receiver left or crashed (0 = still joined)
 
+	// cohort, when non-nil, marks this receiver as the probe of a
+	// CohortReceiver: the feedback draw becomes the minimum of the
+	// cohort's timers and the reported loss state is the worst member's
+	// (see cohort.go). Nil for explicit receivers — every cohort delta
+	// gates on this single check.
+	cohort *cohortState
+
 	// Appendix A/B bookkeeping: the first loss event was aggregated and
 	// initialised using the conservative initial RTT.
 	firstLossWithInitRTT bool
@@ -140,6 +147,7 @@ func (r *Receiver) rewind(id ReceiverID, net *simnet.Network, node simnet.NodeID
 	r.left = false
 	r.crashed = false
 	r.leftAt = 0
+	r.cohort = nil
 	r.firstLossWithInitRTT = false
 	r.ReportsSent = 0
 	r.SuppressCancels = 0
@@ -158,6 +166,27 @@ func (r *Receiver) rewind(id ReceiverID, net *simnet.Network, node simnet.NodeID
 // ID returns the receiver's identifier.
 func (r *Receiver) ID() ReceiverID { return r.id }
 
+// Members returns 1: an explicit receiver models only itself.
+func (r *Receiver) Members() int { return 1 }
+
+// SetMeter attaches (or detaches, with nil) a throughput meter.
+func (r *Receiver) SetMeter(m *stats.Meter) { r.Meter = m }
+
+// SetTrace attaches (or detaches, with nil) an event trace.
+func (r *Receiver) SetTrace(t *trace.Log) { r.Trace = t }
+
+// Stats returns the receiver's counter snapshot.
+func (r *Receiver) Stats() ReceiverStats {
+	return ReceiverStats{
+		ReportsSent:     r.ReportsSent,
+		SuppressCancels: r.SuppressCancels,
+		Losses:          r.Losses,
+		LossEvents:      r.LossEvents,
+		PacketsRecv:     r.PacketsRecv,
+		StaleDiscards:   r.StaleDiscards,
+	}
+}
+
 // HasValidRTT reports whether the receiver has a real RTT measurement
 // (Figure 12's metric).
 func (r *Receiver) HasValidRTT() bool { return r.rtte.Valid() }
@@ -165,8 +194,20 @@ func (r *Receiver) HasValidRTT() bool { return r.rtte.Valid() }
 // RTT returns the current RTT estimate.
 func (r *Receiver) RTT() sim.Time { return r.rtte.RTT() }
 
-// LossEventRate returns the measured loss event rate.
-func (r *Receiver) LossEventRate() float64 { return r.est.LossEventRate() }
+// LossEventRate returns the loss event rate of the receiver this
+// endpoint would offer as CLR candidate: the measured rate for an
+// explicit receiver, the spread-inflated worst member's for a cohort
+// probe.
+func (r *Receiver) LossEventRate() float64 {
+	p := r.est.LossEventRate()
+	if c := r.cohort; c != nil && c.spread > 0 && p > 0 {
+		p *= 1 + c.spread*math.Log2(float64(c.size))
+		if p > 1 {
+			p = 1
+		}
+	}
+	return p
+}
 
 // IsCLR reports whether the sender currently designates this receiver as
 // the current limiting receiver.
@@ -179,9 +220,11 @@ func (r *Receiver) SeedClockSync(oneWay sim.Time) {
 	r.rtte.Seed(cs.EstimateFromOneWay(oneWay))
 }
 
-// CalcRate returns X_calc in bytes/s (+Inf before the first loss event).
+// CalcRate returns X_calc in bytes/s (+Inf before the first loss event),
+// computed from the CLR-candidate loss event rate (for a cohort probe:
+// the worst member's).
 func (r *Receiver) CalcRate() float64 {
-	p := r.est.LossEventRate()
+	p := r.LossEventRate()
 	if p <= 0 {
 		return math.Inf(1)
 	}
@@ -438,11 +481,29 @@ func (r *Receiver) startRound(d Data, now sim.Time) {
 	}
 
 	fb := r.roundConfig(d)
-	delay := fb.Delay(x, r.rng.Float64())
+	delay := fb.Delay(x, r.feedbackDraw())
+	if c := r.cohort; c != nil {
+		c.accrueExpectedFeedback(fb, r.rtte.RTT())
+	}
 	r.fbValue = value
 	r.fbHasLoss = hasLoss
 	r.fbData = d
 	r.fbTimer = r.sch.AfterArg(delay, receiverFireFeedback, r)
+}
+
+// feedbackDraw returns the uniform variate for this round's suppression
+// timer. An explicit receiver draws once from the run RNG; a cohort
+// probe transforms that same single draw by the minimum-of-N-uniforms
+// map u -> 1-(1-u)^(1/N). Delay is monotone increasing in u, so the
+// result is distributed exactly as the minimum of N independent member
+// timers while consuming one RNG value either way — the draw sequence
+// shape (and with it cross-run determinism) is preserved.
+func (r *Receiver) feedbackDraw() float64 {
+	u := r.rng.Float64()
+	if c := r.cohort; c != nil && c.size > 1 {
+		u = 1 - math.Pow(1-u, 1/float64(c.size))
+	}
+	return u
 }
 
 // receiverFireFeedback is the feedback timer's closure-free callback:
@@ -554,7 +615,7 @@ func (r *Receiver) sendReport(now sim.Time) {
 		RecvRate:  r.rw.rate(r.window(r.lastData), now),
 		HasRTT:    r.rtte.Valid(),
 		RTT:       r.rtte.RTT(),
-		LossRate:  r.est.LossEventRate(),
+		LossRate:  r.LossEventRate(),
 		HasLoss:   r.est.HaveLoss(),
 		Round:     r.round,
 	}

@@ -8,14 +8,21 @@ import (
 )
 
 // Session wires one TFMCC sender and its receivers onto an existing
-// network topology, allocating receiver IDs and a shared port.
+// network topology, allocating receiver IDs and a shared port. Receivers
+// holds the session's receiver models in join order — explicit receivers
+// and cohorts alike; a cohort occupies one slot but Members() receiver
+// IDs, so slot index and ReceiverID diverge once a cohort has joined.
 type Session struct {
 	Cfg       Config
 	Net       *simnet.Network
 	Group     simnet.GroupID
 	Port      simnet.Port
 	Sender    *Sender
-	Receivers []*Receiver
+	Receivers []ReceiverModel
+
+	// nextID is the first unallocated ReceiverID: each explicit receiver
+	// advances it by one, each cohort by its membership.
+	nextID ReceiverID
 
 	rng *sim.Rand
 }
@@ -56,16 +63,37 @@ func (s *Session) rewind(net *simnet.Network, senderNode simnet.NodeID, group si
 	s.Port = port
 	s.Sender = NewSender(net, senderNode, port, group, cfg)
 	s.Receivers = s.Receivers[:0]
+	s.nextID = 0
 	s.rng = rng
 }
 
-// AddReceiver joins a receiver on the given node and returns it.
-func (s *Session) AddReceiver(node simnet.NodeID) *Receiver {
-	id := ReceiverID(len(s.Receivers))
+// AddReceiver joins an explicit receiver on the given node and returns
+// its model.
+func (s *Session) AddReceiver(node simnet.NodeID) ReceiverModel {
+	id := s.nextID
 	r := NewReceiver(id, s.Net, node, s.Port, s.Sender.addr, s.Group, s.Cfg, s.rng)
 	s.Receivers = append(s.Receivers, r)
+	s.nextID++
 	return r
 }
+
+// AddCohort joins a cohort of size homogeneous receivers modelled by one
+// probe endpoint on the given node (see CohortReceiver). The cohort
+// occupies the next size receiver IDs; its probe — the minimum-rate
+// member and CLR candidate — reports as the first of them.
+func (s *Session) AddCohort(node simnet.NodeID, size int) *CohortReceiver {
+	if size < 1 {
+		size = 1
+	}
+	c := NewCohortReceiver(s.nextID, s.Net, node, s.Port, s.Sender.addr, s.Group, s.Cfg, s.rng, size)
+	s.Receivers = append(s.Receivers, c)
+	s.nextID += ReceiverID(size)
+	return c
+}
+
+// MemberCount returns how many receivers the session's models represent
+// in total (explicit receivers count 1, cohorts their membership).
+func (s *Session) MemberCount() int { return int(s.nextID) }
 
 // Start begins the transfer.
 func (s *Session) Start() { s.Sender.Start() }
@@ -97,8 +125,8 @@ func (s *Session) CLRInvariant() string {
 	if clr == noReceiver {
 		return ""
 	}
-	if int(clr) < 0 || int(clr) >= len(s.Receivers) {
-		return fmt.Sprintf("CLR id %d out of range (session has %d receivers)", clr, len(s.Receivers))
+	if int(clr) < 0 || int(clr) >= int(s.nextID) {
+		return fmt.Sprintf("CLR id %d out of range (session has %d receivers)", clr, int(s.nextID))
 	}
 	if silent := snd.CLRSilentRounds(); silent > s.Cfg.CLRTimeoutRounds+2 {
 		return fmt.Sprintf("CLR %d silent for %d rounds (> timeout of %d rounds) without re-election", clr, silent, s.Cfg.CLRTimeoutRounds)
@@ -107,12 +135,13 @@ func (s *Session) CLRInvariant() string {
 }
 
 // ValidRTTCount returns how many receivers have a real RTT measurement
-// (the Figure 12 metric).
+// (the Figure 12 metric). A cohort's members all share the probe's
+// measurement state, so a valid cohort contributes its whole membership.
 func (s *Session) ValidRTTCount() int {
 	n := 0
 	for _, r := range s.Receivers {
 		if r.HasValidRTT() {
-			n++
+			n += r.Members()
 		}
 	}
 	return n

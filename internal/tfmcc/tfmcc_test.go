@@ -83,7 +83,7 @@ func TestRateConvergesToBottleneck(t *testing.T) {
 	cfg := DefaultConfig()
 	sch, _, sess := singleBottleneck(8, 125000, 20*sim.Millisecond, 30, cfg, 3)
 	m := stats.NewMeter("tfmcc", sch, sim.Second)
-	sess.Receivers[0].Meter = m
+	sess.Receivers[0].SetMeter(m)
 	m.Start()
 	sess.Start()
 	sch.RunUntil(120 * sim.Second)
@@ -114,7 +114,7 @@ func TestRateMatchesModelOnLossyPath(t *testing.T) {
 	delay := []sim.Time{30 * sim.Millisecond}
 	sch, _, sess := starLossy(loss, delay, cfg, 5)
 	m := stats.NewMeter("tfmcc", sch, sim.Second)
-	sess.Receivers[0].Meter = m
+	sess.Receivers[0].SetMeter(m)
 	m.Start()
 	sess.Start()
 	sch.RunUntil(180 * sim.Second)
@@ -155,7 +155,7 @@ func TestFeedbackNoImplosion(t *testing.T) {
 	sch.RunUntil(60 * sim.Second)
 	total := int64(0)
 	for _, r := range sess.Receivers {
-		total += r.ReportsSent
+		total += r.Stats().ReportsSent
 	}
 	perRound := float64(total) / float64(sess.Sender.Round())
 	// With 100 equally-congested receivers, suppression must keep
@@ -306,12 +306,12 @@ func TestReportEligibility(t *testing.T) {
 	sess.Start()
 	sch.RunUntil(120 * sim.Second)
 	lossy, clean := sess.Receivers[0], sess.Receivers[1]
-	if lossy.ReportsSent == 0 {
+	if lossy.Stats().ReportsSent == 0 {
 		t.Fatal("lossy receiver must report")
 	}
-	if clean.ReportsSent > lossy.ReportsSent/2 {
+	if clean.Stats().ReportsSent > lossy.Stats().ReportsSent/2 {
 		t.Fatalf("clean receiver reported too much: %d vs lossy %d",
-			clean.ReportsSent, lossy.ReportsSent)
+			clean.Stats().ReportsSent, lossy.Stats().ReportsSent)
 	}
 }
 
@@ -329,7 +329,7 @@ func TestTraceHooks(t *testing.T) {
 	log := trace.New(4096)
 	sess.Sender.Trace = log
 	for _, r := range sess.Receivers {
-		r.Trace = log
+		r.SetTrace(log)
 	}
 	sess.Start()
 	sch.RunUntil(60 * sim.Second)
