@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/benchreport"
+)
+
+// trendRuns is how many trailing history entries the trend covers.
+const trendRuns = 5
+
+// histEntry is one line of BENCH_history.jsonl: a run's wall clock and
+// per-scenario ns/event, keyed by scenario id. Analytic figures carry no
+// per-event rate and are omitted.
+type histEntry struct {
+	Recorded  string             `json:"recorded"`
+	Generated string             `json:"generated,omitempty"`
+	WallNS    int64              `json:"wall_ns,omitempty"`
+	NSPerEvt  map[string]float64 `json:"ns_per_event"`
+}
+
+// recordHistory appends fresh's timings to the JSONL run log at path and
+// prints a trend over the trailing entries — markdown appended to
+// summary when set, plain text to stderr otherwise.
+func recordHistory(path, summary string, fresh *benchreport.Report) error {
+	e := histEntry{
+		Recorded:  time.Now().UTC().Format(time.RFC3339),
+		Generated: fresh.Generated,
+		WallNS:    fresh.WallNS,
+		NSPerEvt:  map[string]float64{},
+	}
+	for _, m := range fresh.Scenarios {
+		if !m.Analytic && m.NSPerEvent > 0 {
+			e.NSPerEvt[m.ID] = m.NSPerEvent
+		}
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	entries, skipped, err := loadHistory(path)
+	if err != nil {
+		return err
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: history: skipped %d malformed line(s)\n", skipped)
+	}
+	if len(entries) > trendRuns {
+		entries = entries[len(entries)-trendRuns:]
+	}
+	if summary == "" {
+		printTrendText(os.Stderr, fresh, entries)
+		return nil
+	}
+	out, err := os.OpenFile(summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	printTrendMarkdown(out, fresh, entries)
+	return out.Close()
+}
+
+// loadHistory reads every parseable entry of the JSONL run log in file
+// order. Malformed lines (a truncated append from a killed CI job) are
+// counted and skipped, never fatal — the history is advisory.
+func loadHistory(path string) (entries []histEntry, skipped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e histEntry
+		if json.Unmarshal(sc.Bytes(), &e) != nil || e.NSPerEvt == nil {
+			skipped++
+			continue
+		}
+		entries = append(entries, e)
+	}
+	return entries, skipped, sc.Err()
+}
+
+// trendIDs is the row order of the trend table: the fresh report's
+// scenario order, restricted to ids with at least one recorded rate.
+func trendIDs(fresh *benchreport.Report, entries []histEntry) []string {
+	var ids []string
+	for _, m := range fresh.Scenarios {
+		for _, e := range entries {
+			if _, ok := e.NSPerEvt[m.ID]; ok {
+				ids = append(ids, m.ID)
+				break
+			}
+		}
+	}
+	return ids
+}
+
+func printTrendMarkdown(w io.Writer, fresh *benchreport.Report, entries []histEntry) {
+	fmt.Fprintf(w, "### Bench trend — ns/event over the last %d runs (oldest → newest)\n\n", len(entries))
+	fmt.Fprintf(w, "| scenario |")
+	for _, e := range entries {
+		fmt.Fprintf(w, " %s |", e.Recorded)
+	}
+	fmt.Fprintf(w, "\n|---|")
+	for range entries {
+		fmt.Fprintf(w, "---:|")
+	}
+	fmt.Fprintln(w)
+	for _, id := range trendIDs(fresh, entries) {
+		fmt.Fprintf(w, "| %s |", id)
+		for _, e := range entries {
+			if v, ok := e.NSPerEvt[id]; ok {
+				fmt.Fprintf(w, " %.1f |", v)
+			} else {
+				fmt.Fprintf(w, " – |")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "| **wall** |")
+	for _, e := range entries {
+		fmt.Fprintf(w, " %.1fs |", float64(e.WallNS)/1e9)
+	}
+	fmt.Fprintf(w, "\n\n")
+}
+
+func printTrendText(w io.Writer, fresh *benchreport.Report, entries []histEntry) {
+	fmt.Fprintf(w, "benchdiff: ns/event trend over the last %d runs (oldest -> newest):\n", len(entries))
+	for _, id := range trendIDs(fresh, entries) {
+		fmt.Fprintf(w, "  %-14s", id)
+		for _, e := range entries {
+			if v, ok := e.NSPerEvt[id]; ok {
+				fmt.Fprintf(w, " %8.1f", v)
+			} else {
+				fmt.Fprintf(w, " %8s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "  %-14s", "wall")
+	for _, e := range entries {
+		fmt.Fprintf(w, " %7.1fs", float64(e.WallNS)/1e9)
+	}
+	fmt.Fprintln(w)
+}

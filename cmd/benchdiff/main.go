@@ -6,10 +6,21 @@
 // Usage:
 //
 //	benchdiff -baseline BENCH_engine.json -new BENCH_engine.new.json [-max-regress 0.15]
+//	benchdiff ... -history BENCH_history.jsonl [-summary "$GITHUB_STEP_SUMMARY"]
 //
 // Analytic figures never drive the engine, so they carry no per-event
-// rates and are exempt. Exit status is 1 when any gated metric regressed
-// beyond -max-regress, 0 otherwise.
+// rates and are exempt. On sharded (-engineworkers) measurements the
+// cross-region conservation identities are re-checked with zero
+// tolerance. Exit status is 1 when any gated metric regressed beyond
+// -max-regress, 0 otherwise.
+//
+// -history appends the fresh report's per-scenario ns/event and total
+// wall clock as one JSON line to the given file (a run log CI restores
+// from cache), then prints a trend over the last five recorded runs —
+// as a markdown table to -summary when set (CI passes
+// $GITHUB_STEP_SUMMARY), as plain text to stderr otherwise. The entry
+// is appended before the gate verdict, so regressing runs still land in
+// the history.
 package main
 
 import (
@@ -24,6 +35,8 @@ func main() {
 	basePath := flag.String("baseline", "BENCH_engine.json", "committed baseline report")
 	newPath := flag.String("new", "", "freshly measured report to gate")
 	tol := flag.Float64("max-regress", 0.15, "maximum allowed relative regression (0.15 = 15%)")
+	history := flag.String("history", "", "append this run's per-scenario ns/event and wall clock to the JSONL file and print a last-5-run trend")
+	summary := flag.String("summary", "", "with -history: write the trend as a markdown table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	flag.Parse()
 	if *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
@@ -44,6 +57,12 @@ func main() {
 	regs, notes := benchreport.Compare(base, fresh, *tol)
 	for _, n := range notes {
 		fmt.Fprintf(os.Stderr, "benchdiff: note: %s\n", n)
+	}
+	if *history != "" {
+		if err := recordHistory(*history, *summary, fresh); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: history: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	if len(regs) == 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: no regressions beyond %.0f%% (%d scenarios gated)\n",

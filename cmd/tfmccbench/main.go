@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	tfmccbench [-seeds n] [-workers m] [-only 1,7,15] [-o BENCH_engine.json]
+//	tfmccbench [-seeds n] [-workers m] [-engineworkers w] [-only 1,7,15] [-o BENCH_engine.json]
 //	tfmccbench -list
 //	tfmccbench -shard 2/3 [-o BENCH_engine.shard-2-of-3.json]
 //	tfmccbench -seedshard 2/3 [-o BENCH_engine.seedshard-2-of-3.json]
+//	tfmccbench -shard 2/3 -seedshard 1/2 [-o BENCH_engine.shard-2-of-3.seedshard-1-of-2.json]
 //	tfmccbench -merge BENCH_engine.shard-*-of-3.json [-o BENCH_engine.json]
 //
 // The measured plan is the figure registry in enumeration order (paper
@@ -18,7 +19,9 @@
 // partitions and (by default) writes a shard fragment named after the
 // split. -seedshard i/N instead runs the WHOLE plan over the i-th
 // contiguous sub-range of the seeds — the split that keeps one expensive
-// figure (12, 13) from dominating a scenario shard. -merge recombines a
+// figure (12, 13) from dominating a scenario shard. The two splits
+// compose: -shard i/N -seedshard j/M runs one cell of an N-by-M matrix,
+// and -merge reassembles all N*M cell fragments. -merge recombines a
 // complete fragment set of either kind into the report an unsharded run
 // would have produced: with -deterministic (which strips wall-clock,
 // rate and allocation fields from any output) the merged file is
@@ -51,6 +54,7 @@ import (
 func main() {
 	seeds := flag.Int("seeds", 3, "independent seeds per scenario")
 	workers := flag.Int("workers", min(4, runtime.NumCPU()), "parallel sweep workers")
+	engineWorkers := flag.Int("engineworkers", 0, "run scenario-spec figures on the region-parallel engine with this many goroutines per run (>= 2; 0 or 1 = serial)")
 	nOld := flag.Int("n", 0, "deprecated alias for -seeds")
 	list := flag.Bool("list", false, "list the bench plan (ids, tags, cost weights) and exit")
 	only := flag.String("only", "", "comma-separated scenario ids to run (default: all)")
@@ -75,9 +79,6 @@ func main() {
 		runMerge(flag.Args(), *det, *out, *summary)
 		return
 	}
-	if *shard != "" && *seedshard != "" {
-		fatalf("-shard and -seedshard are mutually exclusive")
-	}
 	if flag.NArg() > 0 {
 		fatalf("unexpected arguments %v (fragment files are only valid with -merge)", flag.Args())
 	}
@@ -100,9 +101,11 @@ func main() {
 	}
 
 	items := plan
-	outPath := *out
-	opt := benchreport.Options{Seeds: *seeds, Workers: *workers, Check: *check}
-	var shardSpec string
+	opt := benchreport.Options{
+		Seeds: *seeds, Workers: *workers, Check: *check,
+		EngineWorkers: *engineWorkers,
+	}
+	var shardSpec, fragName string
 	if *shard != "" {
 		i, n, err := benchreport.ParseShardSpec(*shard)
 		if err != nil {
@@ -113,9 +116,7 @@ func main() {
 			fatalf("%v", err)
 		}
 		shardSpec = fmt.Sprintf("%d/%d", i, n)
-		if outPath == "" {
-			outPath = fmt.Sprintf("BENCH_engine.shard-%d-of-%d.json", i, n)
-		}
+		fragName = fmt.Sprintf("shard-%d-of-%d", i, n)
 	}
 	if *seedshard != "" {
 		i, n, err := benchreport.ParseShardSpec(*seedshard)
@@ -128,12 +129,17 @@ func main() {
 		}
 		opt.SeedBase, opt.TotalSeeds, opt.Seeds = base, *seeds, count
 		opt.SeedShard = fmt.Sprintf("%d/%d", i, n)
-		if outPath == "" {
-			outPath = fmt.Sprintf("BENCH_engine.seedshard-%d-of-%d.json", i, n)
+		if fragName != "" {
+			fragName += "."
 		}
+		fragName += fmt.Sprintf("seedshard-%d-of-%d", i, n)
 	}
+	outPath := *out
 	if outPath == "" {
 		outPath = "BENCH_engine.json"
+		if fragName != "" {
+			outPath = "BENCH_engine." + fragName + ".json"
+		}
 	}
 
 	rep := benchreport.MeasureOpts(items, plan, opt, os.Stderr)

@@ -12,6 +12,7 @@
 //	tfmccsim -scenario flashcrowd            # run a scenario preset
 //	tfmccsim -scenario 9 -duration 60 -coreloss 0.01   # overridden figure
 //	tfmccsim -figure clrfail -check          # run with the invariant checker
+//	tfmccsim -scenario wireless -engineworkers 2   # region-parallel engine
 //
 // -scenario runs any Spec-backed registry entry — the named presets and
 // every single-scenario engine figure — through the generic scenario
@@ -28,6 +29,15 @@
 //
 // where [ci_lo, ci_hi] is the -ci confidence interval for the mean. The
 // merged output is bit-for-bit independent of -workers.
+//
+// -engineworkers w (>= 2) runs every scenario-spec-driven simulation on
+// the region-parallel engine: the topology is partitioned into regions
+// that advance on their own scheduler shards over w goroutines,
+// synchronised by conservative lookahead windows. Output is
+// deterministic and independent of w, but is a different (equally valid)
+// trajectory than the serial engine's — the shards draw from per-region
+// random streams. 0 or 1 keeps the byte-identical serial path.
+// Hand-wired figures (the non-Spec entries) always run serially.
 package main
 
 import (
@@ -59,6 +69,7 @@ func main() {
 		workers  = flag.Int("workers", runtime.NumCPU(), "parallel sweep workers (capped at -seeds)")
 		ci       = flag.Float64("ci", 0.95, "confidence level for the merged bands")
 		check    = flag.Bool("check", false, "run the invariant checker alongside the simulation; exit 1 on violations")
+		engineW  = flag.Int("engineworkers", 0, "run scenario-spec simulations on the region-parallel engine with this many goroutines (>= 2; 0 or 1 = serial)")
 
 		duration  = flag.Float64("duration", 0, "override: simulated seconds")
 		corebw    = flag.Float64("corebw", 0, "override: core link bandwidth in Mbit/s")
@@ -95,7 +106,7 @@ func main() {
 				e.ID, "["+strings.Join(e.Tags, ",")+"]", e.Cost, e.Title)
 		}
 	case *hyp != "":
-		judge(*hyp, *workers)
+		judge(*hyp, *workers, *engineW)
 	case *scenFile != "":
 		spec, err := scenario.LoadSpec(*scenFile)
 		if err == nil {
@@ -106,6 +117,7 @@ func main() {
 			os.Exit(1)
 		}
 		ctx := experiments.NewRunCtx()
+		ctx.SetEngineWorkers(*engineW)
 		if *check {
 			ctx.EnableInvariants()
 		}
@@ -124,6 +136,7 @@ func main() {
 		writeSpec(*scen, ov, *specOut)
 	case *scen != "":
 		ctx := experiments.NewRunCtx()
+		ctx.SetEngineWorkers(*engineW)
 		if *check {
 			ctx.EnableInvariants()
 		}
@@ -140,20 +153,21 @@ func main() {
 		reportViolations(violationStrings(ctx), nil)
 	case *all:
 		for _, id := range experiments.Figures() {
-			run(id, *seed, *seeds, *workers, *ci, *tsv, *check)
+			run(id, *seed, *seeds, *workers, *engineW, *ci, *tsv, *check)
 		}
 	case *figure != "":
-		run(*figure, *seed, *seeds, *workers, *ci, *tsv, *check)
+		run(*figure, *seed, *seeds, *workers, *engineW, *ci, *tsv, *check)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func run(id string, seed int64, seeds, workers int, ci float64, tsv, check bool) {
+func run(id string, seed int64, seeds, workers, engineW int, ci float64, tsv, check bool) {
 	if seeds > 1 {
 		res, err := experiments.Sweep(id, sweep.Config{
 			Seeds: seeds, Workers: workers, CI: ci, Base: seed, Check: check,
+			EngineWorkers: engineW,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -168,6 +182,7 @@ func run(id string, seed int64, seeds, workers int, ci float64, tsv, check bool)
 		return
 	}
 	ctx := experiments.NewRunCtx()
+	ctx.SetEngineWorkers(engineW)
 	if check {
 		ctx.EnableInvariants()
 	}
@@ -186,7 +201,7 @@ func run(id string, seed int64, seeds, workers int, ci float64, tsv, check bool)
 
 // judge resolves a hypothesis — a committed-suite id or a JSON document
 // path — runs it and exits 1 when any expectation fails.
-func judge(ref string, workers int) {
+func judge(ref string, workers, engineW int) {
 	h, ok := hypothesis.ByID(ref)
 	if !ok {
 		var err error
@@ -197,7 +212,7 @@ func judge(ref string, workers int) {
 			os.Exit(1)
 		}
 	}
-	v, err := hypothesis.Run(h, hypothesis.Options{Workers: workers})
+	v, err := hypothesis.Run(h, hypothesis.Options{Workers: workers, EngineWorkers: engineW})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -29,6 +29,13 @@ func (m *Metrics) finish(wall time.Duration, st experiments.EngineStats, allocs 
 	m.RateRecoveries = st.RateRecoveries
 	m.ReelectNS = int64(st.ReelectNS)
 	m.RateRecoverNS = int64(st.RateRecoverNS)
+	if st.EngineShards > 0 {
+		m.EngineShards = st.EngineShards
+		m.ShardEvents = append([]uint64(nil), st.ShardEvents[:st.EngineShards]...)
+		m.ControlEvents = st.ControlEvents
+		m.HandoffsSent = st.HandoffsSent
+		m.HandoffsRecv = st.HandoffsRecv
+	}
 	m.Allocs = allocs
 	if sec := wall.Seconds(); sec > 0 {
 		m.EventsPerSec = float64(st.Events) / sec
@@ -55,6 +62,10 @@ type Options struct {
 	// ticks are excluded from event counts, so the deterministic report
 	// is unchanged by enabling it.
 	Check bool
+	// EngineWorkers >= 2 routes scenario-spec runs through the
+	// region-parallel engine on that many goroutines per run; the report
+	// then carries per-shard event and handoff counters.
+	EngineWorkers int
 }
 
 // Measure runs every item of items (typically one shard of plan) and
@@ -131,11 +142,15 @@ func measureFigure(it Item, opt Options) Metrics {
 	a0 := allocsNow()
 	start := time.Now()
 	res, err := experiments.Sweep(it.FigureID, sweep.Config{
-		Seeds: opt.Seeds, Workers: opt.Workers, Base: opt.SeedBase, Check: opt.Check})
+		Seeds: opt.Seeds, Workers: opt.Workers, Base: opt.SeedBase, Check: opt.Check,
+		EngineWorkers: opt.EngineWorkers})
 	if err != nil {
 		panic(err) // unreachable: the plan only holds registered figures
 	}
 	m.finish(time.Since(start), res.Engine, allocsNow()-a0)
+	if res.Engine.EngineShards > 0 {
+		m.EngineWorkers = opt.EngineWorkers
+	}
 	m.Violations = res.Violations
 	m.Failures = res.Failures
 	return m

@@ -26,7 +26,37 @@ func Merge(frags []*Report) (*Report, error) {
 	if len(frags) == 0 {
 		return nil, fmt.Errorf("benchreport: no fragments to merge")
 	}
-	if frags[0].SeedShard != "" {
+	hasShard, hasSeed := frags[0].Shard != "", frags[0].SeedShard != ""
+	for i, f := range frags {
+		if (f.Shard != "") != hasShard || (f.SeedShard != "") != hasSeed {
+			return nil, fmt.Errorf("benchreport: fragment %d does not match fragment 0's sharding dimensions (scenario=%v seed=%v)",
+				i, hasShard, hasSeed)
+		}
+	}
+	if hasShard && hasSeed {
+		// Two-dimensional matrix (scenario shard x seed shard): seed-merge
+		// each scenario shard's column first, then scenario-merge the
+		// results. Grouping preserves first-seen order only for
+		// reproducible error messages; the result is order-independent.
+		groups := map[string][]*Report{}
+		var order []string
+		for _, f := range frags {
+			if _, ok := groups[f.Shard]; !ok {
+				order = append(order, f.Shard)
+			}
+			groups[f.Shard] = append(groups[f.Shard], f)
+		}
+		cols := make([]*Report, 0, len(order))
+		for _, s := range order {
+			col, err := mergeSeeds(groups[s])
+			if err != nil {
+				return nil, fmt.Errorf("benchreport: scenario shard %s: %w", s, err)
+			}
+			cols = append(cols, col)
+		}
+		return Merge(cols)
+	}
+	if hasSeed {
 		return mergeSeeds(frags)
 	}
 	first := frags[0]
@@ -100,7 +130,9 @@ func Merge(frags []*Report) (*Report, error) {
 // the same scenario list over a disjoint slice of the seed range, so
 // counters sum and rates are recomputed from the sums. The fragments
 // must chain seamlessly from seed 1 (fragment i's base = previous base +
-// previous count, totalling the header seed count).
+// previous count, totalling the header seed count). Fragments may all
+// carry one identical scenario-shard stamp (a 2-D matrix column); it
+// propagates to the merged report for the outer scenario merge.
 func mergeSeeds(frags []*Report) (*Report, error) {
 	first := frags[0]
 	_, n, err := ParseShardSpec(first.SeedShard)
@@ -120,6 +152,7 @@ func mergeSeeds(frags []*Report) (*Report, error) {
 		Workers:       first.Workers,
 		PlanSize:      first.PlanSize,
 		PlanIDs:       first.PlanIDs,
+		Shard:         first.Shard,
 		Deterministic: first.Deterministic,
 		Scenarios:     []Metrics{},
 	}
@@ -130,8 +163,9 @@ func mergeSeeds(frags []*Report) (*Report, error) {
 			!slices.Equal(f.PlanIDs, out.PlanIDs) {
 			return nil, fmt.Errorf("benchreport: seed fragment %d header mismatch (run all seed shards with identical flags and selection on one toolchain)", i)
 		}
-		if f.Shard != "" {
-			return nil, fmt.Errorf("benchreport: fragment %d mixes a scenario shard into a seed-shard merge", i)
+		if f.Shard != first.Shard {
+			return nil, fmt.Errorf("benchreport: fragment %d is scenario shard %q, want %q (seed fragments must share one scenario shard)",
+				i, f.Shard, first.Shard)
 		}
 		idx, fn, err := ParseShardSpec(f.SeedShard)
 		if err != nil {
@@ -193,6 +227,20 @@ func mergeSeeds(frags []*Report) (*Report, error) {
 			acc.Unreachable += m.Unreachable
 			acc.Corrupted += m.Corrupted
 			acc.Duplicated += m.Duplicated
+			if acc.EngineWorkers != m.EngineWorkers {
+				return nil, fmt.Errorf("benchreport: seed fragment %d scenario %s ran with -engineworkers %d, sibling with %d",
+					i+1, m.ID, m.EngineWorkers, acc.EngineWorkers)
+			}
+			acc.EngineShards = max(acc.EngineShards, m.EngineShards)
+			for len(acc.ShardEvents) < len(m.ShardEvents) {
+				acc.ShardEvents = append(acc.ShardEvents, 0)
+			}
+			for k, v := range m.ShardEvents {
+				acc.ShardEvents[k] += v
+			}
+			acc.ControlEvents += m.ControlEvents
+			acc.HandoffsSent += m.HandoffsSent
+			acc.HandoffsRecv += m.HandoffsRecv
 			acc.CLRLosses += m.CLRLosses
 			acc.Reelections += m.Reelections
 			acc.RateRecoveries += m.RateRecoveries

@@ -46,6 +46,18 @@ type Metrics struct {
 	Unreachable int64 `json:"unreachable,omitempty"`
 	Corrupted   int64 `json:"corrupted,omitempty"`
 	Duplicated  int64 `json:"duplicated,omitempty"`
+	// Region-parallel engine counters (simulation-deterministic, zero —
+	// and omitted — unless the run used -engineworkers >= 2). Events
+	// above then equals ControlEvents + sum(ShardEvents), and
+	// HandoffsSent equals HandoffsRecv: the conservation identities
+	// Compare re-checks, so a partitioning bug that drops cross-region
+	// packets fails the benchdiff gate.
+	EngineWorkers int      `json:"engine_workers,omitempty"`
+	EngineShards  int      `json:"engine_shards,omitempty"`
+	ShardEvents   []uint64 `json:"shard_events,omitempty"`
+	ControlEvents uint64   `json:"control_events,omitempty"`
+	HandoffsSent  uint64   `json:"handoffs_sent,omitempty"`
+	HandoffsRecv  uint64   `json:"handoffs_recv,omitempty"`
 	// Recovery-time counters (simulation-deterministic, zero — and
 	// omitted — unless a run lost its CLR without an immediate successor).
 	// Counts sum across the sweep's seeds; the _ns fields are the worst

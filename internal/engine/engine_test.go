@@ -1,0 +1,163 @@
+package engine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/sweep"
+)
+
+// shortRun executes a registry scenario with the duration clipped for
+// test budgets and returns the full result TSV — the byte stream the
+// determinism contract is defined over.
+func shortRun(t *testing.T, c *experiments.RunCtx, id string, seed int64, dur sim.Time) string {
+	t.Helper()
+	ov := scenario.None()
+	ov.Duration = dur
+	res, err := experiments.RunOverridden(c, id, ov, seed)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return res.TSV()
+}
+
+func shardedCtx(workers int) *experiments.RunCtx {
+	c := experiments.NewRunCtx()
+	c.SetEngineWorkers(workers)
+	return c
+}
+
+// Sharded runs are deterministic: the same seed gives byte-identical
+// output on repeated runs of one context (arena rewind) and on a fresh
+// context (cold build).
+func TestShardedDeterminismAndRewind(t *testing.T) {
+	for _, id := range []string{"wireless", "tcpburst", "flashcrowd"} {
+		c := shardedCtx(2)
+		a := shortRun(t, c, id, 1, 8*sim.Second)
+		b := shortRun(t, c, id, 1, 8*sim.Second)
+		if a != b {
+			t.Errorf("%s: sharded rewind run diverged from first run", id)
+		}
+		fresh := shortRun(t, shardedCtx(2), id, 1, 8*sim.Second)
+		if a != fresh {
+			t.Errorf("%s: sharded fresh-context run diverged from rewound run", id)
+		}
+	}
+}
+
+// The worker count is purely a goroutine count: region structure,
+// window schedule and handoff order depend only on topology and seed,
+// so any N >= 2 produces byte-identical output.
+func TestWorkerCountInvariance(t *testing.T) {
+	for _, id := range []string{"wireless", "partition", "chainloss", "deeptree"} {
+		base := shortRun(t, shardedCtx(2), id, 3, 8*sim.Second)
+		for _, w := range []int{3, 4} {
+			if got := shortRun(t, shardedCtx(w), id, 3, 8*sim.Second); got != base {
+				t.Errorf("%s: %d-worker run diverged from 2-worker run", id, w)
+			}
+		}
+	}
+}
+
+// -engineworkers 1 (and 0) never engages the sharded engine: output is
+// byte-identical to the plain serial path for every registry scenario.
+func TestSerialWorkerByteIdentity(t *testing.T) {
+	for _, id := range experiments.ScenarioIDs() {
+		serial := shortRun(t, experiments.NewRunCtx(), id, 1, 5*sim.Second)
+		for _, w := range []int{0, 1} {
+			if got := shortRun(t, shardedCtx(w), id, 1, 5*sim.Second); got != serial {
+				t.Errorf("%s: -engineworkers %d diverged from serial engine", id, w)
+			}
+		}
+	}
+}
+
+// Sharded runs keep every invariant: the engine predicates (packet
+// conservation), the protocol predicates (sender rate bound, CLR
+// liveness) and the cross-shard ones (clock skew, handoff conservation)
+// all hold under fault-injecting scenarios.
+func TestShardedInvariantsClean(t *testing.T) {
+	for _, id := range []string{"wireless", "partition", "clrfail", "corruptfb"} {
+		c := shardedCtx(2)
+		c.EnableInvariants()
+		shortRun(t, c, id, 1, 8*sim.Second)
+		for _, v := range c.Violations() {
+			t.Errorf("%s: invariant violated: %s", id, v)
+		}
+	}
+}
+
+// The per-shard accounting satisfies its conservation identities: every
+// handoff pushed is drained, and the total event count decomposes into
+// control plus per-region events.
+func TestEngineStatsConservation(t *testing.T) {
+	c := shardedCtx(2)
+	shortRun(t, c, "wireless", 1, 8*sim.Second)
+	st := c.Stats()
+	if st.EngineShards < 2 {
+		t.Fatalf("expected a multi-region cut, got %d shards", st.EngineShards)
+	}
+	if st.HandoffsSent != st.HandoffsRecv {
+		t.Errorf("handoff conservation broken: sent %d, drained %d", st.HandoffsSent, st.HandoffsRecv)
+	}
+	if st.HandoffsSent == 0 {
+		t.Error("expected cross-region traffic, saw none")
+	}
+	sum := st.ControlEvents
+	for _, v := range st.ShardEvents {
+		sum += v
+	}
+	if st.Events != sum {
+		t.Errorf("event decomposition broken: total %d, control+shards %d", st.Events, sum)
+	}
+}
+
+// Partition on a registry spec: the transit-stub scenario splits into
+// multiple regions with a positive lookahead, and the assignment is
+// deterministic.
+func TestPartitionOnPresets(t *testing.T) {
+	e, ok := experiments.Lookup("wireless")
+	if !ok || e.Spec == nil {
+		t.Fatal("wireless preset missing")
+	}
+	p, err := engine.Partition(e.Spec(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards < 2 || p.Shards > simnet.MaxAutoShards {
+		t.Fatalf("expected 2..%d regions, got %d", simnet.MaxAutoShards, p.Shards)
+	}
+	if p.Lookahead <= 0 || p.Lookahead == simnet.InfiniteLookahead {
+		t.Fatalf("expected a finite positive lookahead, got %v", p.Lookahead)
+	}
+	q, err := engine.Partition(e.Spec(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(p) != fmt.Sprint(q) {
+		t.Error("partition is not deterministic across calls")
+	}
+}
+
+// Sharded execution composes with seed sweeps: the merged bands stay
+// independent of the sweep worker count, with the engine parallelism
+// nested inside.
+func TestSweepWithEngineWorkers(t *testing.T) {
+	run := func(sweepWorkers int) string {
+		res, err := experiments.Sweep("flashcrowd", sweep.Config{
+			Seeds: 3, Workers: sweepWorkers, EngineWorkers: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TSV()
+	}
+	if a, b := run(1), run(2); a != b {
+		t.Error("sweep output depends on sweep worker count under sharded engine")
+	}
+}

@@ -97,13 +97,14 @@ func RunWith(c *RunCtx, id string, seed int64) (*Result, error) {
 // counters accumulated across runs. It must be used from one goroutine at
 // a time; parallel sweeps give each worker its own RunCtx.
 type RunCtx struct {
-	key        string
-	envs       map[string][]*env
-	next       int
-	reuse      bool
-	check      bool
-	stats      EngineStats
-	violations []invariant.Violation
+	key           string
+	envs          map[string][]*env
+	next          int
+	reuse         bool
+	check         bool
+	engineWorkers int
+	stats         EngineStats
+	violations    []invariant.Violation
 }
 
 // NewRunCtx returns a context with environment reuse enabled.
@@ -121,6 +122,19 @@ func (c *RunCtx) EnableInvariants() { c.check = true }
 // Violations returns the invariant violations observed across every run
 // executed with this context since the last ResetStats.
 func (c *RunCtx) Violations() []invariant.Violation { return c.violations }
+
+// SetEngineWorkers selects the execution engine for scenario-spec runs:
+// n >= 2 routes them through the region-parallel engine
+// (internal/engine) on n worker goroutines, anything lower keeps the
+// serial engine. Sharded output is deterministic and invariant in n —
+// the region structure depends only on topology and seed — but it is a
+// different deterministic universe than the serial engine's (per-region
+// RNG streams), so 1 means serial, byte-identical to the default.
+func (c *RunCtx) SetEngineWorkers(n int) { c.engineWorkers = n }
+
+// EngineWorkers reports the configured engine worker count (0 or 1 =
+// serial).
+func (c *RunCtx) EngineWorkers() int { return c.engineWorkers }
 
 // begin starts a run of the named scenario and returns the harvest
 // function to defer: it folds the run's engine counters into the context
@@ -146,6 +160,23 @@ func (c *RunCtx) endRun() {
 			// with and without -check.
 			events -= e.check.Ticks()
 			c.violations = append(c.violations, e.check.Violations()...)
+		}
+		if e.net.Sharded() {
+			// Region-parallel run: the environment scheduler only carried
+			// control flow. Total events = control + every region scheduler,
+			// an identity the benchdiff gate re-checks from the report.
+			c.stats.ControlEvents += events
+			se := e.net.ShardEventCounts()
+			if len(se) > c.stats.EngineShards {
+				c.stats.EngineShards = len(se)
+			}
+			for i, v := range se {
+				c.stats.ShardEvents[i] += v
+				events += v
+			}
+			sent, recv := e.net.HandoffCounts()
+			c.stats.HandoffsSent += sent
+			c.stats.HandoffsRecv += recv
 		}
 		c.stats.Events += events
 		for _, l := range e.net.Links() {
@@ -371,6 +402,7 @@ func Sweep(id string, cfg sweep.Config) (*SweepResult, error) {
 		if cfg.Check {
 			ctxs[i].EnableInvariants()
 		}
+		ctxs[i].SetEngineWorkers(cfg.EngineWorkers)
 	}
 	notes := make([][]string, cfg.Seeds)
 	merged := sweep.Run(cfg, func(worker int, seed int64) []*stats.Series {
@@ -428,6 +460,20 @@ type EngineStats struct {
 	RateRecoveries int64    // losses whose rate re-attained the pre-loss level
 	ReelectNS      sim.Time // max loss-to-re-election sim-time
 	RateRecoverNS  sim.Time // max loss-to-rate-re-attainment sim-time
+
+	// Region-parallel engine counters, all zero (and omitted from
+	// reports) on serial runs. For sharded runs Events above equals
+	// ControlEvents + sum(ShardEvents), and HandoffsSent equals
+	// HandoffsRecv once every window drained — the conservation
+	// identities the benchdiff gate pins.
+	// ShardEvents is a fixed array (the region count is capped at
+	// simnet.MaxAutoShards) so EngineStats stays comparable; only the
+	// first EngineShards entries are meaningful.
+	EngineShards  int                          // max regions any folded run was cut into
+	ShardEvents   [simnet.MaxAutoShards]uint64 // per-region events, elementwise-summed across runs
+	ControlEvents uint64                       // control-scheduler events (checker ticks excluded)
+	HandoffsSent  uint64                       // cross-region packets pushed by source shards
+	HandoffsRecv  uint64                       // cross-region packets drained into destinations
 }
 
 // Add folds another stats sample into s.
@@ -447,4 +493,13 @@ func (s *EngineStats) Add(o EngineStats) {
 	if o.RateRecoverNS > s.RateRecoverNS {
 		s.RateRecoverNS = o.RateRecoverNS
 	}
+	if o.EngineShards > s.EngineShards {
+		s.EngineShards = o.EngineShards
+	}
+	for i, v := range o.ShardEvents {
+		s.ShardEvents[i] += v
+	}
+	s.ControlEvents += o.ControlEvents
+	s.HandoffsSent += o.HandoffsSent
+	s.HandoffsRecv += o.HandoffsRecv
 }

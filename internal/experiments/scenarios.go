@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/scenario"
 )
 
@@ -43,7 +44,13 @@ func RunSpec(c *RunCtx, id string, spec *scenario.Spec, seed int64) *Result {
 // hypothesis workloads) go through, where a malformed spec is an input
 // problem rather than a programmer bug.
 func RunSpecErr(c *RunCtx, id string, spec *scenario.Spec, seed int64) (*Result, error) {
-	sc, err := scenario.Run(c.ScenarioEnv(seed), spec)
+	var sc *scenario.Scenario
+	var err error
+	if w := c.engineWorkers; w >= 2 {
+		sc, _, err = engine.Run(c.ScenarioEnv(seed), spec, seed, w)
+	} else {
+		sc, err = scenario.Run(c.ScenarioEnv(seed), spec)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -184,3 +184,30 @@ func TestWorkloadOneOf(t *testing.T) {
 		t.Error("doubly-populated workload resolved")
 	}
 }
+
+// TestChaosJudgedSharded runs a chaos suite hypothesis on the
+// region-parallel engine and expects it to pass, with verdicts
+// invariant in both the sweep worker count and the engine worker count.
+func TestChaosJudgedSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-simulation run")
+	}
+	h, ok := ByID("chaos-deeptree-l1")
+	if !ok {
+		t.Fatal("chaos-deeptree-l1 missing from the suite")
+	}
+	a, err := Run(h, Options{Workers: 1, EngineWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Pass {
+		t.Fatalf("chaos hypothesis fails on the sharded engine:\n%s", a.Report())
+	}
+	b, err := Run(h, Options{Workers: 2, EngineWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("sharded verdicts differ across worker counts:\n%+v\nvs\n%+v", a, b)
+	}
+}

@@ -15,6 +15,13 @@ import (
 // Options configure a judged run.
 type Options struct {
 	Workers int // sweep workers; < 1 means 1
+	// EngineWorkers >= 2 judges the workload on the region-parallel
+	// engine with that many goroutines per run. The sharded engine is its
+	// own deterministic universe (per-region random streams), so
+	// expectations judge a different — equally valid — trajectory than
+	// the serial engine's; the verdict is still independent of both
+	// Workers and EngineWorkers.
+	EngineWorkers int
 }
 
 // SeedMeasure is one seed's judgement of one expectation.
@@ -152,6 +159,7 @@ func Run(h *Hypothesis, opt Options) (*Verdict, error) {
 	for i := range ctxs {
 		ctxs[i] = experiments.NewRunCtx()
 		ctxs[i].EnableInvariants()
+		ctxs[i].SetEngineWorkers(opt.EngineWorkers)
 	}
 	outcomes := make([]*outcome, cfg.Seeds)
 	_, seedErrs := sweep.RunRaw(cfg, func(worker int, seed int64) []*stats.Series {

@@ -38,6 +38,17 @@ func (e Env) NewMeter(name string) *stats.Meter {
 		func(m *stats.Meter) { m.Reset(name, e.Sch, sim.Second) })
 }
 
+// NewMeterAt is NewMeter bound to the metered endpoint's node: on a
+// sharded network the meter's sampling timer runs on that node's shard
+// scheduler (the one its Add calls execute on); on a serial network the
+// binding is the environment scheduler, exactly as before.
+func (e Env) NewMeterAt(name string, at simnet.NodeID) *stats.Meter {
+	sch := e.Net.SchedFor(at)
+	return sim.Pooled(e.Net.Arena(), meterArenaKey,
+		func() *stats.Meter { return stats.NewMeter(name, sch, sim.Second) },
+		func(m *stats.Meter) { m.Reset(name, sch, sim.Second) })
+}
+
 // RecvSlot is one declared receiver endpoint of a built scenario — an
 // explicit receiver or a whole cohort. R and Meter are nil until the
 // receiver's join time (receivers declared with JoinAt > 0 are
@@ -319,6 +330,12 @@ func (sc *Scenario) node(r NodeRef) (simnet.NodeID, error) {
 	return 0, fmt.Errorf("scenario %s: bad node ref %+v", sc.Spec.Name, r)
 }
 
+// Link resolves a spec link reference on the built scenario — the same
+// resolver the event script uses, exported so the engine can map pinned
+// SetLink targets (delay mutations) onto concrete links when it
+// partitions a scratch build of the spec.
+func (sc *Scenario) Link(r LinkRef) (*simnet.Link, error) { return sc.link(r) }
+
 func (sc *Scenario) link(r LinkRef) (*simnet.Link, error) {
 	dir := 0
 	if r.Up {
@@ -400,7 +417,7 @@ func (sc *Scenario) buildRecv(r *RecvSpec) error {
 		rcv := sc.Sess.AddReceiver(at)
 		slot.R = rcv
 		if r.Meter != "" {
-			m := sc.Env.NewMeter(r.Meter)
+			m := sc.Env.NewMeterAt(r.Meter, at)
 			rcv.SetMeter(m)
 			m.Start()
 			slot.Meter = m
@@ -462,7 +479,7 @@ func (sc *Scenario) buildCohort(c *CohortSpec) error {
 		rcv.SetLossSpread(spread)
 		slot.R = rcv
 		if c.Meter != "" {
-			m := sc.Env.NewMeter(c.Meter)
+			m := sc.Env.NewMeterAt(c.Meter, at)
 			rcv.SetMeter(m)
 			m.Start()
 			slot.Meter = m
@@ -520,7 +537,7 @@ func (sc *Scenario) buildTCP(t *TCPSpec) error {
 	snd, snk := tcpsim.NewFlow(t.Name, sc.Env.Net, a, b, t.Port, cfg)
 	f := &Flow{Name: t.Name, TCP: snd, TCPSink: snk}
 	if t.Meter != "" {
-		m := sc.Env.NewMeter(t.Meter)
+		m := sc.Env.NewMeterAt(t.Meter, b)
 		snk.Meter = m
 		m.Start()
 		f.Meter = m
@@ -548,7 +565,7 @@ func (sc *Scenario) buildCBR(c *CBRSpec) error {
 	net.Bind(dst, sink)
 	f := &Flow{Name: c.Name, CBR: cbr, CBRSink: sink}
 	if c.Meter != "" {
-		m := sc.Env.NewMeter(c.Meter)
+		m := sc.Env.NewMeterAt(c.Meter, b)
 		sink.Meter = m
 		m.Start()
 		f.Meter = m

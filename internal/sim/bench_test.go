@@ -59,3 +59,28 @@ func BenchmarkRandGamma(b *testing.B) {
 		_ = r.Gamma(8, 1)
 	}
 }
+
+// BenchmarkCancelHeavyDrain measures the pop path after a burst of
+// cancellations — the regression benchmark for reaping on pop. Each
+// iteration queues a live horizon plus a slightly-smaller cancelled
+// block (below the stopSlot threshold), then drains; without the
+// pop-path reap the drain re-pops the dead block across the run.
+func BenchmarkCancelHeavyDrain(b *testing.B) {
+	const n = 1024
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewScheduler()
+		for j := 0; j < n; j++ {
+			s.At(Time(j), fn)
+		}
+		var timers [n - 1]Timer
+		for j := range timers {
+			timers[j] = s.At(Time(10*n+j), fn)
+		}
+		for _, tm := range timers {
+			tm.Stop()
+		}
+		s.RunUntil(Time(20 * n))
+	}
+}

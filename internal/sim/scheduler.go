@@ -256,6 +256,20 @@ func (s *Scheduler) siftDown(i int) {
 	h[i] = e
 }
 
+// noteDeadPop accounts for one dead entry removed from the heap top and
+// reaps when the remainder is still majority-dead. stopSlot only checks
+// the threshold on cancellation, so without this a long cancel-heavy run
+// that goes quiet (no further pushes) would keep dead timers queued and
+// pay a dead-entry pop per live event indefinitely.
+func (s *Scheduler) noteDeadPop() {
+	if s.nStopped > 0 {
+		s.nStopped--
+	}
+	if s.nStopped*2 > len(s.heap) {
+		s.reap()
+	}
+}
+
 // Step runs the next event. It reports false when the queue is empty.
 func (s *Scheduler) Step() bool {
 	for len(s.heap) > 0 {
@@ -263,9 +277,7 @@ func (s *Scheduler) Step() bool {
 		s.popTop()
 		sl := &s.slots[e.slot]
 		if sl.gen != e.gen {
-			if s.nStopped > 0 {
-				s.nStopped--
-			}
+			s.noteDeadPop()
 			continue
 		}
 		fn, fnArg, arg := sl.fn, sl.fnArg, sl.arg
@@ -291,9 +303,7 @@ func (s *Scheduler) RunUntil(t Time) {
 		// runs a live event scheduled after t.
 		for len(s.heap) > 0 && s.slots[s.heap[0].slot].gen != s.heap[0].gen {
 			s.popTop()
-			if s.nStopped > 0 {
-				s.nStopped--
-			}
+			s.noteDeadPop()
 		}
 		if len(s.heap) == 0 || s.heap[0].at > t {
 			break
@@ -305,6 +315,21 @@ func (s *Scheduler) RunUntil(t Time) {
 	if s.now < t {
 		s.now = t
 	}
+}
+
+// PeekTime returns the time of the earliest pending live event. ok is
+// false when no live event is queued. Dead entries blocking the top are
+// discarded on the way, so a PeekTime after a burst of cancellations is
+// O(dead) once, then O(1).
+func (s *Scheduler) PeekTime() (t Time, ok bool) {
+	for len(s.heap) > 0 && s.slots[s.heap[0].slot].gen != s.heap[0].gen {
+		s.popTop()
+		s.noteDeadPop()
+	}
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	return s.heap[0].at, true
 }
 
 // Run executes events until the queue drains.

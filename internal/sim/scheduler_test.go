@@ -263,3 +263,52 @@ func TestSchedulerMonotonicClockProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestReapOnPop: cancellations followed by a quiet pop-only phase must
+// still compact the heap. stopSlot checks the reap threshold only on
+// cancellation, so before the pop-path check a run that cancelled many
+// timers and then just stepped would keep the dead majority queued and
+// pay a dead-entry pop per live event for the rest of the run.
+func TestReapOnPop(t *testing.T) {
+	s := NewScheduler()
+	const live = 8
+	for i := 0; i < live; i++ {
+		s.At(Time(1000+i), func() {})
+	}
+	// A block of far-future timers, all cancelled. Cancelling fewer than
+	// half the heap never trips the threshold in stopSlot.
+	var timers []Timer
+	for i := 0; i < live-1; i++ {
+		timers = append(timers, s.At(Time(5000+i), func() {}))
+	}
+	for _, tm := range timers {
+		tm.Stop()
+	}
+	if s.Pending() != 2*live-1 {
+		t.Fatalf("setup: want %d queued entries, got %d", 2*live-1, s.Pending())
+	}
+	// Run the live events. After the live prefix drains, the remainder is
+	// all-dead; the pop path must notice and reap rather than leaving the
+	// dead block queued indefinitely.
+	s.RunUntil(Time(1000 + live))
+	if s.Pending() != 0 {
+		t.Errorf("dead entries left queued after pop-only phase: %d", s.Pending())
+	}
+}
+
+// TestPeekTimeSkipsDead: PeekTime must report the earliest live event,
+// not a cancelled timer's deadline.
+func TestPeekTimeSkipsDead(t *testing.T) {
+	s := NewScheduler()
+	early := s.At(10, func() {})
+	s.At(20, func() {})
+	early.Stop()
+	at, ok := s.PeekTime()
+	if !ok || at != 20 {
+		t.Fatalf("PeekTime = %v, %v; want 20, true", at, ok)
+	}
+	s.RunUntil(25)
+	if _, ok := s.PeekTime(); ok {
+		t.Error("PeekTime reports an event on a drained scheduler")
+	}
+}

@@ -41,6 +41,18 @@ type Link struct {
 	down bool
 	busy bool
 
+	// Execution binding (see Network.bindLink): the scheduler and RNG the
+	// link's entry modules and serialiser run on. On a serial network these
+	// are the network's globals; on a sharded one they belong to the
+	// from-side region, so every draw and timer stays shard-local. crossTo
+	// is the destination region when the link crosses a region boundary
+	// (-1 otherwise): propagation over a crossing link is routed through
+	// the handoff outbox instead of the local scheduler.
+	sched   *sim.Scheduler
+	rng     *sim.Rand
+	shard   int32 // from-side region, -1 on a serial network
+	crossTo int32 // to-side region when crossing, else -1
+
 	// Pre-bound callbacks so per-packet scheduling allocates no closures;
 	// the packet rides along as the event argument.
 	deliverFn func(any)
@@ -133,27 +145,27 @@ func (l *Link) send(pkt *Packet) {
 	l.Stats.Sent++
 	if l.down {
 		l.Stats.DropDown++
-		l.net.faults.Unreachable++
+		l.net.faultsAt(l.shard).Unreachable++
 		l.net.releasePkt(pkt)
 		return
 	}
-	if l.LossProb > 0 && l.net.rng.Bool(l.LossProb) {
+	if l.LossProb > 0 && l.rng.Bool(l.LossProb) {
 		l.Stats.DropRand++
 		l.net.releasePkt(pkt)
 		return
 	}
-	if l.CorruptProb > 0 && l.net.rng.Bool(l.CorruptProb) {
+	if l.CorruptProb > 0 && l.rng.Bool(l.CorruptProb) {
 		// Corrupted in transit: the far end's checksum rejects it, so it
 		// behaves as a counted drop.
 		l.Stats.Corrupted++
-		l.net.faults.Corrupted++
+		l.net.faultsAt(l.shard).Corrupted++
 		l.net.releasePkt(pkt)
 		return
 	}
-	if l.DupProb > 0 && l.net.rng.Bool(l.DupProb) {
+	if l.DupProb > 0 && l.rng.Bool(l.DupProb) {
 		l.Stats.Duplicated++
-		l.net.faults.Duplicated++
-		pkt.refs++ // the extra copy consumes its own reference downstream
+		l.net.faultsAt(l.shard).Duplicated++
+		l.net.addRefs(pkt, 1) // the extra copy consumes its own reference downstream
 		l.xmit(pkt)
 	}
 	l.xmit(pkt)
@@ -164,10 +176,10 @@ func (l *Link) send(pkt *Packet) {
 func (l *Link) xmit(pkt *Packet) {
 	if l.Bandwidth <= 0 {
 		// Infinite-speed link: pure delay.
-		l.net.sched.AfterArg(l.propDelay(), l.deliverFn, pkt)
+		l.propagate(pkt)
 		return
 	}
-	if !l.Q.Enqueue(pkt, l.net.sched.Now()) {
+	if !l.Q.Enqueue(pkt, l.sched.Now()) {
 		l.Stats.DropQ++
 		if l.net.DropHook != nil {
 			l.net.DropHook(l, pkt)
@@ -186,15 +198,29 @@ func (l *Link) xmit(pkt *Packet) {
 // extra, letting later packets overtake it.
 func (l *Link) propDelay() sim.Time {
 	d := l.Delay
-	if l.ReorderProb > 0 && l.net.rng.Bool(l.ReorderProb) {
+	if l.ReorderProb > 0 && l.rng.Bool(l.ReorderProb) {
 		l.Stats.Reordered++
-		d += sim.Time(float64(l.ReorderDelay) * l.net.rng.Float64())
+		d += sim.Time(float64(l.ReorderDelay) * l.rng.Float64())
 	}
 	return d
 }
 
+// propagate starts a packet's propagation towards the far node. Within a
+// region this is a shard-local timer; across regions the packet goes into
+// the handoff outbox with its arrival time and is scheduled into the
+// destination shard at the next barrier (the crossing delay is at least
+// the lookahead window, so the arrival is always at or after it).
+func (l *Link) propagate(pkt *Packet) {
+	d := l.propDelay()
+	if l.crossTo >= 0 {
+		l.net.pushHandoff(l, l.sched.Now()+d, pkt)
+		return
+	}
+	l.sched.AfterArg(d, l.deliverFn, pkt)
+}
+
 func (l *Link) startTx() {
-	pkt := l.Q.Dequeue(l.net.sched.Now())
+	pkt := l.Q.Dequeue(l.sched.Now())
 	if pkt == nil {
 		l.busy = false
 		return
@@ -205,14 +231,14 @@ func (l *Link) startTx() {
 	}
 	// Bandwidth 0 here means the link was widened to infinite via
 	// SetBandwidth while packets were queued: drain them instantly.
-	l.net.sched.AfterArg(txTime, l.txDoneFn, pkt)
+	l.sched.AfterArg(txTime, l.txDoneFn, pkt)
 }
 
 // txDone runs when a packet's last bit leaves the serialiser: propagation
 // starts and the next queued packet (if any) begins transmission.
 func (l *Link) txDone(a any) {
 	pkt := a.(*Packet)
-	l.net.sched.AfterArg(l.propDelay(), l.deliverFn, pkt)
+	l.propagate(pkt)
 	l.startTx()
 }
 

@@ -43,9 +43,10 @@ type Packet struct {
 
 	tree    *mcastTree // compiled tree cache, valid while treeVer matches
 	treeVer uint32
-	refs    int32 // outstanding forwarding tokens
+	refs    int32 // outstanding forwarding tokens (atomic when sharded)
 	pooled  bool  // came from AllocPacket; recycle at refs==0
 	class   uint8 // recycling class (AllocPacketClass); keeps box types stable
+	owner   int8  // shard pool the packet returns to (sharded runs only)
 }
 
 // Handler consumes packets delivered to a port.

@@ -1,0 +1,163 @@
+package simnet
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// addDuplexDelay wires a symmetric pair with the given delay and
+// returns the forward link.
+func addDuplexDelay(n *Network, a, b NodeID, d sim.Time) *Link {
+	fwd, _ := n.AddDuplex(a, b, 0, d, 0)
+	return fwd
+}
+
+// TestPartitionHints: hinted nodes seed regions and unhinted ones
+// inherit over their links; the crossing links bound the lookahead.
+func TestPartitionHints(t *testing.T) {
+	n := New(sim.NewScheduler(), sim.NewRand(1))
+	l := n.AddNode("l")
+	r := n.AddNode("r")
+	n.SetRegionHint(l, 0)
+	n.SetRegionHint(r, 1)
+	addDuplexDelay(n, l, r, 20*sim.Millisecond)
+	// Unhinted leaves below each side inherit that side's region.
+	ll := n.AddNode("ll")
+	rr := n.AddNode("rr")
+	addDuplexDelay(n, l, ll, sim.Millisecond)
+	addDuplexDelay(n, r, rr, sim.Millisecond)
+
+	p := PartitionRegions(n, nil, 0)
+	if p.Shards != 2 {
+		t.Fatalf("expected 2 regions, got %d", p.Shards)
+	}
+	if p.ShardOf[l] != p.ShardOf[ll] || p.ShardOf[r] != p.ShardOf[rr] {
+		t.Errorf("leaves did not inherit their parent's region: %v", p.ShardOf)
+	}
+	if p.ShardOf[l] == p.ShardOf[r] {
+		t.Errorf("hinted halves merged: %v", p.ShardOf)
+	}
+	if p.Lookahead != 20*sim.Millisecond {
+		t.Errorf("lookahead = %v, want the 20ms crossing delay", p.Lookahead)
+	}
+}
+
+// TestPartitionPinned: a link whose delay the scenario mutates at
+// runtime must not cross regions, whatever the hints say.
+func TestPartitionPinned(t *testing.T) {
+	n := New(sim.NewScheduler(), sim.NewRand(1))
+	l := n.AddNode("l")
+	r := n.AddNode("r")
+	n.SetRegionHint(l, 0)
+	n.SetRegionHint(r, 1)
+	core := addDuplexDelay(n, l, r, 20*sim.Millisecond)
+
+	p := PartitionRegions(n, map[*Link]bool{core: true}, 0)
+	if p.ShardOf[l] != p.ShardOf[r] {
+		t.Errorf("pinned link still crosses regions: %v", p.ShardOf)
+	}
+}
+
+// TestPartitionZeroDelayMerge: a zero-delay crossing would make the
+// lookahead zero, so its endpoints merge even across a hinted cut.
+func TestPartitionZeroDelayMerge(t *testing.T) {
+	n := New(sim.NewScheduler(), sim.NewRand(1))
+	l := n.AddNode("l")
+	r := n.AddNode("r")
+	n.SetRegionHint(l, 0)
+	n.SetRegionHint(r, 1)
+	addDuplexDelay(n, l, r, 0)
+
+	p := PartitionRegions(n, nil, 0)
+	if p.ShardOf[l] != p.ShardOf[r] {
+		t.Errorf("zero-delay crossing survived: %v", p.ShardOf)
+	}
+	if p.Lookahead != InfiniteLookahead {
+		t.Errorf("single region should report InfiniteLookahead, got %v", p.Lookahead)
+	}
+}
+
+// TestPartitionDelayThresholdFallback: with no hints, the cut removes
+// the largest delay class — isolating a star's long-haul spokes.
+func TestPartitionDelayThresholdFallback(t *testing.T) {
+	n := New(sim.NewScheduler(), sim.NewRand(1))
+	hub := n.AddNode("hub")
+	var leaves []NodeID
+	for i := 0; i < 3; i++ {
+		a := n.AddNode("spoke")
+		addDuplexDelay(n, hub, a, 30*sim.Millisecond)
+		b := n.AddNode("leaf")
+		addDuplexDelay(n, a, b, sim.Millisecond)
+		leaves = append(leaves, a, b)
+	}
+
+	p := PartitionRegions(n, nil, 0)
+	if p.Shards != 4 {
+		t.Fatalf("expected hub + 3 spoke regions, got %d (%v)", p.Shards, p.ShardOf)
+	}
+	for i := 0; i < len(leaves); i += 2 {
+		if p.ShardOf[leaves[i]] != p.ShardOf[leaves[i+1]] {
+			t.Errorf("spoke %d split from its leaf: %v", i/2, p.ShardOf)
+		}
+		if p.ShardOf[leaves[i]] == p.ShardOf[hub] {
+			t.Errorf("spoke %d merged into the hub region: %v", i/2, p.ShardOf)
+		}
+	}
+	if p.Lookahead != 30*sim.Millisecond {
+		t.Errorf("lookahead = %v, want the 30ms spoke delay", p.Lookahead)
+	}
+}
+
+// TestPartitionCapMerge: more hinted regions than the cap are crunched
+// down by merging across the smallest-delay crossings, keeping the
+// largest surviving lookahead.
+func TestPartitionCapMerge(t *testing.T) {
+	n := New(sim.NewScheduler(), sim.NewRand(1))
+	prev := n.AddNode("n0")
+	n.SetRegionHint(prev, 0)
+	for i := 1; i < 2*MaxAutoShards; i++ {
+		nd := n.AddNode("n")
+		n.SetRegionHint(nd, i)
+		// Alternate cheap and expensive crossings: the cheap ones merge.
+		d := sim.Millisecond
+		if i%2 == 0 {
+			d = 50 * sim.Millisecond
+		}
+		addDuplexDelay(n, prev, nd, d)
+		prev = nd
+	}
+
+	p := PartitionRegions(n, nil, 0)
+	if p.Shards > MaxAutoShards {
+		t.Fatalf("cap exceeded: %d regions", p.Shards)
+	}
+	if p.Shards < 2 {
+		t.Fatalf("over-merged to %d regions", p.Shards)
+	}
+	if p.Lookahead < sim.Millisecond {
+		t.Errorf("lookahead collapsed to %v", p.Lookahead)
+	}
+}
+
+// TestPartitionDeterministic: same topology, same result — the region
+// structure must never depend on iteration incidentals.
+func TestPartitionDeterministic(t *testing.T) {
+	build := func() *Network {
+		n := New(sim.NewScheduler(), sim.NewRand(1))
+		var nodes []NodeID
+		for i := 0; i < 12; i++ {
+			nodes = append(nodes, n.AddNode("n"))
+		}
+		for i := 1; i < 12; i++ {
+			addDuplexDelay(n, nodes[i/3], nodes[i], sim.Time(1+i%4)*10*sim.Millisecond)
+		}
+		return n
+	}
+	a := PartitionRegions(build(), nil, 0)
+	b := PartitionRegions(build(), nil, 0)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("partition differs across identical builds:\n%+v\n%+v", a, b)
+	}
+}

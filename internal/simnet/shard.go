@@ -1,0 +1,304 @@
+package simnet
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Sharded (region-parallel) execution support.
+//
+// EnableSharding assigns every node to a region and binds each region to
+// its own scheduler and RNG pair. All intra-region traffic — link entry
+// modules, serialisers, propagation, protocol timers — runs on the
+// region's shard; the only inter-region interaction is propagation over a
+// crossing link, which is appended to a per-(src,dst) outbox and drained
+// into the destination shard at the next synchronization barrier. The
+// engine (internal/engine) advances all shards in conservative lookahead
+// windows no wider than the minimum crossing-link delay, so a handoff's
+// arrival time is always at or after the next barrier and the destination
+// scheduler never sees an event in its past.
+//
+// Everything here is gated on n.sharded; a network that never calls
+// EnableSharding takes exactly the serial code paths it always did.
+
+// shardCtx is one region's execution context.
+type shardCtx struct {
+	sched *sim.Scheduler
+	rng   *sim.Rand // network stream: loss/corrupt/dup/reorder draws
+	proto *sim.Rand // protocol stream: e.g. feedback suppression draws
+
+	// faults is written only by code executing on this shard (or by the
+	// control thread while the shard is quiesced at a barrier).
+	faults FaultStats
+
+	// sent/seq: handoffs pushed by this shard and the per-source sequence
+	// number used for the deterministic (time, src region, seq) tie-break.
+	sent uint64
+	seq  uint64
+
+	// Shard-local mirror of the network's compiled multicast trees,
+	// invalidated by topology version. Compilation of a missing tree goes
+	// through the shared cache under treeMu.
+	trees   map[mcastKey]*mcastTree
+	treeVer uint32
+
+	// Per-shard packet pool. Alloc pops from the allocating shard's pool,
+	// release pushes to the owner's, so both sides lock.
+	mu   sync.Mutex
+	pool [NumPacketClasses][]*Packet
+}
+
+// handoff is one cross-region propagation in flight between barriers.
+type handoff struct {
+	at  sim.Time
+	l   *Link
+	pkt *Packet
+	src int32
+	seq uint64
+}
+
+// ShardSetup binds one region to its scheduler and RNG streams.
+type ShardSetup struct {
+	Sched    *sim.Scheduler
+	NetRng   *sim.Rand
+	ProtoRng *sim.Rand
+}
+
+// EnableSharding switches the network to sharded execution: shardOf maps
+// every node (present and to be built — the caller derives it from a
+// scratch build of the same scenario) to a region, and setups binds each
+// region's scheduler and RNGs. Existing links are rebound; links added
+// later bind on creation. Reset tears sharding down again.
+func (n *Network) EnableSharding(shardOf []int32, setups []ShardSetup) {
+	k := len(setups)
+	if k == 0 {
+		panic("simnet: EnableSharding with no shards")
+	}
+	n.sharded = true
+	n.shardOf = append(n.shardOf[:0], shardOf...)
+	n.shards = make([]*shardCtx, k)
+	for i, s := range setups {
+		n.shards[i] = &shardCtx{sched: s.Sched, rng: s.NetRng, proto: s.ProtoRng}
+	}
+	n.outbox = make([][]handoff, k*k)
+	n.handRecv = 0
+	for _, l := range n.linkList {
+		n.bindLink(l)
+	}
+}
+
+// Sharded reports whether the network is in sharded execution mode.
+func (n *Network) Sharded() bool { return n.sharded }
+
+// ShardCount returns the number of regions (0 when not sharded).
+func (n *Network) ShardCount() int { return len(n.shards) }
+
+// bindLink points a link at the scheduler/RNG it executes on and
+// classifies it as crossing or intra-region.
+func (n *Network) bindLink(l *Link) {
+	if !n.sharded {
+		l.sched, l.rng, l.shard, l.crossTo = n.sched, n.rng, -1, -1
+		return
+	}
+	ls, ld := n.shardOf[l.From], n.shardOf[l.To]
+	sc := n.shards[ls]
+	l.sched, l.rng, l.shard = sc.sched, sc.rng, ls
+	if ld != ls {
+		l.crossTo = ld
+	} else {
+		l.crossTo = -1
+	}
+}
+
+// shardIdx returns the region executing events at a node, -1 when serial.
+func (n *Network) shardIdx(id NodeID) int32 {
+	if !n.sharded {
+		return -1
+	}
+	return n.shardOf[id]
+}
+
+func (n *Network) schedForNode(id NodeID) *sim.Scheduler {
+	if !n.sharded {
+		return n.sched
+	}
+	return n.shards[n.shardOf[id]].sched
+}
+
+// SchedFor returns the scheduler that executes events at the given node:
+// the node's shard scheduler when sharded, the network scheduler
+// otherwise. Protocol endpoints bind their timers through this so the
+// same constructor works in both modes.
+func (n *Network) SchedFor(id NodeID) *sim.Scheduler { return n.schedForNode(id) }
+
+// RandFor returns the network-stream RNG for draws made by code executing
+// at the given node (the network's own RNG when serial).
+func (n *Network) RandFor(id NodeID) *sim.Rand {
+	if !n.sharded {
+		return n.rng
+	}
+	return n.shards[n.shardOf[id]].rng
+}
+
+// ProtoRandFor returns the protocol-stream RNG for the given node on a
+// sharded network, and fallback otherwise. Serial runs keep drawing from
+// whatever stream the protocol was built with, bit-for-bit.
+func (n *Network) ProtoRandFor(id NodeID, fallback *sim.Rand) *sim.Rand {
+	if !n.sharded {
+		return fallback
+	}
+	return n.shards[n.shardOf[id]].proto
+}
+
+// pushHandoff queues one cross-region propagation with its arrival time.
+// Only the from-side shard (or the control thread at a barrier) appends
+// to a given (src,dst) outbox, so no locking is needed.
+func (n *Network) pushHandoff(l *Link, at sim.Time, pkt *Packet) {
+	sc := n.shards[l.shard]
+	sc.sent++
+	sc.seq++
+	box := int(l.shard)*len(n.shards) + int(l.crossTo)
+	n.outbox[box] = append(n.outbox[box], handoff{at: at, l: l, pkt: pkt, src: l.shard, seq: sc.seq})
+}
+
+// DrainHandoffs moves every queued cross-region packet into its
+// destination shard's scheduler. Within a destination, handoffs are
+// ordered by (arrival time, source region, per-source sequence) so the
+// schedule — and therefore all downstream tie-breaks — is independent of
+// the worker count. Must be called at a barrier (all shards quiesced).
+// It returns the number of handoffs moved.
+func (n *Network) DrainHandoffs() int {
+	k := len(n.shards)
+	moved := 0
+	for dst := 0; dst < k; dst++ {
+		buf := n.drainBuf[:0]
+		for src := 0; src < k; src++ {
+			box := src*k + dst
+			buf = append(buf, n.outbox[box]...)
+			// Drop packet references so the parked slice doesn't pin them.
+			clear(n.outbox[box])
+			n.outbox[box] = n.outbox[box][:0]
+		}
+		sort.Slice(buf, func(i, j int) bool {
+			a, b := buf[i], buf[j]
+			if a.at != b.at {
+				return a.at < b.at
+			}
+			if a.src != b.src {
+				return a.src < b.src
+			}
+			return a.seq < b.seq
+		})
+		sched := n.shards[dst].sched
+		for i := range buf {
+			h := &buf[i]
+			sched.AtArg(h.at, h.l.deliverFn, h.pkt)
+		}
+		n.handRecv += uint64(len(buf))
+		moved += len(buf)
+		n.drainBuf = buf
+	}
+	if n.drainBuf != nil {
+		clear(n.drainBuf)
+		n.drainBuf = n.drainBuf[:0]
+	}
+	return moved
+}
+
+// BarrierSync prepares a sharded network for the next lookahead window.
+// It must run on the control thread with every shard quiesced: it ends
+// construction replay (mirroring what the first Send does on a serial
+// network) and eagerly recomputes routes invalidated by control-phase
+// topology mutations, so no shard ever triggers a route recompute
+// concurrently.
+func (n *Network) BarrierSync() {
+	if !n.sharded {
+		return
+	}
+	if n.replay >= 0 && n.replay < len(n.ops) {
+		n.divergeAt(n.replay)
+	}
+	if !n.routesOK {
+		n.ensureRoutes()
+	}
+}
+
+// shardTree returns the compiled multicast tree for (group, src) via the
+// calling shard's cache. A miss compiles through the shared cache under
+// treeMu; the shared map is only ever written there, and route state is
+// guaranteed fresh by BarrierSync, so compilation reads are race-free.
+func (n *Network) shardTree(k int32, g GroupID, src NodeID) *mcastTree {
+	sc := n.shards[k]
+	if sc.trees == nil {
+		sc.trees = map[mcastKey]*mcastTree{}
+		sc.treeVer = n.topoVer
+	} else if sc.treeVer != n.topoVer {
+		clear(sc.trees)
+		sc.treeVer = n.topoVer
+	}
+	key := mcastKey{group: g, src: src}
+	if t, ok := sc.trees[key]; ok {
+		return t
+	}
+	n.treeMu.Lock()
+	t := n.mcastTree(g, src)
+	n.treeMu.Unlock()
+	sc.trees[key] = t
+	return t
+}
+
+// SetRegionHint records a partitioning hint: topology generators label
+// the natural cut (e.g. transit-stub domains) and PartitionRegions seeds
+// its region assignment from the labels. Hints are advisory — unhinted
+// nodes inherit a region through their links.
+func (n *Network) SetRegionHint(id NodeID, region int) {
+	if n.hints == nil {
+		n.hints = map[NodeID]int32{}
+	}
+	n.hints[id] = int32(region)
+}
+
+// RegionHint returns the hint for a node, if any.
+func (n *Network) RegionHint(id NodeID) (int, bool) {
+	r, ok := n.hints[id]
+	return int(r), ok
+}
+
+// ShardEventCounts returns per-shard processed-event counts (nil when
+// not sharded). Safe to call once shards are quiesced.
+func (n *Network) ShardEventCounts() []uint64 {
+	if !n.sharded {
+		return nil
+	}
+	out := make([]uint64, len(n.shards))
+	for i, sc := range n.shards {
+		out[i] = sc.sched.Processed()
+	}
+	return out
+}
+
+// HandoffCounts returns the cross-region handoffs pushed by all shards
+// and the handoffs drained into destination shards. After a final drain
+// the two are equal; the benchdiff gate pins that conservation.
+func (n *Network) HandoffCounts() (sent, recv uint64) {
+	for _, sc := range n.shards {
+		sent += sc.sent
+	}
+	return sent, n.handRecv
+}
+
+// ShardClocks returns each shard scheduler's current time (nil when not
+// sharded). At a barrier every entry equals the control clock; the
+// cross-shard skew invariant pins that.
+func (n *Network) ShardClocks() []sim.Time {
+	if !n.sharded {
+		return nil
+	}
+	out := make([]sim.Time, len(n.shards))
+	for i, sc := range n.shards {
+		out[i] = sc.sched.Now()
+	}
+	return out
+}

@@ -26,6 +26,12 @@ type Config struct {
 	Base    int64   // first seed
 	Step    int64   // seed stride; 0 means 1
 	Check   bool    // enable run-level invariant checking in runners that support it
+
+	// EngineWorkers >= 2 routes scenario-spec runs through the
+	// region-parallel engine with that many worker goroutines per run;
+	// see experiments.RunCtx.SetEngineWorkers. Orthogonal to Workers,
+	// which parallelises across seeds.
+	EngineWorkers int
 }
 
 // SeedError records one seed whose run panicked. The sweep recovers,

@@ -66,6 +66,7 @@ type Sender struct {
 	cfg  Config
 	net  *simnet.Network
 	sch  *sim.Scheduler
+	rng  *sim.Rand
 	src  simnet.Addr
 	dst  simnet.Addr
 	name string
@@ -107,7 +108,7 @@ func NewSender(name string, net *simnet.Network, src, dst simnet.Addr, cfg Confi
 		cfg = DefaultConfig()
 	}
 	s := &Sender{
-		cfg: cfg, net: net, sch: net.Scheduler(),
+		cfg: cfg, net: net, sch: net.SchedFor(src.Node), rng: net.RandFor(src.Node),
 		src: src, dst: dst, name: name,
 		cwnd: 1, ssthresh: cfg.MaxCwnd, rto: cfg.InitialRTO,
 	}
@@ -175,7 +176,7 @@ func (s *Sender) transmit(seq int64, isRetx bool) {
 			s.rttPending = false
 		}
 	}
-	pkt := s.net.AllocPacketClass(classSegment)
+	pkt := s.net.AllocPacketClassFor(classSegment, s.src.Node)
 	pkt.Size = s.cfg.PacketSize
 	pkt.Src = s.src
 	pkt.Dst = s.dst
@@ -188,7 +189,7 @@ func (s *Sender) transmit(seq int64, isRetx bool) {
 	}
 	seg.Seq = seq
 	if s.cfg.Overhead > 0 {
-		depart := s.sch.Now() + sim.Time(s.net.Rand().Uniform(0, float64(s.cfg.Overhead)))
+		depart := s.sch.Now() + sim.Time(s.rng.Uniform(0, float64(s.cfg.Overhead)))
 		// Keep departures monotonic so the jitter cannot reorder segments.
 		if depart < s.lastDepart {
 			depart = s.lastDepart
@@ -388,7 +389,7 @@ func (k *Sink) recv(pkt *simnet.Packet) {
 	} else if seg.Seq > k.next {
 		k.ooo[seg.Seq] = true
 	}
-	ack := k.net.AllocPacketClass(classAck)
+	ack := k.net.AllocPacketClassFor(classAck, k.src.Node)
 	ack.Size = k.cfg.AckSize
 	ack.Src = k.src
 	ack.Dst = k.peer
