@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/benchreport"
@@ -15,13 +16,17 @@ import (
 const trendRuns = 5
 
 // histEntry is one line of BENCH_history.jsonl: a run's wall clock and
-// per-scenario ns/event, keyed by scenario id. Analytic figures carry no
-// per-event rate and are omitted.
+// per-scenario ns/event, events/sec and mean dispatch-batch occupancy,
+// keyed by scenario id. Analytic figures carry no per-event rate and are
+// omitted; entries recorded before the throughput and batching fields
+// existed simply lack those maps.
 type histEntry struct {
 	Recorded  string             `json:"recorded"`
 	Generated string             `json:"generated,omitempty"`
 	WallNS    int64              `json:"wall_ns,omitempty"`
 	NSPerEvt  map[string]float64 `json:"ns_per_event"`
+	EvtPerSec map[string]float64 `json:"events_per_sec,omitempty"`
+	MeanBatch map[string]float64 `json:"mean_batch,omitempty"`
 }
 
 // recordHistory appends fresh's timings to the JSONL run log at path and
@@ -33,10 +38,21 @@ func recordHistory(path, summary string, fresh *benchreport.Report) error {
 		Generated: fresh.Generated,
 		WallNS:    fresh.WallNS,
 		NSPerEvt:  map[string]float64{},
+		EvtPerSec: map[string]float64{},
+		MeanBatch: map[string]float64{},
 	}
 	for _, m := range fresh.Scenarios {
-		if !m.Analytic && m.NSPerEvent > 0 {
+		if m.Analytic {
+			continue
+		}
+		if m.NSPerEvent > 0 {
 			e.NSPerEvt[m.ID] = m.NSPerEvent
+		}
+		if m.EventsPerSec > 0 {
+			e.EvtPerSec[m.ID] = m.EventsPerSec
+		}
+		if m.MeanBatch > 0 {
+			e.MeanBatch[m.ID] = m.MeanBatch
 		}
 	}
 	line, err := json.Marshal(e)
@@ -114,8 +130,41 @@ func trendIDs(fresh *benchreport.Report, entries []histEntry) []string {
 	return ids
 }
 
+// cell renders one trend cell: ns/event, annotated with events/sec and
+// the mean dispatch-batch occupancy when the entry recorded them (older
+// history lines predate those fields and show the rate alone).
+func cell(e histEntry, id string) (string, bool) {
+	v, ok := e.NSPerEvt[id]
+	if !ok {
+		return "", false
+	}
+	s := fmt.Sprintf("%.1f", v)
+	var extra []string
+	if eps, ok := e.EvtPerSec[id]; ok && eps > 0 {
+		extra = append(extra, fmtRate(eps))
+	}
+	if mb, ok := e.MeanBatch[id]; ok && mb > 0 {
+		extra = append(extra, fmt.Sprintf("x%.2f", mb))
+	}
+	if len(extra) > 0 {
+		s += " (" + strings.Join(extra, ", ") + ")"
+	}
+	return s, true
+}
+
+// fmtRate compacts an events/sec rate for trend cells.
+func fmtRate(eps float64) string {
+	switch {
+	case eps >= 1e6:
+		return fmt.Sprintf("%.1fM/s", eps/1e6)
+	case eps >= 1e3:
+		return fmt.Sprintf("%.0fk/s", eps/1e3)
+	}
+	return fmt.Sprintf("%.0f/s", eps)
+}
+
 func printTrendMarkdown(w io.Writer, fresh *benchreport.Report, entries []histEntry) {
-	fmt.Fprintf(w, "### Bench trend — ns/event over the last %d runs (oldest → newest)\n\n", len(entries))
+	fmt.Fprintf(w, "### Bench trend — ns/event (events/sec, mean batch occupancy) over the last %d runs (oldest → newest)\n\n", len(entries))
 	fmt.Fprintf(w, "| scenario |")
 	for _, e := range entries {
 		fmt.Fprintf(w, " %s |", e.Recorded)
@@ -128,8 +177,8 @@ func printTrendMarkdown(w io.Writer, fresh *benchreport.Report, entries []histEn
 	for _, id := range trendIDs(fresh, entries) {
 		fmt.Fprintf(w, "| %s |", id)
 		for _, e := range entries {
-			if v, ok := e.NSPerEvt[id]; ok {
-				fmt.Fprintf(w, " %.1f |", v)
+			if c, ok := cell(e, id); ok {
+				fmt.Fprintf(w, " %s |", c)
 			} else {
 				fmt.Fprintf(w, " – |")
 			}
@@ -144,21 +193,21 @@ func printTrendMarkdown(w io.Writer, fresh *benchreport.Report, entries []histEn
 }
 
 func printTrendText(w io.Writer, fresh *benchreport.Report, entries []histEntry) {
-	fmt.Fprintf(w, "benchdiff: ns/event trend over the last %d runs (oldest -> newest):\n", len(entries))
+	fmt.Fprintf(w, "benchdiff: ns/event (events/sec, mean batch occupancy) trend over the last %d runs (oldest -> newest):\n", len(entries))
 	for _, id := range trendIDs(fresh, entries) {
 		fmt.Fprintf(w, "  %-14s", id)
 		for _, e := range entries {
-			if v, ok := e.NSPerEvt[id]; ok {
-				fmt.Fprintf(w, " %8.1f", v)
+			if c, ok := cell(e, id); ok {
+				fmt.Fprintf(w, " %24s", c)
 			} else {
-				fmt.Fprintf(w, " %8s", "-")
+				fmt.Fprintf(w, " %24s", "-")
 			}
 		}
 		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "  %-14s", "wall")
 	for _, e := range entries {
-		fmt.Fprintf(w, " %7.1fs", float64(e.WallNS)/1e9)
+		fmt.Fprintf(w, " %23.1fs", float64(e.WallNS)/1e9)
 	}
 	fmt.Fprintln(w)
 }

@@ -55,6 +55,7 @@ func main() {
 	seeds := flag.Int("seeds", 3, "independent seeds per scenario")
 	workers := flag.Int("workers", min(4, runtime.NumCPU()), "parallel sweep workers")
 	engineWorkers := flag.Int("engineworkers", 0, "run scenario-spec figures on the region-parallel engine with this many goroutines per run (>= 2; 0 or 1 = serial)")
+	batch := flag.Bool("batch", true, "burst event dispatch: pop and dispatch same-timestamp event runs in one heap pass (output is byte-identical either way)")
 	nOld := flag.Int("n", 0, "deprecated alias for -seeds")
 	list := flag.Bool("list", false, "list the bench plan (ids, tags, cost weights) and exit")
 	only := flag.String("only", "", "comma-separated scenario ids to run (default: all)")
@@ -103,7 +104,7 @@ func main() {
 	items := plan
 	opt := benchreport.Options{
 		Seeds: *seeds, Workers: *workers, Check: *check,
-		EngineWorkers: *engineWorkers,
+		EngineWorkers: *engineWorkers, NoBatch: !*batch,
 	}
 	var shardSpec, fragName string
 	if *shard != "" {

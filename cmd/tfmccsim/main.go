@@ -70,6 +70,7 @@ func main() {
 		ci       = flag.Float64("ci", 0.95, "confidence level for the merged bands")
 		check    = flag.Bool("check", false, "run the invariant checker alongside the simulation; exit 1 on violations")
 		engineW  = flag.Int("engineworkers", 0, "run scenario-spec simulations on the region-parallel engine with this many goroutines (>= 2; 0 or 1 = serial)")
+		batch    = flag.Bool("batch", true, "burst event dispatch: pop and dispatch same-timestamp event runs in one heap pass (output is byte-identical either way)")
 
 		duration  = flag.Float64("duration", 0, "override: simulated seconds")
 		corebw    = flag.Float64("corebw", 0, "override: core link bandwidth in Mbit/s")
@@ -106,7 +107,7 @@ func main() {
 				e.ID, "["+strings.Join(e.Tags, ",")+"]", e.Cost, e.Title)
 		}
 	case *hyp != "":
-		judge(*hyp, *workers, *engineW)
+		judge(*hyp, *workers, *engineW, !*batch)
 	case *scenFile != "":
 		spec, err := scenario.LoadSpec(*scenFile)
 		if err == nil {
@@ -118,6 +119,7 @@ func main() {
 		}
 		ctx := experiments.NewRunCtx()
 		ctx.SetEngineWorkers(*engineW)
+		ctx.SetBatching(*batch)
 		if *check {
 			ctx.EnableInvariants()
 		}
@@ -137,6 +139,7 @@ func main() {
 	case *scen != "":
 		ctx := experiments.NewRunCtx()
 		ctx.SetEngineWorkers(*engineW)
+		ctx.SetBatching(*batch)
 		if *check {
 			ctx.EnableInvariants()
 		}
@@ -153,21 +156,21 @@ func main() {
 		reportViolations(violationStrings(ctx), nil)
 	case *all:
 		for _, id := range experiments.Figures() {
-			run(id, *seed, *seeds, *workers, *engineW, *ci, *tsv, *check)
+			run(id, *seed, *seeds, *workers, *engineW, *ci, *tsv, *check, *batch)
 		}
 	case *figure != "":
-		run(*figure, *seed, *seeds, *workers, *engineW, *ci, *tsv, *check)
+		run(*figure, *seed, *seeds, *workers, *engineW, *ci, *tsv, *check, *batch)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func run(id string, seed int64, seeds, workers, engineW int, ci float64, tsv, check bool) {
+func run(id string, seed int64, seeds, workers, engineW int, ci float64, tsv, check, batch bool) {
 	if seeds > 1 {
 		res, err := experiments.Sweep(id, sweep.Config{
 			Seeds: seeds, Workers: workers, CI: ci, Base: seed, Check: check,
-			EngineWorkers: engineW,
+			EngineWorkers: engineW, NoBatch: !batch,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -183,6 +186,7 @@ func run(id string, seed int64, seeds, workers, engineW int, ci float64, tsv, ch
 	}
 	ctx := experiments.NewRunCtx()
 	ctx.SetEngineWorkers(engineW)
+	ctx.SetBatching(batch)
 	if check {
 		ctx.EnableInvariants()
 	}
@@ -201,7 +205,7 @@ func run(id string, seed int64, seeds, workers, engineW int, ci float64, tsv, ch
 
 // judge resolves a hypothesis — a committed-suite id or a JSON document
 // path — runs it and exits 1 when any expectation fails.
-func judge(ref string, workers, engineW int) {
+func judge(ref string, workers, engineW int, noBatch bool) {
 	h, ok := hypothesis.ByID(ref)
 	if !ok {
 		var err error
@@ -212,7 +216,7 @@ func judge(ref string, workers, engineW int) {
 			os.Exit(1)
 		}
 	}
-	v, err := hypothesis.Run(h, hypothesis.Options{Workers: workers, EngineWorkers: engineW})
+	v, err := hypothesis.Run(h, hypothesis.Options{Workers: workers, EngineWorkers: engineW, NoBatch: noBatch})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -84,10 +84,29 @@ func Compare(base, fresh *Report, tol float64) (regs []Regression, notes []strin
 // tolerance — a mismatch means the partitioning dropped or duplicated
 // work, which per-scenario rates alone would hide.
 func conserve(m Metrics) []Regression {
-	if m.EngineShards == 0 {
-		return nil
-	}
 	var regs []Regression
+	// Batched dispatch can only coalesce events, never invent them: a
+	// batch count above the event count means the occupancy accounting
+	// broke (only meaningful on full reports — Strip removes Batches).
+	if m.Batches > m.Events {
+		regs = append(regs, Regression{
+			ID: m.ID, Metric: "batches > events",
+			Base: float64(m.Events), New: float64(m.Batches),
+			Ratio: ratioOf(m.Batches, m.Events),
+		})
+	}
+	if m.EngineShards == 0 {
+		return regs
+	}
+	// Every region-parallel run executes at least one synchronization
+	// window; zero recorded windows on a sharded measurement means the
+	// window accounting was lost (again, full reports only).
+	if m.Windows == 0 && m.Batches > 0 {
+		regs = append(regs, Regression{
+			ID: m.ID, Metric: "no windows recorded",
+			Base: 1, New: 0, Ratio: 0,
+		})
+	}
 	if m.HandoffsSent != m.HandoffsRecv {
 		regs = append(regs, Regression{
 			ID: m.ID, Metric: "handoffs sent!=recv",

@@ -36,6 +36,12 @@ func (m *Metrics) finish(wall time.Duration, st experiments.EngineStats, allocs 
 		m.HandoffsSent = st.HandoffsSent
 		m.HandoffsRecv = st.HandoffsRecv
 	}
+	m.Batches = st.Batches
+	m.Windows = st.Windows
+	m.WindowNS = int64(st.WindowNS)
+	if st.Batches > 0 {
+		m.MeanBatch = float64(st.Events) / float64(st.Batches)
+	}
 	m.Allocs = allocs
 	if sec := wall.Seconds(); sec > 0 {
 		m.EventsPerSec = float64(st.Events) / sec
@@ -66,6 +72,10 @@ type Options struct {
 	// region-parallel engine on that many goroutines per run; the report
 	// then carries per-shard event and handoff counters.
 	EngineWorkers int
+	// NoBatch disables burst event dispatch. The deterministic report is
+	// byte-identical either way (the switch changes only wall time and
+	// the batch-occupancy diagnostics), which the CI identity smoke pins.
+	NoBatch bool
 }
 
 // Measure runs every item of items (typically one shard of plan) and
@@ -110,7 +120,7 @@ func MeasureOpts(items, plan []Item, opt Options, progress io.Writer) *Report {
 	for _, it := range items {
 		var m Metrics
 		if it.ID == SessionID {
-			m = measureSession(it, opt.SeedBase, opt.Seeds)
+			m = measureSession(it, opt)
 		} else {
 			m = measureFigure(it, opt)
 		}
@@ -143,9 +153,14 @@ func measureFigure(it Item, opt Options) Metrics {
 	start := time.Now()
 	res, err := experiments.Sweep(it.FigureID, sweep.Config{
 		Seeds: opt.Seeds, Workers: opt.Workers, Base: opt.SeedBase, Check: opt.Check,
-		EngineWorkers: opt.EngineWorkers})
+		EngineWorkers: opt.EngineWorkers, NoBatch: opt.NoBatch})
 	if err != nil {
-		panic(err) // unreachable: the plan only holds registered figures
+		// Serial-only figures refuse -engineworkers rather than silently
+		// running serial; surface the refusal as a recorded failure so a
+		// sharded measurement plan still covers the rest of the suite.
+		m.WallNS = time.Since(start).Nanoseconds()
+		m.Failures = []string{err.Error()}
+		return m
 	}
 	m.finish(time.Since(start), res.Engine, allocsNow()-a0)
 	if res.Engine.EngineShards > 0 {
@@ -161,9 +176,11 @@ func measureFigure(it Item, opt Options) Metrics {
 // probes run the scenario for zero simulated seconds — construction only —
 // so the amortisation ratio isolates what arena reuse saves, undiluted by
 // run-phase allocations.
-func measureSession(it Item, base int64, seeds int) Metrics {
+func measureSession(it Item, opt Options) Metrics {
+	base, seeds := opt.SeedBase, opt.Seeds
 	m := Metrics{ID: it.ID, Seq: it.Seq, Title: it.Title, Tags: it.Tags, Runs: seeds}
 	ctx := experiments.NewRunCtx()
+	ctx.SetBatching(!opt.NoBatch)
 	runtime.GC()
 	a0 := allocsNow()
 	ctx.SessionThroughput(100, 0) // cold: builds the arena

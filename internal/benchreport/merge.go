@@ -241,6 +241,9 @@ func mergeSeeds(frags []*Report) (*Report, error) {
 			acc.ControlEvents += m.ControlEvents
 			acc.HandoffsSent += m.HandoffsSent
 			acc.HandoffsRecv += m.HandoffsRecv
+			acc.Batches += m.Batches
+			acc.Windows += m.Windows
+			acc.WindowNS += m.WindowNS
 			acc.CLRLosses += m.CLRLosses
 			acc.Reelections += m.Reelections
 			acc.RateRecoveries += m.RateRecoveries
@@ -265,6 +268,9 @@ func mergeSeeds(frags []*Report) (*Report, error) {
 		if m.Events > 0 {
 			m.NSPerEvent = float64(m.WallNS) / float64(m.Events)
 			m.AllocsPerEvt = float64(m.Allocs) / float64(m.Events)
+		}
+		if m.Batches > 0 {
+			m.MeanBatch = float64(m.Events) / float64(m.Batches)
 		}
 	}
 	return out, nil

@@ -43,6 +43,8 @@ type Stats struct {
 	Workers       int      // goroutines stepping them (<= Shards)
 	Lookahead     sim.Time // conservative window bound; InfiniteLookahead if uncut
 	Windows       uint64   // synchronization windows executed
+	WindowNS      sim.Time // summed window widths (mean width = WindowNS/Windows)
+	Batches       uint64   // dispatch batches across control + shard schedulers
 	ShardEvents   []uint64 // events executed per region scheduler
 	ControlEvents uint64   // events executed on the control scheduler
 	HandoffsSent  uint64   // cross-region packets pushed by source shards
@@ -117,6 +119,12 @@ func Run(env scenario.Env, spec *scenario.Spec, seed int64, workers int) (*scena
 		return nil, Stats{}, fmt.Errorf("engine: scenario %s has no nodes to partition", spec.Name)
 	}
 	setups := Setups(k, seed)
+	for _, s := range setups {
+		// Shards inherit the control scheduler's dispatch mode so a
+		// batch-on and a batch-off sharded run stay byte-identical to
+		// each other per mode toggle, never mixed.
+		s.Sched.SetBatching(env.Sch.Batching())
+	}
 	env.Net.EnableSharding(part.ShardOf, setups)
 	sc, err := scenario.Build(env, spec)
 	if err != nil {
@@ -150,12 +158,31 @@ func Run(env scenario.Env, spec *scenario.Spec, seed int64, workers int) (*scena
 	ctl, net, dur := env.Sch, env.Net, spec.Duration
 	now := sim.Time(0)
 	for {
-		// Window end: the lookahead bound, clipped to the run duration and
-		// to the next control event (which must see shards at its own time).
+		// Window end: the adaptive lookahead bound, clipped to the run
+		// duration and to the next control event (which must see shards at
+		// its own time). The conservative bound is not now+Lookahead but
+		// Emin+Lookahead, where Emin is the earliest pending event on any
+		// shard: no shard can emit a cross-region packet before its first
+		// event, so every future handoff arrives at or after Emin+Lookahead.
+		// Idle stretches — suppression silences, converged steady state —
+		// thus collapse into one wide window instead of a barrier per
+		// lookahead quantum. Emin is read at the barrier from deterministic
+		// per-shard schedules, so the window schedule stays invariant in the
+		// worker count.
 		end := dur
 		if part.Lookahead < simnet.InfiniteLookahead {
-			if w := now + part.Lookahead; w < end {
-				end = w
+			emin := sim.MaxTime
+			for _, s := range scheds {
+				if t, ok := s.PeekTime(); ok && t < emin {
+					emin = t
+				}
+			}
+			// emin == MaxTime means no shard has pending work: only a
+			// control event can create any, and the clip below handles it.
+			if emin < sim.MaxTime {
+				if w := emin + part.Lookahead; w >= emin && w < end {
+					end = w
+				}
 			}
 		}
 		if ct, ok := ctl.PeekTime(); ok && ct < end {
@@ -175,6 +202,7 @@ func Run(env scenario.Env, spec *scenario.Spec, seed int64, workers int) (*scena
 		ctl.RunUntil(end)
 		net.BarrierSync()
 		st.Windows++
+		st.WindowNS += end - now
 		if end >= dur {
 			break
 		}
@@ -183,6 +211,10 @@ func Run(env scenario.Env, spec *scenario.Spec, seed int64, workers int) (*scena
 	st.ShardEvents = net.ShardEventCounts()
 	st.ControlEvents = ctl.Processed()
 	st.HandoffsSent, st.HandoffsRecv = net.HandoffCounts()
+	st.Batches = ctl.Batches()
+	for _, s := range scheds {
+		st.Batches += s.Batches()
+	}
 	return sc, st, nil
 }
 

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// TestBatchModeScenarioIdentity pins the tentpole contract at the
+// scenario level: burst dispatch and coalesced link delivery change no
+// output byte. A warm (rewound, batching on) context, a cold batching-on
+// context and a batching-off context must produce identical TSV for the
+// presets covering runtime link mutation (degrade), receiver churn
+// against tree caching (flashcrowd) and the pooled cohort (cohort64).
+func TestBatchModeScenarioIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-simulation scenarios")
+	}
+	for _, id := range []string{"degrade", "flashcrowd", "cohort64"} {
+		on := NewRunCtx()
+		on.SetBatching(true)
+		cold, err := RunWith(on, id, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := RunWith(on, id, 1) // rewound arena, batching on
+		if err != nil {
+			t.Fatal(err)
+		}
+		off := NewRunCtx()
+		off.SetBatching(false)
+		serial, err := RunWith(off, id, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cold.TSV() != warm.TSV() {
+			t.Fatalf("%s: rewound batching run diverged from cold run", id)
+		}
+		if cold.TSV() != serial.TSV() {
+			t.Fatalf("%s: batch-on output differs from batch-off", id)
+		}
+	}
+}
+
+// TestEngineBatchIdentity: on the region-parallel engine the batching
+// toggle must be as invisible as the worker count — sweeps with
+// engineworkers 2 (batch on and off) and 3 (batch on) all merge to one
+// byte stream.
+func TestEngineBatchIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-simulation scenarios")
+	}
+	run := func(engineWorkers int, noBatch bool) string {
+		res, err := Sweep("flashcrowd", sweep.Config{
+			Seeds: 2, Workers: 1, EngineWorkers: engineWorkers, NoBatch: noBatch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TSV()
+	}
+	base := run(2, false)
+	if off := run(2, true); off != base {
+		t.Error("sharded sweep output differs between batch on and off")
+	}
+	if w3 := run(3, false); w3 != base {
+		t.Error("sharded sweep output depends on engine worker count with batching on")
+	}
+}
+
+// TestSerialOnlyRefused: the figures that drive the simulation clock
+// themselves (13: RTT-change reaction, 14: slowstart cap) cannot run on
+// the region-parallel engine; requesting engine workers for them must
+// fail fast with an error naming the serial engine, in both the direct
+// runner and the sweep path — never silently fall back to serial.
+func TestSerialOnlyRefused(t *testing.T) {
+	for _, id := range []string{"13", "14"} {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("figure %s missing from the registry", id)
+		}
+		if !e.SerialOnly {
+			t.Fatalf("figure %s should be marked serial-only", id)
+		}
+		ctx := NewRunCtx()
+		ctx.SetEngineWorkers(2)
+		if _, err := RunWith(ctx, id, 1); err == nil {
+			t.Fatalf("figure %s ran with engine workers", id)
+		} else if !strings.Contains(err.Error(), "serial engine") {
+			t.Fatalf("figure %s: refusal does not explain itself: %v", id, err)
+		}
+		if _, err := Sweep(id, sweep.Config{Seeds: 1, Workers: 1, EngineWorkers: 2}); err == nil {
+			t.Fatalf("figure %s swept with engine workers", id)
+		} else if !strings.Contains(err.Error(), "serial engine") {
+			t.Fatalf("figure %s: sweep refusal does not explain itself: %v", id, err)
+		}
+	}
+}

@@ -36,14 +36,14 @@ func CohortConv(c *RunCtx, seed int64) *Result {
 	for _, n := range []int{16, 64, 256} {
 		cs := scenario.CohortFig9(n)()
 		cs.Duration = to
-		csc := mustScenario(scenario.Run(c.ScenarioEnv(seed), cs))
+		csc := c.runScenario(cs, seed)
 		cRate := csc.Samples[0].MeanBetween(from, to)
 		cThr := csc.Recvs[0].Meter.Series
 		cThr.Name = fmt.Sprintf("TFMCC cohort n=%d", n)
 
 		ts := cohortTwinSpec(n)
 		ts.Duration = to
-		tsc := mustScenario(scenario.Run(c.ScenarioEnv(seed), ts))
+		tsc := c.runScenario(ts, seed)
 		tRate := tsc.Samples[0].MeanBetween(from, to)
 		tThr := tsc.Recvs[0].Meter.Series
 		tThr.Name = fmt.Sprintf("TFMCC explicit n=%d", n)

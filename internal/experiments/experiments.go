@@ -86,8 +86,21 @@ func RunWith(c *RunCtx, id string, seed int64) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown figure %q (have %v)", id, Figures())
 	}
+	if err := refuseSerialOnly(e, c.engineWorkers); err != nil {
+		return nil, err
+	}
 	defer c.begin("figure" + id)()
 	return e.Run(c, seed), nil
+}
+
+// refuseSerialOnly rejects serial-only runners when the region-parallel
+// engine was requested: silently falling back to serial would report a
+// different deterministic universe than the caller asked for.
+func refuseSerialOnly(e Entry, engineWorkers int) error {
+	if e.SerialOnly && engineWorkers >= 2 {
+		return fmt.Errorf("experiments: figure %q drives the simulation clock itself and only runs on the serial engine; rerun it without -engineworkers (or with -engineworkers 1)", e.ID)
+	}
+	return nil
 }
 
 // --- run context and environment arena ---------------------------------
@@ -102,6 +115,7 @@ type RunCtx struct {
 	next          int
 	reuse         bool
 	check         bool
+	noBatch       bool
 	engineWorkers int
 	stats         EngineStats
 	violations    []invariant.Violation
@@ -136,6 +150,17 @@ func (c *RunCtx) SetEngineWorkers(n int) { c.engineWorkers = n }
 // serial).
 func (c *RunCtx) EngineWorkers() int { return c.engineWorkers }
 
+// SetBatching toggles burst event dispatch on every environment this
+// context hands out. Batching is on by default; it changes only how
+// events are popped and how link arrivals are timed internally — the
+// dispatch order and every random stream are unchanged, so output is
+// byte-identical either way. The off switch exists for the identity
+// smoke tests and for bisecting suspected batching bugs.
+func (c *RunCtx) SetBatching(on bool) { c.noBatch = !on }
+
+// Batching reports whether burst event dispatch is enabled.
+func (c *RunCtx) Batching() bool { return !c.noBatch }
+
 // begin starts a run of the named scenario and returns the harvest
 // function to defer: it folds the run's engine counters into the context
 // totals and restores the enclosing scenario, so a runner invoked from
@@ -161,6 +186,10 @@ func (c *RunCtx) endRun() {
 			events -= e.check.Ticks()
 			c.violations = append(c.violations, e.check.Violations()...)
 		}
+		// Batch occupancy: one batch may dispatch many same-timestamp
+		// events. The count differs with and without -check (checker ticks
+		// add events), so reports strip it; history records it.
+		c.stats.Batches += e.sch.Batches()
 		if e.net.Sharded() {
 			// Region-parallel run: the environment scheduler only carried
 			// control flow. Total events = control + every region scheduler,
@@ -177,6 +206,7 @@ func (c *RunCtx) endRun() {
 			sent, recv := e.net.HandoffCounts()
 			c.stats.HandoffsSent += sent
 			c.stats.HandoffsRecv += recv
+			c.stats.Batches += e.net.ShardBatches()
 		}
 		c.stats.Events += events
 		for _, l := range e.net.Links() {
@@ -209,6 +239,15 @@ func (c *RunCtx) harvestRecovery(s *tfmcc.Sender) {
 	}
 }
 
+// noteEngineRun folds one region-parallel run's window schedule into the
+// context totals. Called by RunSpecErr right after engine.Run; the window
+// counters are wall-structure diagnostics (they depend on -check ticks
+// clipping windows), so reports strip them and only history records them.
+func (c *RunCtx) noteEngineRun(windows uint64, windowNS sim.Time) {
+	c.stats.Windows += windows
+	c.stats.WindowNS += windowNS
+}
+
 // ResetStats zeroes the accumulated engine counters and violations.
 func (c *RunCtx) ResetStats() {
 	c.stats = EngineStats{}
@@ -234,6 +273,8 @@ func (c *RunCtx) newEnv(seed int64) *env {
 		e := list[c.next]
 		c.next++
 		e.rewind(seed)
+		e.sch.SetBatching(!c.noBatch)
+		e.net.SetBatching(!c.noBatch)
 		c.armChecker(e)
 		return e
 	}
@@ -243,6 +284,8 @@ func (c *RunCtx) newEnv(seed int64) *env {
 	if c.reuse {
 		e.net.EnableReuse()
 	}
+	e.sch.SetBatching(!c.noBatch)
+	e.net.SetBatching(!c.noBatch)
 	c.envs[c.key] = append(list, e)
 	c.next++
 	c.armChecker(e)
@@ -266,6 +309,15 @@ func (c *RunCtx) armChecker(e *env) {
 	e.check.Register("pkt-conservation", func() string {
 		if live := net.LivePackets(); live < 0 {
 			return fmt.Sprintf("packet pool conservation broken: %d live packets (double release)", live)
+		}
+		return ""
+	})
+	// A ring entry holds a packet reference, so parked arrivals imply live
+	// packets. The converse bound (held <= live) does NOT hold: a multicast
+	// packet fans one live allocation out to many link rings.
+	e.check.Register("ring-conservation", func() string {
+		if held, live := net.RingHeld(), net.LivePackets(); held > 0 && live == 0 {
+			return fmt.Sprintf("link ring conservation broken: %d ring-held arrivals with no live packets", held)
 		}
 		return ""
 	})
@@ -395,6 +447,9 @@ func Sweep(id string, cfg sweep.Config) (*SweepResult, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown figure %q (have %v)", id, Figures())
 	}
+	if err := refuseSerialOnly(entry, cfg.EngineWorkers); err != nil {
+		return nil, err
+	}
 	cfg = cfg.Normalized()
 	ctxs := make([]*RunCtx, cfg.Workers)
 	for i := range ctxs {
@@ -403,6 +458,7 @@ func Sweep(id string, cfg sweep.Config) (*SweepResult, error) {
 			ctxs[i].EnableInvariants()
 		}
 		ctxs[i].SetEngineWorkers(cfg.EngineWorkers)
+		ctxs[i].SetBatching(!cfg.NoBatch)
 	}
 	notes := make([][]string, cfg.Seeds)
 	merged := sweep.Run(cfg, func(worker int, seed int64) []*stats.Series {
@@ -474,6 +530,16 @@ type EngineStats struct {
 	ControlEvents uint64                       // control-scheduler events (checker ticks excluded)
 	HandoffsSent  uint64                       // cross-region packets pushed by source shards
 	HandoffsRecv  uint64                       // cross-region packets drained into destinations
+
+	// Batch-dispatch diagnostics. Batches counts dispatch batches across
+	// every scheduler (mean occupancy = Events/Batches); Windows and
+	// WindowNS describe the region-parallel window schedule. All three
+	// vary with -check (checker ticks add events and clip windows), so the
+	// deterministic report form strips them — benchdiff history is where
+	// they surface.
+	Batches  uint64   // dispatch batches executed (0 when batching is off)
+	Windows  uint64   // region-parallel synchronization windows
+	WindowNS sim.Time // summed window widths
 }
 
 // Add folds another stats sample into s.
@@ -502,4 +568,7 @@ func (s *EngineStats) Add(o EngineStats) {
 	s.ControlEvents += o.ControlEvents
 	s.HandoffsSent += o.HandoffsSent
 	s.HandoffsRecv += o.HandoffsRecv
+	s.Batches += o.Batches
+	s.Windows += o.Windows
+	s.WindowNS += o.WindowNS
 }

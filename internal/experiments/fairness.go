@@ -40,7 +40,7 @@ func Figure9Spec() *scenario.Spec {
 // bottleneck and reports the TFMCC rate plus two sample TCP rates over
 // time. Paper shape: matching means, smoother TFMCC.
 func Figure9(c *RunCtx, seed int64) *Result {
-	sc := mustScenario(scenario.Run(c.ScenarioEnv(seed), Figure9Spec()))
+	sc := c.runScenario(Figure9Spec(), seed)
 	mT := sc.Recvs[0].Meter
 
 	res := &Result{Figure: "9", Title: "1 TFMCC and 15 TCP over one 8 Mbit/s bottleneck"}
@@ -86,7 +86,7 @@ func Figure10Spec() *scenario.Spec {
 // with one TCP flow. The loss-path-multiplicity effect limits TFMCC to
 // roughly 70% of TCP's throughput.
 func Figure10(c *RunCtx, seed int64) *Result {
-	sc := mustScenario(scenario.Run(c.ScenarioEnv(seed), Figure10Spec()))
+	sc := c.runScenario(Figure10Spec(), seed)
 	mT := sc.Recvs[0].Meter
 
 	res := &Result{Figure: "10", Title: "1 TFMCC vs 16 TCP on sixteen individual 1 Mbit/s bottlenecks"}
@@ -143,7 +143,7 @@ func Figure21Spec() *scenario.Spec {
 // number of competing TCP flows every 50 s (+1, +2, +4, +8). Both should
 // settle at roughly half the bandwidth of the previous interval.
 func Figure21(c *RunCtx, seed int64) *Result {
-	sc := mustScenario(scenario.Run(c.ScenarioEnv(seed), Figure21Spec()))
+	sc := c.runScenario(Figure21Spec(), seed)
 	mT := sc.Recvs[0].Meter
 
 	res := &Result{Figure: "21", Title: "Responsiveness to increased congestion (flow count doubles every 50s)"}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/scenario"
@@ -10,6 +11,10 @@ import (
 // fuzzDuration caps the simulated time of fuzzed specs so the seed
 // corpus stays cheap enough for every plain `go test` run.
 const fuzzDuration = 2 * sim.Second
+
+// errTooExpensive is the deterministic rejection for decoded specs that
+// mutateJSON inflated beyond what a fuzz iteration can afford.
+var errTooExpensive = errors.New("fuzz: mutated spec too expensive")
 
 // mutateSpec folds the fuzzer's byte stream into the spec as timed fault
 // events — down/up links, partitions, heals, crashes, impairments — with
@@ -91,15 +96,60 @@ func FuzzSpecJSON(f *testing.F) {
 	})
 }
 
+// mutateJSON applies mut as a deterministic byte-level edit script to
+// the serialised spec document: digit tweaks (numeric field changes that
+// keep the document parseable), raw substitutions (usually framing
+// damage), tail truncation and in-place slice duplication, all
+// positioned by the mutation bytes themselves. The loader must respond
+// to the result with an error or a runnable spec — same contract as for
+// hand-written files — and identically on every call.
+func mutateJSON(doc, mut []byte) []byte {
+	out := append([]byte(nil), doc...)
+	for ; len(mut) >= 3; mut = mut[3:] {
+		verb, a, b := mut[0], mut[1], mut[2]
+		if len(out) == 0 {
+			break
+		}
+		pos := (int(a)<<8 | int(b)) % len(out)
+		switch verb % 4 {
+		case 0: // numeric tweak: rotate a digit to a different digit
+			if c := out[pos]; c >= '0' && c <= '9' {
+				out[pos] = '0' + (c-'0'+a%9+1)%10
+			}
+		case 1: // raw substitution
+			out[pos] = b
+		case 2: // truncate the tail
+			out = out[:pos]
+		case 3: // duplicate everything from pos after the first verb%64 bytes
+			end := min(pos+int(verb)%64, len(out))
+			out = append(out[:end:end], out[pos:]...)
+		}
+	}
+	return out
+}
+
+// fuzzTooExpensive deterministically rejects decoded specs whose
+// mutated numeric fields would make the run unaffordable for a fuzz
+// iteration (a digit tweak can turn 40 receivers into 940). The bound
+// is generous against every registered spec after the duration clamp.
+func fuzzTooExpensive(spec *scenario.Spec) bool {
+	return spec.DeclaredReceivers() > 2000 || spec.Topology.AttachPoints() > 2000
+}
+
 // FuzzScenarioSpec drives randomly mutated scenario specs — every
 // registered Spec-backed entry with fuzz-chosen fault events spliced in —
-// through the executor. The contract under test: a spec either fails to
-// build/run with a structured error or runs deterministically (two runs
-// with the same seed are byte-identical); it never panics.
+// through the executor. The mutation bytes are split in half: the first
+// half becomes structured fault events (mutateSpec), the second half a
+// byte-level edit script over the spec's serialised JSON form
+// (mutateJSON), so the strict loader sits inside the fuzzed path too.
+// The contract under test: a spec either fails to decode/build/run with
+// a structured error or runs deterministically (two runs with the same
+// seed are byte-identical); it never panics.
 func FuzzScenarioSpec(f *testing.F) {
 	for i, id := range ScenarioIDs() {
 		f.Add(id, int64(i+1), []byte{byte(i), 0x40, byte(2 * i), 1})
 		f.Add(id, int64(i+1), []byte{byte(i + 4), 0xc0, 0xff, byte(i)})
+		f.Add(id, int64(i+1), []byte{byte(i), 0x40, byte(2 * i), 1, 0, byte(i), 0x17, 2, 0, 40, 3, 1, 9})
 	}
 	f.Fuzz(func(t *testing.T, id string, seed int64, mut []byte) {
 		e, ok := Lookup(id)
@@ -111,7 +161,22 @@ func FuzzScenarioSpec(f *testing.F) {
 			if spec.Duration > fuzzDuration {
 				spec.Duration = fuzzDuration
 			}
-			mutateSpec(spec, mut)
+			half := len(mut) / 2
+			mutateSpec(spec, mut[:half])
+			enc, err := spec.Encode()
+			if err != nil {
+				return "", err
+			}
+			spec, err = scenario.DecodeSpec(mutateJSON(enc, mut[half:]))
+			if err != nil {
+				return "", err
+			}
+			if spec.Duration <= 0 || spec.Duration > fuzzDuration {
+				spec.Duration = fuzzDuration
+			}
+			if fuzzTooExpensive(spec) {
+				return "", errTooExpensive
+			}
 			ctx := NewRunCtx()
 			ctx.EnableInvariants()
 			sc, err := scenario.Run(ctx.ScenarioEnv(seed), spec)

@@ -86,7 +86,7 @@ func Figure16(c *RunCtx, seed int64) *Result {
 }
 
 func lateJoin(c *RunCtx, fig, title string, spec *scenario.Spec, tcpOnSlowLink bool, seed int64) *Result {
-	sc := mustScenario(scenario.Run(c.ScenarioEnv(seed), spec))
+	sc := c.runScenario(spec, seed)
 	mT := sc.Recvs[0].Meter
 
 	res := &Result{Figure: fig, Title: title}

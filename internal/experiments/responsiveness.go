@@ -108,7 +108,7 @@ func Figure20Spec() *scenario.Spec {
 }
 
 func joinLeaveExperiment(c *RunCtx, fig, title string, spec *scenario.Spec, seed int64) *Result {
-	sc := mustScenario(scenario.Run(c.ScenarioEnv(seed), spec))
+	sc := c.runScenario(spec, seed)
 
 	res := &Result{Figure: fig, Title: title}
 	for _, f := range sc.Flows {

@@ -57,7 +57,7 @@ func Figure18Spec() *scenario.Spec {
 // paths from the receivers. TFMCC (and, thanks to cumulative ACKs, TCP)
 // should be essentially unaffected by moderate reverse congestion.
 func Figure18(c *RunCtx, seed int64) *Result {
-	sc := mustScenario(scenario.Run(c.ScenarioEnv(seed), Figure18Spec()))
+	sc := c.runScenario(Figure18Spec(), seed)
 	mT := sc.Recvs[0].Meter
 
 	res := &Result{Figure: "18", Title: "Competing TCP traffic on return paths"}
@@ -111,7 +111,7 @@ func Figure19Spec() *scenario.Spec {
 // reverse loss degrades TCP, while TFMCC is insensitive to lost receiver
 // reports.
 func Figure19(c *RunCtx, seed int64) *Result {
-	sc := mustScenario(scenario.Run(c.ScenarioEnv(seed), Figure19Spec()))
+	sc := c.runScenario(Figure19Spec(), seed)
 	mT := sc.Recvs[0].Meter
 
 	res := &Result{Figure: "19", Title: "Lossy return paths"}

@@ -10,7 +10,7 @@ import (
 
 func init() {
 	registerSpec("12", "Rate of initial RTT measurements (1000 receivers)", 35.6, Figure12Spec, Figure12)
-	register("13", "Responsiveness to changes in the RTT", 31.7, Figure13)
+	registerSerial("13", "Responsiveness to changes in the RTT", 31.7, Figure13)
 }
 
 // Figure12Spec declares the 1000-receiver RTT-measurement scenario: a
@@ -40,7 +40,7 @@ func Figure12Spec() *scenario.Spec {
 // RTT measurement over time. Link RTTs vary between 60 and 140 ms; the
 // initial RTT is 500 ms.
 func Figure12(c *RunCtx, seed int64) *Result {
-	sc := mustScenario(scenario.Run(c.ScenarioEnv(seed), Figure12Spec()))
+	sc := c.runScenario(Figure12Spec(), seed)
 	counts := sc.Samples[0]
 
 	res := &Result{Figure: "12", Title: "Rate of initial RTT measurements (1000 receivers)"}

@@ -27,6 +27,23 @@ func init() {
 	}
 }
 
+// runScenario executes a compile-time figure spec on the configured
+// execution engine — region-parallel when the context has engineWorkers
+// >= 2, serial otherwise — so the hand-wired figure runners honour
+// -engineworkers exactly like Spec-backed runs. Build failures panic:
+// these specs are compile-time constants, so failure is a programmer
+// bug (the mustScenario contract).
+func (c *RunCtx) runScenario(spec *scenario.Spec, seed int64) *scenario.Scenario {
+	if w := c.engineWorkers; w >= 2 {
+		sc, st, err := engine.Run(c.ScenarioEnv(seed), spec, seed, w)
+		if err == nil {
+			c.noteEngineRun(st.Windows, st.WindowNS)
+		}
+		return mustScenario(sc, err)
+	}
+	return mustScenario(scenario.Run(c.ScenarioEnv(seed), spec))
+}
+
 // RunSpec executes a declarative scenario spec and renders a generic
 // Result: every collected series plus steady-state digest notes. Figure
 // runners do their own post-processing; presets (and command-line
@@ -47,7 +64,11 @@ func RunSpecErr(c *RunCtx, id string, spec *scenario.Spec, seed int64) (*Result,
 	var sc *scenario.Scenario
 	var err error
 	if w := c.engineWorkers; w >= 2 {
-		sc, _, err = engine.Run(c.ScenarioEnv(seed), spec, seed, w)
+		var st engine.Stats
+		sc, st, err = engine.Run(c.ScenarioEnv(seed), spec, seed, w)
+		if err == nil {
+			c.noteEngineRun(st.Windows, st.WindowNS)
+		}
 	} else {
 		sc, err = scenario.Run(c.ScenarioEnv(seed), spec)
 	}

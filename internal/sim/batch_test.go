@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// batchWorkload schedules a canned event mix exercising every dispatch
+// edge the burst path must preserve: multi-entry same-instant runs,
+// events that schedule more work at their own instant (a follow-up
+// batch), nested future scheduling, and a same-instant cancellation.
+// The returned trace records (time, id) of every callback that fired.
+func batchWorkload(s *Scheduler) *string {
+	trace := new(string)
+	note := func(id string) {
+		*trace += fmt.Sprintf("%d:%s\n", s.Now(), id)
+	}
+	for i := 0; i < 4; i++ {
+		i := i
+		s.At(Second, func() { note(fmt.Sprintf("a%d", i)) })
+	}
+	// Same-instant cancellation: a1x is scheduled after canceller within
+	// the t=1s run, so the burst pops it into the same batch and must
+	// still skip it via the dispatch-time generation re-check.
+	var victim Timer
+	s.At(Second, func() { note("canceller"); victim.Stop() })
+	victim = s.At(Second, func() { note("a1x") })
+	// Same-instant rescheduling: b fires at 2s and queues c at 2s, which
+	// lands in a follow-up batch after every already-popped member.
+	s.At(2*Second, func() {
+		note("b")
+		s.At(2*Second, func() { note("c") })
+	})
+	s.At(2*Second, func() { note("b2") })
+	// Nested future scheduling across the run bound.
+	s.After(3*Second, func() {
+		note("d")
+		s.After(Second, func() { note("e") })
+	})
+	return trace
+}
+
+// TestBatchDispatchMatchesSerial: the burst-dispatch path must replay
+// event-at-a-time semantics exactly — same callback order, same clock,
+// same processed count — while actually coalescing (fewer batches than
+// events).
+func TestBatchDispatchMatchesSerial(t *testing.T) {
+	serial := NewScheduler()
+	serial.SetBatching(false)
+	st := batchWorkload(serial)
+	serial.Run()
+
+	batched := NewScheduler()
+	if !batched.Batching() {
+		t.Fatal("batching should default on")
+	}
+	bt := batchWorkload(batched)
+	batched.Run()
+
+	if *st != *bt {
+		t.Fatalf("dispatch traces diverge:\nserial:\n%sbatched:\n%s", *st, *bt)
+	}
+	if serial.Now() != batched.Now() {
+		t.Fatalf("clocks diverge: %v vs %v", serial.Now(), batched.Now())
+	}
+	if serial.Processed() != batched.Processed() {
+		t.Fatalf("processed counts diverge: %d vs %d", serial.Processed(), batched.Processed())
+	}
+	if serial.Batches() != 0 {
+		t.Fatalf("serial scheduler recorded %d batches, want 0", serial.Batches())
+	}
+	if b, n := batched.Batches(), batched.Processed(); b == 0 || b > n {
+		t.Fatalf("batch accounting: %d batches for %d events", b, n)
+	}
+	// 6 live events at t=1s collapse into one batch; the t=2s instant
+	// takes two (the re-scheduled c opens a follow-up batch); d and e are
+	// singleton batches. Occupancy must therefore beat 1 on average.
+	if b, n := batched.Batches(), batched.Processed(); float64(n)/float64(b) <= 1 {
+		t.Fatalf("no coalescing: %d events in %d batches", n, b)
+	}
+}
+
+// TestBatchRunUntilBound: RunUntil with batching must stop at exactly
+// the bound even when a same-instant run straddles pending later work,
+// and resuming picks up the remainder — mirroring the serial contract.
+func TestBatchRunUntilBound(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		s.At(Time(i)*Second, func() { count++ })
+		s.At(Time(i)*Second, func() { count++ })
+	}
+	s.RunUntil(3 * Second)
+	if count != 6 {
+		t.Fatalf("RunUntil(3s) ran %d events, want 6", count)
+	}
+	if s.Now() != 3*Second {
+		t.Fatalf("clock = %v, want exactly 3s", s.Now())
+	}
+	s.RunUntil(10 * Second)
+	if count != 10 || s.Now() != 10*Second {
+		t.Fatalf("count=%d now=%v", count, s.Now())
+	}
+}
+
+// TestBatchResetClearsCounters: Reset must zero the batch counter with
+// the rest of the run statistics but keep the batching mode.
+func TestBatchResetClearsCounters(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 3; i++ {
+		s.At(Second, func() {})
+	}
+	s.Run()
+	if s.Batches() == 0 {
+		t.Fatal("no batches recorded before reset")
+	}
+	s.Reset()
+	if s.Batches() != 0 {
+		t.Fatalf("Reset kept %d batches", s.Batches())
+	}
+	if !s.Batching() {
+		t.Fatal("Reset disabled batching")
+	}
+}

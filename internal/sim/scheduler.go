@@ -71,10 +71,34 @@ type Scheduler struct {
 	slots    []timerSlot
 	free     int32 // head of the slot free list, -1 when empty
 	nStopped int   // dead entries still in the heap
+
+	batch    bool        // batched dispatch in RunUntil
+	runBound Time        // upper bound of the active RunUntil window
+	nBatches uint64      // dispatch batches executed (batched mode only)
+	batchBuf []heapEntry // scratch for one same-timestamp run
+	pendAt   Time        // key of the next undispatched batch member…
+	pendSeq  uint64      // …0 when no batch member is pending
 }
 
-// NewScheduler returns a scheduler with the clock at zero.
-func NewScheduler() *Scheduler { return &Scheduler{free: -1} }
+// NewScheduler returns a scheduler with the clock at zero. Batched
+// dispatch is enabled by default; SetBatching(false) restores the
+// event-at-a-time loop (dispatch order is identical either way).
+func NewScheduler() *Scheduler { return &Scheduler{free: -1, batch: true} }
+
+// SetBatching switches RunUntil between the batched dispatch loop and
+// the event-at-a-time loop. Both execute events in identical (time,
+// schedule-order) sequence; batching only changes how many heap passes
+// and bound checks each event costs. Callers toggle it before a run,
+// not mid-window.
+func (s *Scheduler) SetBatching(on bool) { s.batch = on }
+
+// Batching reports whether batched dispatch is enabled.
+func (s *Scheduler) Batching() bool { return s.batch }
+
+// Batches returns the number of dispatch batches executed so far. Mean
+// batch occupancy is Processed()/Batches(). Zero in event-at-a-time
+// mode.
+func (s *Scheduler) Batches() uint64 { return s.nBatches }
 
 // Reset rewinds the scheduler to its initial state — clock at zero, no
 // pending events — while keeping the heap and slot storage allocated.
@@ -85,6 +109,8 @@ func NewScheduler() *Scheduler { return &Scheduler{free: -1} }
 // slot identity.
 func (s *Scheduler) Reset() {
 	s.now, s.seq, s.nRun, s.nStopped = 0, 0, 0, 0
+	s.runBound, s.nBatches = 0, 0
+	s.pendAt, s.pendSeq = 0, 0
 	clear(s.heap)
 	s.heap = s.heap[:0]
 	s.free = -1
@@ -141,6 +167,10 @@ func (s *Scheduler) schedule(t Time, fn func(), fnArg func(any), arg any) Timer 
 		panic("sim: event scheduled in the past")
 	}
 	s.seq++
+	return s.scheduleSeq(t, s.seq, fn, fnArg, arg)
+}
+
+func (s *Scheduler) scheduleSeq(t Time, seq uint64, fn func(), fnArg func(any), arg any) Timer {
 	si := s.free
 	if si < 0 {
 		s.slots = append(s.slots, timerSlot{})
@@ -150,8 +180,64 @@ func (s *Scheduler) schedule(t Time, fn func(), fnArg func(any), arg any) Timer 
 	}
 	sl := &s.slots[si]
 	sl.at, sl.fn, sl.fnArg, sl.arg = t, fn, fnArg, arg
-	s.push(heapEntry{at: t, seq: s.seq, slot: si, gen: sl.gen})
+	s.push(heapEntry{at: t, seq: seq, slot: si, gen: sl.gen})
 	return Timer{s: s, slot: si + 1, gen: sl.gen}
+}
+
+// ReserveSeq consumes and returns the next schedule-order sequence
+// number without queueing anything. Coalesced event sources (the link
+// arrival rings) reserve one seq per event exactly as a heap push
+// would, so the global (time, seq) dispatch order — and hence every
+// downstream byte — is identical whether an arrival sits in a ring or
+// in the heap.
+func (s *Scheduler) ReserveSeq() uint64 {
+	s.seq++
+	return s.seq
+}
+
+// AtSeqArg schedules fn(arg) at absolute time t under a previously
+// reserved sequence number. It consumes no new seq: the event competes
+// for dispatch order as if it had been pushed when seq was reserved.
+func (s *Scheduler) AtSeqArg(t Time, seq uint64, fn func(any), arg any) Timer {
+	if t < s.now {
+		panic("sim: event scheduled in the past")
+	}
+	return s.scheduleSeq(t, seq, nil, fn, arg)
+}
+
+// CanInline reports whether an event with key (t, seq) may be executed
+// right now without going through the heap: it must not pass the active
+// run bound, and must precede the earliest queued entry. The heap-top
+// comparison is conservative — a dead (cancelled) top entry defers
+// inlining until the dead entry is discarded — which only costs
+// batching, never ordering.
+func (s *Scheduler) CanInline(t Time, seq uint64) bool {
+	if t > s.runBound {
+		return false
+	}
+	// A batch member popped off the heap but not yet dispatched is just
+	// as much "earliest queued" as the heap top: batched dispatch
+	// publishes the next member's key here so inlined arrivals cannot
+	// jump ahead of it.
+	if s.pendSeq != 0 && (s.pendAt < t || (s.pendAt == t && s.pendSeq < seq)) {
+		return false
+	}
+	if len(s.heap) > 0 {
+		top := s.heap[0]
+		if top.at < t || (top.at == t && top.seq < seq) {
+			return false
+		}
+	}
+	return true
+}
+
+// NoteInlineEvent accounts for one event executed outside the heap (a
+// coalesced ring arrival drained inline): the clock advances to t and
+// the processed count — and the occupancy of the current dispatch
+// batch — include it, exactly as if it had been popped.
+func (s *Scheduler) NoteInlineEvent(t Time) {
+	s.now = t
+	s.nRun++
 }
 
 // releaseSlot invalidates all handles/entries for the slot and returns it
@@ -295,8 +381,15 @@ func (s *Scheduler) Step() bool {
 }
 
 // RunUntil executes events until the clock would pass t; afterwards the
-// clock reads exactly t. Events at exactly t are executed.
+// clock reads exactly t. Events at exactly t are executed. With
+// batching enabled (the default) it dispatches same-timestamp runs in
+// batches; the dispatch order is identical either way.
 func (s *Scheduler) RunUntil(t Time) {
+	if s.batch {
+		s.RunUntilBatch(t)
+		return
+	}
+	s.runBound = t
 	for {
 		// Discard dead entries at the top so the peek sees a live event;
 		// otherwise a cancelled timer's deadline could admit a Step that
@@ -315,6 +408,96 @@ func (s *Scheduler) RunUntil(t Time) {
 	if s.now < t {
 		s.now = t
 	}
+	s.runBound = s.now
+}
+
+// RunUntilBatch is the burst-dispatch form of RunUntil: it pops the
+// maximal run of same-timestamp entries in one heap pass and dispatches
+// them as a slice, re-checking each entry's generation at dispatch time
+// so a batch member cancelled by an earlier member still no-ops exactly
+// as in event-at-a-time mode. Events a batch member schedules at the
+// same instant land in a follow-up batch — their seqs are higher than
+// every popped member's, so (time, seq) order is preserved bit-for-bit.
+func (s *Scheduler) RunUntilBatch(t Time) {
+	s.runBound = t
+	s.batchDrain(t)
+	if s.now < t {
+		s.now = t
+	}
+	s.runBound = s.now
+}
+
+// batchDrain is the burst loop shared by RunUntilBatch and Run: it
+// executes batches up to and including time t but leaves the clock at
+// the last dispatched event (callers decide whether to advance to t).
+func (s *Scheduler) batchDrain(t Time) {
+	for len(s.heap) > 0 {
+		// Discard dead entries at the top first — exactly like the serial
+		// path — so a block of cancelled timers beyond the bound is reaped
+		// rather than left queued, and the peeked time is a live event's.
+		for len(s.heap) > 0 && s.slots[s.heap[0].slot].gen != s.heap[0].gen {
+			s.popTop()
+			s.noteDeadPop()
+		}
+		if len(s.heap) == 0 {
+			break
+		}
+		at := s.heap[0].at
+		if at > t {
+			break
+		}
+		e := s.heap[0]
+		s.popTop()
+		if len(s.heap) == 0 || s.heap[0].at != at {
+			// Singleton batch — the common case on sparse timelines:
+			// dispatch without staging. The entry is live (the dead-discard
+			// loop above ran) and pendSeq is already 0.
+			s.nBatches++
+			sl := &s.slots[e.slot]
+			fn, fnArg, arg := sl.fn, sl.fnArg, sl.arg
+			s.releaseSlot(e.slot)
+			s.now = e.at
+			s.nRun++
+			if fn != nil {
+				fn()
+			} else {
+				fnArg(arg)
+			}
+			continue
+		}
+		// Collect the run of entries at this timestamp. Dead entries are
+		// carried along and skipped at dispatch; they cost a slot in the
+		// batch but no callback.
+		buf := append(s.batchBuf[:0], e)
+		for len(s.heap) > 0 && s.heap[0].at == at {
+			buf = append(buf, s.heap[0])
+			s.popTop()
+		}
+		s.batchBuf = buf[:0] // keep grown capacity for the next batch
+		s.nBatches++
+		for i, e := range buf {
+			sl := &s.slots[e.slot]
+			if sl.gen != e.gen {
+				s.noteDeadPop()
+				continue
+			}
+			if i+1 < len(buf) {
+				s.pendAt, s.pendSeq = at, buf[i+1].seq
+			} else {
+				s.pendSeq = 0
+			}
+			fn, fnArg, arg := sl.fn, sl.fnArg, sl.arg
+			s.releaseSlot(e.slot)
+			s.now = e.at
+			s.nRun++
+			if fn != nil {
+				fn()
+			} else {
+				fnArg(arg)
+			}
+		}
+		s.pendSeq = 0
+	}
 }
 
 // PeekTime returns the time of the earliest pending live event. ok is
@@ -332,8 +515,15 @@ func (s *Scheduler) PeekTime() (t Time, ok bool) {
 	return s.heap[0].at, true
 }
 
-// Run executes events until the queue drains.
+// Run executes events until the queue drains. With batching enabled it
+// dispatches through the burst path; the order is identical either way.
 func (s *Scheduler) Run() {
-	for s.Step() {
+	s.runBound = MaxTime
+	if s.batch {
+		s.batchDrain(MaxTime)
+	} else {
+		for s.Step() {
+		}
 	}
+	s.runBound = s.now
 }

@@ -57,6 +57,28 @@ type Link struct {
 	// the packet rides along as the event argument.
 	deliverFn func(any)
 	txDoneFn  func(any)
+	ringFn    func(any)
+	directFn  func(any)
+
+	// Coalesced delivery (Network.SetBatching, on by default): while a
+	// delivery timer is outstanding on the link, further in-flight
+	// arrivals park in a per-link ring sorted by (time, seq) instead of
+	// each taking a heap timer. The first arrival of a train rides its
+	// timer directly (armed), so sparse links pay no ring bookkeeping at
+	// all. Each arrival still reserves a scheduler seq, so dispatch
+	// order — and every downstream byte — is identical to the
+	// timer-per-packet path.
+	ring     []ringEntry
+	ringHead int
+	armed    bool     // an in-order delivery timer is outstanding
+	lastAt   sim.Time // arrival time of the newest in-order delivery
+}
+
+// ringEntry is one coalesced in-flight arrival.
+type ringEntry struct {
+	at  sim.Time
+	seq uint64
+	pkt *Packet
 }
 
 // resetForReuse rewinds the link to the state AddLink would have produced
@@ -73,11 +95,25 @@ func (l *Link) resetForReuse(bandwidth float64, delay sim.Time, queueLimit int) 
 	l.ReorderDelay = 0
 	l.down = false
 	l.busy = false
+	l.clearRing()
 	if dt, ok := l.Q.(*DropTail); ok {
 		dt.reset(queueLimit)
 	} else {
 		l.Q = NewDropTail(queueLimit)
 	}
+}
+
+// clearRing empties the coalesced-delivery ring, dropping packet
+// references so parked arrivals are collectable. Callers reset the
+// scheduler alongside, which invalidates the armed timer.
+func (l *Link) clearRing() {
+	for i := l.ringHead; i < len(l.ring); i++ {
+		l.ring[i].pkt = nil
+	}
+	l.ring = l.ring[:0]
+	l.ringHead = 0
+	l.armed = false
+	l.lastAt = 0
 }
 
 // SetDelay changes the link's propagation delay at runtime (a scenario
@@ -146,12 +182,12 @@ func (l *Link) send(pkt *Packet) {
 	if l.down {
 		l.Stats.DropDown++
 		l.net.faultsAt(l.shard).Unreachable++
-		l.net.releasePkt(pkt)
+		l.net.releasePktAt(pkt, l.shard)
 		return
 	}
 	if l.LossProb > 0 && l.rng.Bool(l.LossProb) {
 		l.Stats.DropRand++
-		l.net.releasePkt(pkt)
+		l.net.releasePktAt(pkt, l.shard)
 		return
 	}
 	if l.CorruptProb > 0 && l.rng.Bool(l.CorruptProb) {
@@ -159,7 +195,7 @@ func (l *Link) send(pkt *Packet) {
 		// behaves as a counted drop.
 		l.Stats.Corrupted++
 		l.net.faultsAt(l.shard).Corrupted++
-		l.net.releasePkt(pkt)
+		l.net.releasePktAt(pkt, l.shard)
 		return
 	}
 	if l.DupProb > 0 && l.rng.Bool(l.DupProb) {
@@ -184,7 +220,7 @@ func (l *Link) xmit(pkt *Packet) {
 		if l.net.DropHook != nil {
 			l.net.DropHook(l, pkt)
 		}
-		l.net.releasePkt(pkt)
+		l.net.releasePktAt(pkt, l.shard)
 		return
 	}
 	if !l.busy {
@@ -216,7 +252,89 @@ func (l *Link) propagate(pkt *Packet) {
 		l.net.pushHandoff(l, l.sched.Now()+d, pkt)
 		return
 	}
+	if l.net.batch {
+		l.ringAppend(l.sched.Now()+d, pkt)
+		return
+	}
 	l.sched.AfterArg(d, l.deliverFn, pkt)
+}
+
+// ringAppend routes an in-flight arrival through coalesced delivery.
+// The first arrival of a train rides its own timer (nothing
+// outstanding: the ring is untouched, which makes sparse links as
+// cheap as the timer-per-packet path); while a timer is outstanding,
+// later arrivals park on the ring, kept sorted by (time, seq) —
+// appends are monotone because the clock only advances and the seq
+// counter only grows — and drain off the outstanding timer. An arrival
+// earlier than the newest scheduled one (the reorder module, a mid-run
+// delay cut) falls back to its own heap timer, which preserves global
+// dispatch order exactly.
+func (l *Link) ringAppend(at sim.Time, pkt *Packet) {
+	s := l.sched
+	seq := s.ReserveSeq()
+	if at < l.lastAt {
+		s.AtSeqArg(at, seq, l.deliverFn, pkt)
+		return
+	}
+	l.lastAt = at
+	if !l.armed {
+		l.armed = true
+		s.AtSeqArg(at, seq, l.directFn, pkt)
+		return
+	}
+	l.ring = append(l.ring, ringEntry{at: at, seq: seq, pkt: pkt})
+}
+
+// deliverDrain is the direct (first-of-train) timer's callback: the
+// packet rode the timer itself, so deliver it and then drain whatever
+// parked behind it.
+func (l *Link) deliverDrain(a any) {
+	l.deliver(a.(*Packet))
+	l.drainRing()
+}
+
+// ringDrain is the re-armed timer's callback: it delivers the ring
+// head (the event the timer stood in for), then drains.
+func (l *Link) ringDrain(any) {
+	h := l.ringHead
+	e := l.ring[h]
+	l.ring[h].pkt = nil
+	l.ringHead = h + 1
+	l.deliver(e.pkt)
+	l.drainRing()
+}
+
+// drainRing keeps delivering parked arrivals inline while each precedes
+// everything queued on the scheduler and stays inside the active run
+// window. If arrivals remain, the timer is re-armed for the new head
+// under its reserved seq; otherwise the link disarms.
+func (l *Link) drainRing() {
+	s := l.sched
+	h := l.ringHead
+	for h < len(l.ring) {
+		nx := l.ring[h]
+		if !s.CanInline(nx.at, nx.seq) {
+			break
+		}
+		l.ring[h].pkt = nil
+		h++
+		s.NoteInlineEvent(nx.at)
+		l.deliver(nx.pkt)
+	}
+	if h == len(l.ring) {
+		l.ring = l.ring[:0]
+		l.ringHead = 0
+		l.armed = false
+		return
+	}
+	if h > 32 && h*2 >= len(l.ring) {
+		m := copy(l.ring, l.ring[h:])
+		l.ring = l.ring[:m]
+		h = 0
+	}
+	l.ringHead = h
+	nx := l.ring[h]
+	s.AtSeqArg(nx.at, nx.seq, l.ringFn, nil)
 }
 
 func (l *Link) startTx() {

@@ -38,6 +38,18 @@ type Network struct {
 	mcastTrees map[mcastKey]*mcastTree
 	topoVer    uint32 // bumped on any change that can affect forwarding
 
+	// One-entry last-tree cache for the serial forwarding path: almost
+	// every multicast Send is the session's data stream from one source,
+	// so this hits far more often than the map above misses.
+	lastKey  mcastKey
+	lastTree *mcastTree
+	lastVer  uint32
+
+	// batch enables coalesced link delivery (per-link arrival rings, one
+	// armed timer per link). Byte-identical to timer-per-packet delivery;
+	// see Link.ringAppend.
+	batch bool
+
 	// Dijkstra scratch, reused across route recomputations.
 	dist []int64
 	prev []NodeID
@@ -176,7 +188,30 @@ func New(sched *sim.Scheduler, rng *sim.Rand) *Network {
 		groups:     map[GroupID]*group{},
 		mcastTrees: map[mcastKey]*mcastTree{},
 		replay:     -1,
+		batch:      true,
 	}
+}
+
+// SetBatching toggles coalesced link delivery. The toggle changes no
+// observable byte — ring arrivals reserve scheduler seqs exactly as
+// per-packet timers would and drain in identical (time, seq) order —
+// only the per-event heap traffic. Toggle between runs, never while
+// packets are in flight.
+func (n *Network) SetBatching(on bool) { n.batch = on }
+
+// Batching reports whether coalesced link delivery is enabled.
+func (n *Network) Batching() bool { return n.batch }
+
+// RingHeld returns the number of arrivals currently parked in link
+// delivery rings. Used by the ring-conservation invariant (ring-held
+// packets are live by definition); call from the control path or at a
+// barrier, where shards are quiescent.
+func (n *Network) RingHeld() int64 {
+	var c int64
+	for _, l := range n.linkList {
+		c += int64(len(l.ring) - l.ringHead)
+	}
+	return c
 }
 
 // EnableReuse turns on construction recording so Reset can rewind the
@@ -249,8 +284,9 @@ func (n *Network) Reset() bool {
 		// following sharded run re-enables with fresh shard state.
 		for _, sc := range n.shards {
 			for c := range sc.pool {
+				n.freePkts[c] = append(n.freePkts[c], sc.cache[c]...)
 				n.freePkts[c] = append(n.freePkts[c], sc.pool[c]...)
-				sc.pool[c] = nil
+				sc.cache[c], sc.pool[c] = nil, nil
 			}
 		}
 		n.sharded = false
@@ -270,6 +306,7 @@ func (n *Network) Reset() bool {
 		l.ReorderDelay = 0
 		l.down = false
 		l.busy = false
+		l.clearRing()
 		if dt, ok := l.Q.(*DropTail); ok {
 			dt.reset(dt.Limit)
 		} else if l.Q != nil {
@@ -395,6 +432,11 @@ func (n *Network) AddLink(from, to NodeID, bandwidth float64, delay sim.Time, qu
 	}
 	l.deliverFn = l.deliverArg
 	l.txDoneFn = l.txDone
+	l.ringFn = l.ringDrain
+	l.directFn = l.deliverDrain
+	// Pre-size the delivery ring so run-phase appends don't grow it from
+	// nil — construction cost, not steady-state allocations.
+	l.ring = make([]ringEntry, 0, 16)
 	n.bindLink(l)
 	key := linkKey{from, to}
 	if i, ok := n.linkIdx[key]; ok {
@@ -546,12 +588,22 @@ func (n *Network) AllocPacketClass(class uint8) *Packet {
 func (n *Network) AllocPacketFor(at NodeID) *Packet { return n.AllocPacketClassFor(0, at) }
 
 // AllocPacketClassFor is AllocPacketClass bound to the allocating node
-// (see AllocPacketFor).
+// (see AllocPacketFor). Callers execute on the node's shard (protocol
+// timers run there; control-phase callers run while shards are
+// quiesced), so the allocation comes from the shard's unlocked burst
+// cache, refilled from the locked pool in runs of burstK.
 func (n *Network) AllocPacketClassFor(class uint8, at NodeID) *Packet {
 	if !n.sharded {
 		return n.AllocPacketClass(class)
 	}
-	return n.allocShard(class, n.shardOf[at])
+	k := n.shardOf[at]
+	atomic.AddInt64(&n.pktLive, 1)
+	p := n.shards[k].cacheGet(class)
+	if p == nil {
+		p = &Packet{pooled: true, class: class}
+	}
+	p.owner = int8(k)
+	return p
 }
 
 func (n *Network) allocShard(class uint8, k int32) *Packet {
@@ -581,12 +633,20 @@ func (n *Network) ReleasePacket(p *Packet) {
 	n.releasePkt(p)
 }
 
-// releasePkt drops one reference; the last reference of a pooled packet
-// recycles it onto its class's free list. The Payload survives recycling
-// (see AllocPacket); everything else is zeroed. On a sharded network the
-// refcount is atomic (a multicast fan-out can release on several shards
-// at once) and the packet returns to its owner shard's locked pool.
-func (n *Network) releasePkt(p *Packet) {
+// releasePkt drops one reference with no execution context; on a
+// sharded network the recycled packet takes the locked owner-pool path.
+// Hot paths that know the shard they execute on use releasePktAt.
+func (n *Network) releasePkt(p *Packet) { n.releasePktAt(p, -1) }
+
+// releasePktAt drops one reference; the last reference of a pooled
+// packet recycles it onto a free list. The Payload survives recycling
+// (see AllocPacket); everything else is zeroed. On a sharded network
+// the refcount is atomic (a multicast fan-out can release on several
+// shards at once) and the packet recycles into the unlocked burst cache
+// of the shard the caller executes on (exec >= 0) — safe because a
+// shard's window and the control phase strictly alternate — or, with no
+// execution context (exec < 0), into its owner shard's locked pool.
+func (n *Network) releasePktAt(p *Packet, exec int32) {
 	if n.sharded {
 		if atomic.AddInt32(&p.refs, -1) != 0 || !p.pooled {
 			return
@@ -594,6 +654,10 @@ func (n *Network) releasePkt(p *Packet) {
 		atomic.AddInt64(&n.pktLive, -1)
 		payload := p.Payload
 		*p = Packet{pooled: true, Payload: payload, class: p.class, owner: p.owner}
+		if exec >= 0 {
+			n.shards[exec].cachePut(p)
+			return
+		}
 		sc := n.shards[p.owner]
 		sc.mu.Lock()
 		sc.pool[p.class] = append(sc.pool[p.class], p)
@@ -603,8 +667,14 @@ func (n *Network) releasePkt(p *Packet) {
 	p.refs--
 	if p.refs == 0 && p.pooled {
 		n.pktLive--
-		payload := p.Payload
-		*p = Packet{pooled: true, Payload: payload, class: p.class}
+		// Field-wise reset: Payload/pooled/class/owner survive recycling
+		// (owner is never read on the serial path), everything a fresh
+		// allocation would zero is cleared in place — cheaper than the
+		// whole-struct rewrite plus payload save/restore.
+		p.Size = 0
+		p.Src, p.Dst = Addr{}, Addr{}
+		p.Group, p.IsMcast, p.SentAt = 0, false, 0
+		p.tree, p.treeVer = nil, 0
 		n.freePkts[p.class] = append(n.freePkts[p.class], p)
 	}
 }
@@ -643,7 +713,7 @@ func (n *Network) Send(pkt *Packet) {
 func (n *Network) forward(at NodeID, pkt *Packet) {
 	if at == pkt.Dst.Node {
 		n.deliverLocal(at, pkt)
-		n.releasePkt(pkt)
+		n.releasePktAt(pkt, n.shardIdx(at))
 		return
 	}
 	if !n.routesOK {
@@ -656,7 +726,7 @@ func (n *Network) forward(at NodeID, pkt *Packet) {
 		// No route (partition, down links): a counted drop, not a panic —
 		// fault scenarios legitimately strand traffic.
 		n.faultsAt(n.shardIdx(at)).Unreachable++
-		n.releasePkt(pkt)
+		n.releasePktAt(pkt, n.shardIdx(at))
 		return
 	}
 	n.linkList[li].send(pkt)
@@ -679,7 +749,13 @@ func (n *Network) forwardMcast(at, src NodeID, pkt *Packet) {
 	} else {
 		t = pkt.tree
 		if t == nil || pkt.treeVer != n.topoVer {
-			t = n.mcastTree(pkt.Group, src)
+			key := mcastKey{pkt.Group, src}
+			if n.lastTree != nil && n.lastVer == n.topoVer && n.lastKey == key {
+				t = n.lastTree
+			} else {
+				t = n.mcastTree(pkt.Group, src)
+				n.lastKey, n.lastTree, n.lastVer = key, t, n.topoVer
+			}
 			pkt.tree, pkt.treeVer = t, n.topoVer
 		}
 	}
@@ -699,7 +775,7 @@ func (n *Network) forwardMcast(at, src NodeID, pkt *Packet) {
 	for _, li := range children {
 		n.linkList[li].send(pkt)
 	}
-	n.releasePkt(pkt)
+	n.releasePktAt(pkt, n.shardIdx(at))
 }
 
 func (n *Network) deliverLocal(at NodeID, pkt *Packet) {

@@ -44,10 +44,69 @@ type shardCtx struct {
 	trees   map[mcastKey]*mcastTree
 	treeVer uint32
 
-	// Per-shard packet pool. Alloc pops from the allocating shard's pool,
-	// release pushes to the owner's, so both sides lock.
-	mu   sync.Mutex
-	pool [NumPacketClasses][]*Packet
+	// Per-shard packet pool plus an unlocked burst cache (NDN-DPDK
+	// mempool style). The cache is touched only by code executing on this
+	// shard — its window goroutine, or the control thread while shards
+	// are quiesced; those phases strictly alternate, and the engine's
+	// barrier provides the happens-before edge. Alloc pops the cache and
+	// refills runs of burstK from the locked pool; release pushes the
+	// cache and spills runs of burstK when it overfills.
+	mu    sync.Mutex
+	pool  [NumPacketClasses][]*Packet
+	cache [NumPacketClasses][]*Packet
+}
+
+// burstK is the mempool transfer size: how many packets move between a
+// shard's unlocked cache and its locked pool per refill or spill.
+const burstK = 64
+
+// cacheGet pops one packet from the shard's burst cache, refilling from
+// the locked pool when empty. Returns nil when both are empty.
+func (sc *shardCtx) cacheGet(class uint8) *Packet {
+	cc := &sc.cache[class]
+	if m := len(*cc); m > 0 {
+		p := (*cc)[m-1]
+		(*cc)[m-1] = nil
+		*cc = (*cc)[:m-1]
+		return p
+	}
+	sc.mu.Lock()
+	free := &sc.pool[class]
+	m := len(*free)
+	take := burstK
+	if take > m {
+		take = m
+	}
+	if take > 0 {
+		*cc = append(*cc, (*free)[m-take:]...)
+		clear((*free)[m-take:])
+		*free = (*free)[:m-take]
+	}
+	sc.mu.Unlock()
+	if m := len(*cc); m > 0 {
+		p := (*cc)[m-1]
+		(*cc)[m-1] = nil
+		*cc = (*cc)[:m-1]
+		return p
+	}
+	return nil
+}
+
+// cachePut pushes one recycled packet onto the shard's burst cache,
+// spilling a run of burstK to the locked pool when the cache holds two
+// bursts — the spill bounds how far packets can pile up on a shard that
+// releases more than it allocates.
+func (sc *shardCtx) cachePut(p *Packet) {
+	cc := &sc.cache[p.class]
+	*cc = append(*cc, p)
+	if len(*cc) >= 2*burstK {
+		m := len(*cc)
+		sc.mu.Lock()
+		sc.pool[p.class] = append(sc.pool[p.class], (*cc)[m-burstK:]...)
+		sc.mu.Unlock()
+		clear((*cc)[m-burstK:])
+		*cc = (*cc)[:m-burstK]
+	}
 }
 
 // handoff is one cross-region propagation in flight between barriers.
@@ -275,6 +334,17 @@ func (n *Network) ShardEventCounts() []uint64 {
 	out := make([]uint64, len(n.shards))
 	for i, sc := range n.shards {
 		out[i] = sc.sched.Processed()
+	}
+	return out
+}
+
+// ShardBatches returns the dispatch batches executed across every region
+// scheduler (0 when not sharded). The control scheduler's batches are
+// not included; callers fold those separately.
+func (n *Network) ShardBatches() uint64 {
+	var out uint64
+	for _, sc := range n.shards {
+		out += sc.sched.Batches()
 	}
 	return out
 }

@@ -279,14 +279,14 @@ func (r *Receiver) Leave() {
 
 // Recv implements simnet.Handler (binding the receiver itself avoids the
 // per-run closure a HandlerFunc wrapper would allocate). Data headers are
-// pooled *Data boxes owned by the packet, so the header is copied out
-// before anything is kept.
+// pooled *Data boxes owned by the packet: helpers read the box in place,
+// and only the state that outlives this call (lastData, fbData) keeps a
+// copy — the box is recycled with the packet.
 func (r *Receiver) Recv(pkt *simnet.Packet) {
-	dp, ok := pkt.Payload.(*Data)
+	d, ok := pkt.Payload.(*Data)
 	if !ok || r.left {
 		return
 	}
-	d := *dp
 	// Discard malformed and badly stale data instead of acting on it. A
 	// data packet more than staleDataRounds behind the receiver's round is
 	// stale beyond anything in-order delivery or a mid-run delay change can
@@ -319,7 +319,7 @@ func (r *Receiver) Recv(pkt *simnet.Packet) {
 	r.haveSeq = true
 	r.nextSeq = d.Seq + 1
 	r.lastArrival = now
-	r.lastData = d
+	r.lastData = *d
 
 	if d.Round != r.round {
 		r.round = d.Round
@@ -337,7 +337,7 @@ func (r *Receiver) Recv(pkt *simnet.Packet) {
 
 // detectLosses turns sequence gaps into loss events, interpolating the
 // loss times between the previous and current arrival.
-func (r *Receiver) detectLosses(d Data, now sim.Time) {
+func (r *Receiver) detectLosses(d *Data, now sim.Time) {
 	if !r.haveSeq || d.Seq <= r.nextSeq {
 		return
 	}
@@ -365,7 +365,7 @@ func (r *Receiver) detectLosses(d Data, now sim.Time) {
 // initLossHistory implements Appendix B: derive the first loss interval
 // from the receive rate when the first loss occurred rather than from the
 // packet count so far.
-func (r *Receiver) initLossHistory(d Data) {
+func (r *Receiver) initLossHistory(d *Data) {
 	// Appendix B uses the sending rate at which the first loss occurred
 	// as the bottleneck indicator; the measured receive rate is only a
 	// fallback (it is unreliable when few packets have arrived).
@@ -387,7 +387,7 @@ func (r *Receiver) initLossHistory(d Data) {
 	r.firstLossWithInitRTT = !r.rtte.Valid()
 }
 
-func (r *Receiver) updateRTT(d Data, now sim.Time) {
+func (r *Receiver) updateRTT(d *Data, now sim.Time) {
 	if d.EchoRcvr == r.id {
 		wasValid := r.rtte.Valid()
 		r.rtte.Measure(now, d.EchoTS, d.EchoDelay, d.SendTime, r.isCLR)
@@ -407,7 +407,7 @@ func (r *Receiver) updateRTT(d Data, now sim.Time) {
 // onFirstRTTMeasurement applies the Appendix A/B corrections: loss events
 // aggregated with the too-high initial RTT are split, and the synthetic
 // first loss interval is rescaled by (R/R_init)².
-func (r *Receiver) onFirstRTTMeasurement(Data) {
+func (r *Receiver) onFirstRTTMeasurement(*Data) {
 	if r.OnFirstRTT != nil {
 		r.OnFirstRTT()
 	}
@@ -425,7 +425,7 @@ func (r *Receiver) onFirstRTTMeasurement(Data) {
 // few RTTs, but always enough to span several packets — at very low
 // sending rates a short window quantises the measured rate so coarsely
 // that feedback suppression cannot match values across receivers.
-func (r *Receiver) window(d Data) sim.Time {
+func (r *Receiver) window(d *Data) sim.Time {
 	w := r.rtte.RTT().Scale(4)
 	if d.Rate > 0 {
 		minW := sim.FromSeconds(8 * float64(r.cfg.PacketSize) / d.Rate)
@@ -436,7 +436,7 @@ func (r *Receiver) window(d Data) sim.Time {
 
 // startRound resets suppression state and draws a biased feedback timer
 // when this receiver has something to report (section 2.5.1).
-func (r *Receiver) startRound(d Data, now sim.Time) {
+func (r *Receiver) startRound(d *Data, now sim.Time) {
 	r.cancelTimer()
 	r.lastSuppress = math.Inf(1)
 	if r.isCLR {
@@ -487,7 +487,7 @@ func (r *Receiver) startRound(d Data, now sim.Time) {
 	}
 	r.fbValue = value
 	r.fbHasLoss = hasLoss
-	r.fbData = d
+	r.fbData = *d
 	r.fbTimer = r.sch.AfterArg(delay, receiverFireFeedback, r)
 }
 
@@ -511,10 +511,10 @@ func (r *Receiver) feedbackDraw() float64 {
 // closure capture.
 func receiverFireFeedback(a any) {
 	r := a.(*Receiver)
-	r.fireFeedback(r.fbData)
+	r.fireFeedback(&r.fbData)
 }
 
-func (r *Receiver) roundConfig(d Data) feedback.Config {
+func (r *Receiver) roundConfig(d *Data) feedback.Config {
 	return feedback.Config{
 		T:     d.RoundT,
 		N:     r.cfg.FeedbackN,
@@ -528,7 +528,7 @@ func (r *Receiver) roundConfig(d Data) feedback.Config {
 // lower report (section 2.5.2). During slowstart, a loss report can only
 // be suppressed by another loss report; conversely a receive-rate report
 // is moot once any loss has been echoed (slowstart is ending).
-func (r *Receiver) maybeSuppress(d Data) {
+func (r *Receiver) maybeSuppress(d *Data) {
 	if !r.fbTimer.Active() {
 		return
 	}
@@ -559,14 +559,14 @@ func (r *Receiver) maybeSuppress(d Data) {
 }
 
 // currentValue returns the rate a report sent right now would carry.
-func (r *Receiver) currentValue(d Data) float64 {
+func (r *Receiver) currentValue(d *Data) float64 {
 	if r.est.HaveLoss() {
 		return r.CalcRate()
 	}
 	return r.rw.rate(r.window(d), r.sch.Now())
 }
 
-func (r *Receiver) fireFeedback(d Data) {
+func (r *Receiver) fireFeedback(d *Data) {
 	// Re-check eligibility: the sending rate may have dropped below our
 	// calculated rate since the timer was set. (Not applicable during
 	// slowstart or when the sender has no CLR and is soliciting.)
@@ -578,9 +578,9 @@ func (r *Receiver) fireFeedback(d Data) {
 	}
 	// Re-check suppression with the value the report will actually carry.
 	if !math.IsInf(r.lastSuppress, 1) {
-		v := r.currentValue(r.lastData)
+		v := r.currentValue(&r.lastData)
 		if v > 0 && !math.IsInf(v, 1) &&
-			r.roundConfig(r.lastData).Cancel(v, r.lastSuppress) {
+			r.roundConfig(&r.lastData).Cancel(v, r.lastSuppress) {
 			r.SuppressCancels++
 			return
 		}
@@ -592,7 +592,7 @@ func (r *Receiver) sendReport(now sim.Time) {
 	rate := r.fbValue
 	if r.est.HaveLoss() {
 		rate = r.CalcRate()
-	} else if recv := r.rw.rate(r.window(r.lastData), now); recv > 0 {
+	} else if recv := r.rw.rate(r.window(&r.lastData), now); recv > 0 {
 		rate = recv
 	}
 	if rate <= 0 || math.IsInf(rate, 1) {
@@ -612,7 +612,7 @@ func (r *Receiver) sendReport(now sim.Time) {
 		EchoTS:    r.lastData.SendTime,
 		EchoDelay: now - r.lastArrival,
 		Rate:      rate,
-		RecvRate:  r.rw.rate(r.window(r.lastData), now),
+		RecvRate:  r.rw.rate(r.window(&r.lastData), now),
 		HasRTT:    r.rtte.Valid(),
 		RTT:       r.rtte.RTT(),
 		LossRate:  r.LossEventRate(),
